@@ -1,0 +1,149 @@
+//! NFA-guided breadth-first search over the graph–automaton product (the
+//! "BFS" baseline of §VI).
+
+use crate::nfa::Nfa;
+use rlc_core::{ConcatQuery, RlcQuery};
+use rlc_graph::{LabeledGraph, VertexId};
+use std::collections::{HashSet, VecDeque};
+
+/// Answers an RLC query by breadth-first search over `(vertex, NFA state)`
+/// pairs, starting from `(source, start)` and succeeding when any
+/// `(target, accepting)` pair is reached.
+pub fn bfs_query(graph: &LabeledGraph, query: &RlcQuery) -> bool {
+    let nfa = Nfa::kleene_plus(&query.constraint);
+    bfs_product(graph, &nfa, query.source, query.target)
+}
+
+/// Answers an extended concatenation query (`B1+ ∘ … ∘ Bm+`) by the same
+/// product BFS, with the automaton built for the whole concatenation.
+pub fn bfs_concat_query(graph: &LabeledGraph, query: &ConcatQuery) -> bool {
+    let nfa = Nfa::concatenation(&query.blocks);
+    bfs_product(graph, &nfa, query.source, query.target)
+}
+
+/// Product-graph BFS shared by the RLC and concatenation entry points.
+pub fn bfs_product(graph: &LabeledGraph, nfa: &Nfa, source: VertexId, target: VertexId) -> bool {
+    let states = nfa.state_count();
+    let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
+    let mut queue: VecDeque<(VertexId, usize)> = VecDeque::new();
+    visited.insert((source, nfa.start));
+    queue.push_back((source, nfa.start));
+    debug_assert!(states > 0);
+    if source == target && nfa.accepting[nfa.start] {
+        return true;
+    }
+    while let Some((v, q)) = queue.pop_front() {
+        for (w, label) in graph.out_edges(v) {
+            for q_next in nfa.next(q, label) {
+                if !visited.insert((w, q_next)) {
+                    continue;
+                }
+                if w == target && nfa.accepting[q_next] {
+                    return true;
+                }
+                queue.push_back((w, q_next));
+            }
+        }
+    }
+    false
+}
+
+/// Counts the number of product states a BFS evaluation visits; used by the
+/// experiment harness to report search effort independently of wall-clock
+/// noise.
+pub fn bfs_visited_states(graph: &LabeledGraph, query: &RlcQuery) -> usize {
+    let nfa = Nfa::kleene_plus(&query.constraint);
+    let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
+    let mut queue: VecDeque<(VertexId, usize)> = VecDeque::new();
+    visited.insert((query.source, nfa.start));
+    queue.push_back((query.source, nfa.start));
+    while let Some((v, q)) = queue.pop_front() {
+        for (w, label) in graph.out_edges(v) {
+            for q_next in nfa.next(q, label) {
+                if visited.insert((w, q_next)) {
+                    queue.push_back((w, q_next));
+                }
+            }
+        }
+    }
+    visited.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_graph::examples::{fig1_graph, fig2_graph};
+    use rlc_graph::Label;
+
+    #[test]
+    fn fig2_example_queries() {
+        let g = fig2_graph();
+        let q1 = RlcQuery::from_names(&g, "v3", "v6", &["l2", "l1"]).unwrap();
+        assert!(bfs_query(&g, &q1));
+        let q2 = RlcQuery::from_names(&g, "v1", "v2", &["l2", "l1"]).unwrap();
+        assert!(bfs_query(&g, &q2));
+        let q3 = RlcQuery::from_names(&g, "v1", "v3", &["l1"]).unwrap();
+        assert!(!bfs_query(&g, &q3));
+    }
+
+    #[test]
+    fn fig1_fraud_query() {
+        let g = fig1_graph();
+        let q = RlcQuery::from_names(&g, "A14", "A19", &["debits", "credits"]).unwrap();
+        assert!(bfs_query(&g, &q));
+        let q_false =
+            RlcQuery::from_names(&g, "P10", "P13", &["knows", "knows", "worksFor"]).unwrap();
+        assert!(!bfs_query(&g, &q_false));
+    }
+
+    #[test]
+    fn source_equal_target_requires_a_cycle() {
+        let g = fig2_graph();
+        // v1 -l2-> v3 -l2-> v1 is an (l2)+ cycle.
+        let q = RlcQuery::from_names(&g, "v1", "v1", &["l2"]).unwrap();
+        assert!(bfs_query(&g, &q));
+        // There is no (l3)+ cycle at v1.
+        let q2 = RlcQuery::from_names(&g, "v1", "v1", &["l3"]).unwrap();
+        assert!(!bfs_query(&g, &q2));
+    }
+
+    #[test]
+    fn concat_query_on_fig1() {
+        let g = fig1_graph();
+        let knows = g.labels().resolve("knows").unwrap();
+        let holds = g.labels().resolve("holds").unwrap();
+        let q = ConcatQuery::new(
+            g.vertex_id("P10").unwrap(),
+            g.vertex_id("A19").unwrap(),
+            vec![vec![knows], vec![holds]],
+        );
+        assert!(bfs_concat_query(&g, &q));
+        let q_false = ConcatQuery::new(
+            g.vertex_id("A14").unwrap(),
+            g.vertex_id("P10").unwrap(),
+            vec![vec![knows], vec![holds]],
+        );
+        assert!(!bfs_concat_query(&g, &q_false));
+    }
+
+    #[test]
+    fn unreachable_target_is_false() {
+        let g = fig1_graph();
+        let q = RlcQuery::new(
+            g.vertex_id("A19").unwrap(),
+            g.vertex_id("P10").unwrap(),
+            vec![Label(0)],
+        )
+        .unwrap();
+        assert!(!bfs_query(&g, &q));
+    }
+
+    #[test]
+    fn visited_states_is_bounded_by_product_size() {
+        let g = fig2_graph();
+        let q = RlcQuery::from_names(&g, "v1", "v6", &["l1"]).unwrap();
+        let visited = bfs_visited_states(&g, &q);
+        assert!(visited >= 1);
+        assert!(visited <= g.vertex_count() * 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Depth-first online traversal (mentioned in §VI as the same-complexity
+//! alternative to BFS).
+
+use crate::nfa::Nfa;
+use rlc_core::RlcQuery;
+use rlc_graph::{LabeledGraph, VertexId};
+use std::collections::HashSet;
+
+/// Answers an RLC query by iterative depth-first search over the
+/// graph–automaton product.
+pub fn dfs_query(graph: &LabeledGraph, query: &RlcQuery) -> bool {
+    let nfa = Nfa::kleene_plus(&query.constraint);
+    dfs_product(graph, &nfa, query.source, query.target)
+}
+
+/// Product-graph DFS.
+pub fn dfs_product(graph: &LabeledGraph, nfa: &Nfa, source: VertexId, target: VertexId) -> bool {
+    let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
+    let mut stack: Vec<(VertexId, usize)> = vec![(source, nfa.start)];
+    visited.insert((source, nfa.start));
+    if source == target && nfa.accepting[nfa.start] {
+        return true;
+    }
+    while let Some((v, q)) = stack.pop() {
+        for (w, label) in graph.out_edges(v) {
+            for q_next in nfa.next(q, label) {
+                if !visited.insert((w, q_next)) {
+                    continue;
+                }
+                if w == target && nfa.accepting[q_next] {
+                    return true;
+                }
+                stack.push((w, q_next));
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_query;
+    use rlc_core::repeats::enumerate_minimum_repeats;
+    use rlc_graph::examples::fig2_graph;
+    use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
+
+    #[test]
+    fn fig2_example_queries() {
+        let g = fig2_graph();
+        let q1 = RlcQuery::from_names(&g, "v3", "v6", &["l2", "l1"]).unwrap();
+        assert!(dfs_query(&g, &q1));
+        let q3 = RlcQuery::from_names(&g, "v1", "v3", &["l1"]).unwrap();
+        assert!(!dfs_query(&g, &q3));
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_ba_graph() {
+        let g = barabasi_albert(&SyntheticConfig::new(80, 3.0, 3, 5));
+        let all_mrs = enumerate_minimum_repeats(2, 2);
+        for s in (0..g.vertex_count() as u32).step_by(9) {
+            for t in (0..g.vertex_count() as u32).step_by(13) {
+                for mr in &all_mrs {
+                    let q = RlcQuery::new(s, t, mr.clone()).unwrap();
+                    assert_eq!(bfs_query(&g, &q), dfs_query(&g, &q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 30k-vertex chain under a single label: DFS must stay iterative.
+        let mut b = rlc_graph::GraphBuilder::with_capacity(30_000, 1);
+        for i in 0..29_999u32 {
+            b.add_edge(i, rlc_graph::Label(0), i + 1);
+        }
+        let g = b.build();
+        let q = RlcQuery::new(0, 29_999, vec![rlc_graph::Label(0)]).unwrap();
+        assert!(dfs_query(&g, &q));
+    }
+}

@@ -1,0 +1,30 @@
+//! # rlc-baselines
+//!
+//! Baseline evaluators for RLC queries, used by the paper's experimental
+//! comparison (§VI) and by the test suite as ground-truth oracles:
+//!
+//! * [`nfa`] — construction of the (small) automata that recognise
+//!   `(l1…lk)+` constraints and concatenations of such blocks;
+//! * [`bfs`] — online breadth-first traversal of the graph–automaton product
+//!   (the paper's "BFS" baseline);
+//! * [`bibfs`] — bidirectional BFS meeting in the middle of the product
+//!   (the paper's "BiBFS" baseline, also used for query-workload generation);
+//! * [`dfs`] — depth-first variant (mentioned in §VI as an alternative with
+//!   the same complexity as BFS);
+//! * [`etc`] — the extended transitive closure: a fully materialized map from
+//!   vertex pairs to the set of minimum repeats of connecting paths.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bfs;
+pub mod bibfs;
+pub mod dfs;
+pub mod etc;
+pub mod nfa;
+
+pub use bfs::bfs_query;
+pub use bibfs::bibfs_query;
+pub use dfs::dfs_query;
+pub use etc::{EtcBuildConfig, EtcIndex, EtcStats};
+pub use nfa::Nfa;

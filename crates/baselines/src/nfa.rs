@@ -1,0 +1,240 @@
+//! Automata for recursive label-concatenated constraints.
+//!
+//! The online baselines of the paper evaluate an RLC query by traversing the
+//! product of the graph with a minimized NFA recognising the constraint
+//! (§III-B). The constraints of interest are tiny — `(l1…lk)+` and
+//! concatenations of such blocks — so the automaton is built directly rather
+//! than via a general regex compiler.
+
+use rlc_graph::Label;
+
+/// A nondeterministic finite automaton over edge labels.
+///
+/// States are dense indices. The construction used here yields at most
+/// `Σ |block_i| + 1` states, so adjacency is a plain `Vec` per state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// The start state.
+    pub start: usize,
+    /// `accepting[q]` is true when `q` is an accepting state.
+    pub accepting: Vec<bool>,
+    /// `transitions[q]` lists `(label, successor)` pairs.
+    pub transitions: Vec<Vec<(Label, usize)>>,
+    /// `reverse[q]` lists `(label, predecessor)` pairs, used by the
+    /// backward half of bidirectional search.
+    pub reverse: Vec<Vec<(Label, usize)>>,
+}
+
+impl Nfa {
+    /// Builds the automaton for the single-block constraint `(l1…lk)+`.
+    ///
+    /// The automaton has `k + 1` states: state `0` is the start, state `i`
+    /// means "the last `i` labels of the current repetition have been read",
+    /// and state `k` (reached after a complete repetition) is accepting and
+    /// behaves like state `0` for further input.
+    pub fn kleene_plus(block: &[Label]) -> Self {
+        Nfa::concatenation(&[block.to_vec()])
+    }
+
+    /// Builds the automaton for `B1+ ∘ B2+ ∘ … ∘ Bm+`.
+    pub fn concatenation(blocks: &[Vec<Label>]) -> Self {
+        assert!(!blocks.is_empty(), "at least one block required");
+        assert!(
+            blocks.iter().all(|b| !b.is_empty()),
+            "blocks must not be empty"
+        );
+        // One state per position within each block, plus a distinguished
+        // "block completed" state per block.
+        // Layout: block i occupies states base(i) .. base(i) + |Bi|, where
+        // base(i) + j means "j labels of the current repetition of Bi read"
+        // and base(i) + |Bi| is the completion state of block i.
+        let mut base = Vec::with_capacity(blocks.len());
+        let mut total = 0usize;
+        for block in blocks {
+            base.push(total);
+            total += block.len() + 1;
+        }
+        let mut transitions: Vec<Vec<(Label, usize)>> = vec![Vec::new(); total];
+        let mut accepting = vec![false; total];
+
+        for (i, block) in blocks.iter().enumerate() {
+            let b = base[i];
+            let len = block.len();
+            // Reading position j consumes block[j].
+            for (j, &label) in block.iter().enumerate() {
+                let from = b + j;
+                let to = if j + 1 == len { b + len } else { b + j + 1 };
+                transitions[from].push((label, to));
+            }
+            // The completion state can start another repetition of the same
+            // block…
+            let completion = b + len;
+            let restart_to = if len == 1 { completion } else { b + 1 };
+            transitions[completion].push((block[0], restart_to));
+            // …or hand over to the next block (by mirroring the next block's
+            // first transition), or accept if this is the last block.
+            if i + 1 < blocks.len() {
+                let next = &blocks[i + 1];
+                let nb = base[i + 1];
+                // Position 1 of the next block doubles as its completion
+                // state when the block has a single label.
+                transitions[completion].push((next[0], nb + 1));
+            } else {
+                accepting[completion] = true;
+            }
+        }
+        // In the multi-block case, the completion state of the last block is
+        // the only accepting state; intermediate completion states are not.
+        let mut reverse: Vec<Vec<(Label, usize)>> = vec![Vec::new(); total];
+        for (from, outs) in transitions.iter().enumerate() {
+            for &(label, to) in outs {
+                reverse[to].push((label, from));
+            }
+        }
+        Nfa {
+            start: 0,
+            accepting,
+            transitions,
+            reverse,
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Successor states of `state` on `label`.
+    pub fn next(&self, state: usize, label: Label) -> impl Iterator<Item = usize> + '_ {
+        self.transitions[state]
+            .iter()
+            .filter(move |(l, _)| *l == label)
+            .map(|&(_, to)| to)
+    }
+
+    /// Predecessor states of `state` on `label`.
+    pub fn prev(&self, state: usize, label: Label) -> impl Iterator<Item = usize> + '_ {
+        self.reverse[state]
+            .iter()
+            .filter(move |(l, _)| *l == label)
+            .map(|&(_, from)| from)
+    }
+
+    /// All accepting states.
+    pub fn accepting_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.accepting
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(q, _)| q)
+    }
+
+    /// Runs the automaton on a complete label sequence and reports acceptance.
+    ///
+    /// Only used in tests and assertions — the baselines never materialize
+    /// whole sequences, they traverse the product graph instead.
+    pub fn accepts(&self, sequence: &[Label]) -> bool {
+        let mut states = vec![self.start];
+        for &label in sequence {
+            let mut next: Vec<usize> = Vec::new();
+            for &q in &states {
+                for to in self.next(q, label) {
+                    if !next.contains(&to) {
+                        next.push(to);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            states = next;
+        }
+        states.iter().any(|&q| self.accepting[q])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(ids: &[u16]) -> Vec<Label> {
+        ids.iter().map(|&i| Label(i)).collect()
+    }
+
+    #[test]
+    fn single_label_plus() {
+        let nfa = Nfa::kleene_plus(&seq(&[0]));
+        assert!(!nfa.accepts(&[]));
+        assert!(nfa.accepts(&seq(&[0])));
+        assert!(nfa.accepts(&seq(&[0, 0, 0])));
+        assert!(!nfa.accepts(&seq(&[0, 1])));
+        assert!(!nfa.accepts(&seq(&[1])));
+    }
+
+    #[test]
+    fn two_label_block_plus() {
+        let nfa = Nfa::kleene_plus(&seq(&[0, 1]));
+        assert!(nfa.accepts(&seq(&[0, 1])));
+        assert!(nfa.accepts(&seq(&[0, 1, 0, 1])));
+        assert!(!nfa.accepts(&seq(&[0, 1, 0])));
+        assert!(!nfa.accepts(&seq(&[1, 0])));
+        assert!(!nfa.accepts(&seq(&[0])));
+        assert_eq!(nfa.state_count(), 3);
+    }
+
+    #[test]
+    fn three_label_block_plus() {
+        let nfa = Nfa::kleene_plus(&seq(&[0, 1, 2]));
+        assert!(nfa.accepts(&seq(&[0, 1, 2])));
+        assert!(nfa.accepts(&seq(&[0, 1, 2, 0, 1, 2])));
+        assert!(!nfa.accepts(&seq(&[0, 1, 2, 0])));
+        assert!(!nfa.accepts(&seq(&[0, 1])));
+    }
+
+    #[test]
+    fn concatenation_of_two_blocks() {
+        // a+ ∘ b+
+        let nfa = Nfa::concatenation(&[seq(&[0]), seq(&[1])]);
+        assert!(nfa.accepts(&seq(&[0, 1])));
+        assert!(nfa.accepts(&seq(&[0, 0, 1, 1, 1])));
+        assert!(!nfa.accepts(&seq(&[0])));
+        assert!(!nfa.accepts(&seq(&[1])));
+        assert!(!nfa.accepts(&seq(&[0, 1, 0])));
+        assert!(!nfa.accepts(&seq(&[1, 0])));
+    }
+
+    #[test]
+    fn concatenation_of_multi_label_blocks() {
+        // (a b)+ ∘ (c)+
+        let nfa = Nfa::concatenation(&[seq(&[0, 1]), seq(&[2])]);
+        assert!(nfa.accepts(&seq(&[0, 1, 2])));
+        assert!(nfa.accepts(&seq(&[0, 1, 0, 1, 2, 2])));
+        assert!(!nfa.accepts(&seq(&[0, 1])));
+        assert!(!nfa.accepts(&seq(&[0, 1, 0, 2])));
+        assert!(!nfa.accepts(&seq(&[2])));
+    }
+
+    #[test]
+    fn reverse_transitions_mirror_forward() {
+        let nfa = Nfa::kleene_plus(&seq(&[0, 1]));
+        for (from, outs) in nfa.transitions.iter().enumerate() {
+            for &(label, to) in outs {
+                assert!(nfa.prev(to, label).any(|p| p == from));
+            }
+        }
+    }
+
+    #[test]
+    fn accepting_states_listed() {
+        let nfa = Nfa::concatenation(&[seq(&[0]), seq(&[1, 2])]);
+        let accepting: Vec<usize> = nfa.accepting_states().collect();
+        assert_eq!(accepting.len(), 1);
+        assert!(nfa.accepting[accepting[0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_concatenation_panics() {
+        let _ = Nfa::concatenation(&[]);
+    }
+}

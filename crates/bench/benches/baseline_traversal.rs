@@ -1,0 +1,68 @@
+//! Benchmarks of the online baselines (BFS, BiBFS, DFS) against the RLC
+//! index on the same workload — the micro-scale counterpart of Fig. 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlc_baselines::{bfs_query, bibfs_query, dfs_query};
+use rlc_core::{build_index, BuildConfig};
+use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
+use rlc_workloads::{generate_query_set, QueryGenConfig};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let graph = barabasi_albert(&SyntheticConfig::new(5_000, 4.0, 8, 21));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let queries = generate_query_set(&graph, &QueryGenConfig::small(20, 20, 2, 7));
+
+    let mut group = c.benchmark_group("fig3_micro");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("bfs", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (q, _) in queries.iter() {
+                if bfs_query(black_box(&graph), q) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("bibfs", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (q, _) in queries.iter() {
+                if bibfs_query(black_box(&graph), q) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("dfs", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (q, _) in queries.iter() {
+                if dfs_query(black_box(&graph), q) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("rlc_index", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (q, _) in queries.iter() {
+                if index.query(black_box(q)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

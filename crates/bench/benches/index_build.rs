@@ -1,0 +1,85 @@
+//! Benchmarks of index construction: the RLC index under different graph
+//! families, recursive k values and pruning configurations, and the ETC
+//! baseline for contrast (Table IV at micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlc_baselines::{EtcBuildConfig, EtcIndex};
+use rlc_core::{build_index, BuildConfig, KbsStrategy};
+use rlc_graph::generate::{barabasi_albert, erdos_renyi, SyntheticConfig};
+use std::hint::black_box;
+
+fn bench_rlc_build_by_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlc_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for &n in &[1_000usize, 4_000] {
+        let er = erdos_renyi(&SyntheticConfig::new(n, 3.0, 8, 7));
+        group.bench_with_input(BenchmarkId::new("er_d3_l8_k2", n), &er, |b, g| {
+            b.iter(|| build_index(black_box(g), &BuildConfig::new(2)))
+        });
+        let ba = barabasi_albert(&SyntheticConfig::new(n, 3.0, 8, 7));
+        group.bench_with_input(BenchmarkId::new("ba_d3_l8_k2", n), &ba, |b, g| {
+            b.iter(|| build_index(black_box(g), &BuildConfig::new(2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rlc_build_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlc_build_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let graph = erdos_renyi(&SyntheticConfig::new(2_000, 4.0, 8, 11));
+    for &k in &[2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| build_index(black_box(&graph), &BuildConfig::new(k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning_and_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlc_build_variants");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let graph = erdos_renyi(&SyntheticConfig::new(2_000, 3.0, 8, 13));
+    group.bench_function("paper_defaults", |b| {
+        b.iter(|| build_index(black_box(&graph), &BuildConfig::new(2)))
+    });
+    group.bench_function("no_pruning", |b| {
+        b.iter(|| build_index(black_box(&graph), &BuildConfig::new(2).without_pruning()))
+    });
+    group.bench_function("lazy_kbs", |b| {
+        b.iter(|| {
+            build_index(
+                black_box(&graph),
+                &BuildConfig::new(2).with_strategy(KbsStrategy::Lazy),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_etc_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("etc_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let graph = erdos_renyi(&SyntheticConfig::new(1_000, 3.0, 8, 17));
+    group.bench_function("er_1000_d3_l8_k2", |b| {
+        b.iter(|| EtcIndex::build(black_box(&graph), &EtcBuildConfig::new(2)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rlc_build_by_family,
+    bench_rlc_build_by_k,
+    bench_pruning_and_strategy,
+    bench_etc_build
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the label-sequence theory underlying the index:
+//! minimum-repeat computation (KMP) and kernel/tail decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlc_core::repeats::{kernel_tail, minimum_repeat_len};
+use rlc_graph::Label;
+use std::hint::black_box;
+
+fn random_sequence(len: usize, labels: u16, seed: u64) -> Vec<Label> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| Label(rng.gen_range(0..labels))).collect()
+}
+
+fn periodic_sequence(period: usize, repetitions: usize) -> Vec<Label> {
+    (0..period * repetitions)
+        .map(|i| Label((i % period) as u16))
+        .collect()
+}
+
+fn bench_minimum_repeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimum_repeat");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &len in &[4usize, 16, 64, 256] {
+        let random = random_sequence(len, 8, 42);
+        group.bench_with_input(BenchmarkId::new("random", len), &random, |b, seq| {
+            b.iter(|| minimum_repeat_len(black_box(seq)))
+        });
+        let periodic = periodic_sequence(4, len / 4);
+        group.bench_with_input(BenchmarkId::new("periodic", len), &periodic, |b, seq| {
+            b.iter(|| minimum_repeat_len(black_box(seq)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_tail(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_tail");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[2usize, 3, 4] {
+        // The indexing algorithm decomposes sequences of length 2k.
+        let seq = periodic_sequence(k, 2);
+        group.bench_with_input(BenchmarkId::new("length_2k", k), &seq, |b, seq| {
+            b.iter(|| kernel_tail(black_box(seq)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimum_repeat, bench_kernel_tail);
+criterion_main!(benches);

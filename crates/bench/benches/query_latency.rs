@@ -1,0 +1,72 @@
+//! Benchmarks of query latency on a built RLC index: true vs false queries
+//! and the hybrid evaluation of extended constraints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlc_core::{build_index, evaluate_hybrid, BuildConfig, ConcatQuery};
+use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
+use rlc_graph::Label;
+use rlc_workloads::{generate_query_set, QueryGenConfig};
+use std::hint::black_box;
+
+fn bench_index_queries(c: &mut Criterion) {
+    let graph = barabasi_albert(&SyntheticConfig::new(10_000, 4.0, 8, 3));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let queries = generate_query_set(&graph, &QueryGenConfig::small(200, 200, 2, 5));
+
+    let mut group = c.benchmark_group("rlc_query");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("true_queries", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries.true_queries {
+                if index.query(black_box(q)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("false_queries", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries.false_queries {
+                if index.query(black_box(q)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_hybrid_queries(c: &mut Criterion) {
+    let graph = barabasi_albert(&SyntheticConfig::new(5_000, 4.0, 8, 9));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let a = Label(0);
+    let b_label = Label(1);
+    let pairs: Vec<(u32, u32)> = (0..100)
+        .map(|i| (i * 37 % 5_000, i * 101 % 5_000))
+        .collect();
+
+    let mut group = c.benchmark_group("hybrid_query");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("a_plus_b_plus", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(s, t) in &pairs {
+                let q = ConcatQuery::new(s, t, vec![vec![a], vec![b_label]]);
+                if evaluate_hybrid(&graph, &index, black_box(&q)).unwrap() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_queries, bench_hybrid_queries);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Experiment binary: Ablation A1 — pruning rules.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::ablation;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", ablation::run_pruning_default(&args));
+}

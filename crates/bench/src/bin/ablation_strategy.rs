@@ -1,0 +1,12 @@
+//! Experiment binary: Ablation A2 — KBS strategy and vertex ordering.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::ablation;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", ablation::run_strategy_default(&args));
+}

@@ -1,0 +1,12 @@
+//! Experiment binary: Fig. 3 — query time of the true/false query sets.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::fig3;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", fig3::run(&args));
+}

@@ -1,0 +1,12 @@
+//! Experiment binary: Fig. 6 — scalability in the number of vertices.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::fig6;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", fig6::run(&args));
+}

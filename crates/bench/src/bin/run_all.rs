@@ -1,0 +1,27 @@
+//! Experiment binary: runs every experiment of the paper in sequence and
+//! prints all reports. Expect a long runtime at the default scale; pass
+//! `--quick` for a smoke run.
+
+use rlc_bench::experiments::{ablation, fig3, fig4, fig5, fig6, fig7, table3, table4, table5};
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    type ExperimentFn = fn(&CommonArgs) -> String;
+    let sections: Vec<(&str, ExperimentFn)> = vec![
+        ("Table III", table3::run),
+        ("Table IV", table4::run),
+        ("Fig. 3", fig3::run),
+        ("Fig. 4", fig4::run),
+        ("Fig. 5", fig5::run),
+        ("Fig. 6", fig6::run),
+        ("Fig. 7", fig7::run),
+        ("Table V", table5::run),
+        ("Ablation A1", ablation::run_pruning_default),
+        ("Ablation A2", ablation::run_strategy_default),
+    ];
+    for (name, run) in sections {
+        eprintln!(">>> running {name}");
+        println!("{}", run(&args));
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment binary: Table V — speed-ups and break-even points over graph engines.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::table5;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", table5::run(&args));
+}

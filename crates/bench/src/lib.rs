@@ -1,0 +1,22 @@
+//! # rlc-bench
+//!
+//! Experiment harness for the RLC index reproduction. Each binary under
+//! `src/bin/` regenerates one table or figure of the paper (see DESIGN.md for
+//! the experiment index); the Criterion benchmarks under `benches/` cover the
+//! micro-level costs (minimum-repeat computation, query latency, index
+//! construction, online traversals).
+//!
+//! The library part holds the pieces shared by the binaries: command-line
+//! parsing of the common `--scale`/`--seed` options and measurement helpers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+pub mod experiments;
+pub mod measure;
+
+pub use cli::CommonArgs;
+pub use measure::{
+    evaluate_capped, evaluate_query_set, median_duration, CappedTiming, QuerySetTiming,
+};

@@ -1,0 +1,185 @@
+//! Measurement helpers shared by the experiment binaries.
+
+use rlc_core::RlcQuery;
+use rlc_workloads::QuerySet;
+use std::time::{Duration, Instant};
+
+/// Timing of a full query set under one evaluator, in the form the paper
+/// reports (total execution time of 1000 queries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerySetTiming {
+    /// Total wall-clock time over the true-query set.
+    pub true_total: Duration,
+    /// Total wall-clock time over the false-query set.
+    pub false_total: Duration,
+    /// Number of wrong answers (should always be zero; counted as a safety
+    /// net so that a broken evaluator cannot silently report a fast time).
+    pub wrong_answers: usize,
+}
+
+impl QuerySetTiming {
+    /// Total time over both sets.
+    pub fn total(&self) -> Duration {
+        self.true_total + self.false_total
+    }
+
+    /// Mean time per query across both sets.
+    pub fn per_query(&self, set: &QuerySet) -> Duration {
+        if set.is_empty() {
+            Duration::ZERO
+        } else {
+            self.total() / set.len() as u32
+        }
+    }
+}
+
+/// Runs `evaluate` over every query of `set`, checking answers and timing the
+/// true and false subsets separately (as Fig. 3 reports them separately).
+pub fn evaluate_query_set(
+    set: &QuerySet,
+    mut evaluate: impl FnMut(&RlcQuery) -> bool,
+) -> QuerySetTiming {
+    let mut wrong_answers = 0;
+
+    let start = Instant::now();
+    for q in &set.true_queries {
+        if !evaluate(q) {
+            wrong_answers += 1;
+        }
+    }
+    let true_total = start.elapsed();
+
+    let start = Instant::now();
+    for q in &set.false_queries {
+        if evaluate(q) {
+            wrong_answers += 1;
+        }
+    }
+    let false_total = start.elapsed();
+
+    QuerySetTiming {
+        true_total,
+        false_total,
+        wrong_answers,
+    }
+}
+
+/// Result of evaluating a query list under a wall-clock cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CappedTiming {
+    /// Time spent on the queries that were actually evaluated.
+    pub elapsed: Duration,
+    /// Number of queries evaluated before the cap was hit.
+    pub evaluated: usize,
+    /// Total number of queries in the list.
+    pub total: usize,
+    /// Wrong answers among the evaluated queries.
+    pub wrong_answers: usize,
+}
+
+impl CappedTiming {
+    /// Whether the cap stopped the evaluation early.
+    pub fn truncated(&self) -> bool {
+        self.evaluated < self.total
+    }
+
+    /// Total time, linearly extrapolated to the full list when truncated —
+    /// the paper marks such entries as timeouts ("X"); the extrapolation is
+    /// only used to place them on the right order of magnitude.
+    pub fn extrapolated_total(&self) -> Duration {
+        if self.evaluated == 0 {
+            Duration::ZERO
+        } else if self.truncated() {
+            self.elapsed
+                .mul_f64(self.total as f64 / self.evaluated as f64)
+        } else {
+            self.elapsed
+        }
+    }
+}
+
+/// Evaluates `queries` (all sharing the same expected answer) under a
+/// wall-clock cap, stopping once `budget` is exceeded.
+pub fn evaluate_capped(
+    queries: &[RlcQuery],
+    expected: bool,
+    budget: Duration,
+    mut evaluate: impl FnMut(&RlcQuery) -> bool,
+) -> CappedTiming {
+    let start = Instant::now();
+    let mut evaluated = 0usize;
+    let mut wrong_answers = 0usize;
+    for q in queries {
+        if start.elapsed() > budget {
+            break;
+        }
+        if evaluate(q) != expected {
+            wrong_answers += 1;
+        }
+        evaluated += 1;
+    }
+    CappedTiming {
+        elapsed: start.elapsed(),
+        evaluated,
+        total: queries.len(),
+        wrong_answers,
+    }
+}
+
+/// Median of a set of durations (the paper reports medians over 20 runs for
+/// Table V).
+pub fn median_duration(mut samples: Vec<Duration>) -> Duration {
+    assert!(!samples.is_empty(), "median of an empty sample set");
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_core::{build_index, BuildConfig};
+    use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+    use rlc_workloads::{generate_query_set, QueryGenConfig};
+
+    #[test]
+    fn evaluate_query_set_detects_wrong_answers() {
+        let g = erdos_renyi(&SyntheticConfig::new(100, 3.0, 3, 1));
+        let set = generate_query_set(&g, &QueryGenConfig::small(10, 10, 2, 1));
+        let always_true = evaluate_query_set(&set, |_| true);
+        assert_eq!(always_true.wrong_answers, 10);
+        let always_false = evaluate_query_set(&set, |_| false);
+        assert_eq!(always_false.wrong_answers, 10);
+    }
+
+    #[test]
+    fn correct_evaluator_has_no_wrong_answers() {
+        let g = erdos_renyi(&SyntheticConfig::new(120, 3.0, 3, 2));
+        let set = generate_query_set(&g, &QueryGenConfig::small(15, 15, 2, 3));
+        let (index, _) = build_index(&g, &BuildConfig::new(2));
+        let timing = evaluate_query_set(&set, |q| index.query(q));
+        assert_eq!(timing.wrong_answers, 0);
+        assert!(timing.total() >= timing.true_total);
+        assert!(timing.per_query(&set) <= timing.total());
+    }
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        let ms = |n| Duration::from_millis(n);
+        assert_eq!(median_duration(vec![ms(3), ms(1), ms(2)]), ms(2));
+        assert_eq!(
+            median_duration(vec![ms(4), ms(1), ms(2), ms(3)]),
+            ms(2) + ms(1) / 2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn median_of_empty_panics() {
+        let _ = median_duration(vec![]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Interning of minimum repeats.
+//!
+//! The number of distinct minimum repeats appearing in an index is bounded by
+//! `C = O(|L|^k)` (§V-C), which is tiny compared to the number of index
+//! entries, so entries store a dense `MrId` instead of the sequence itself.
+//! This keeps every index entry at 8 bytes and makes entry comparison a
+//! single integer comparison.
+
+use crate::repeats::is_minimum_repeat;
+use rlc_graph::Label;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned minimum repeat.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MrId(pub u32);
+
+impl MrId {
+    /// The raw dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only interner for minimum repeats.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MrCatalog {
+    sequences: Vec<Vec<Label>>,
+    #[serde(skip)]
+    lookup: HashMap<Vec<Label>, MrId>,
+}
+
+impl MrCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a minimum repeat, returning its id.
+    ///
+    /// Debug-asserts that `mr` really is its own minimum repeat: the index
+    /// must never record a reducible sequence.
+    pub fn intern(&mut self, mr: &[Label]) -> MrId {
+        debug_assert!(is_minimum_repeat(mr), "catalog only stores minimum repeats");
+        if let Some(&id) = self.lookup.get(mr) {
+            return id;
+        }
+        let id = MrId(self.sequences.len() as u32);
+        self.sequences.push(mr.to_vec());
+        self.lookup.insert(mr.to_vec(), id);
+        id
+    }
+
+    /// Looks up a sequence without interning it.
+    pub fn resolve(&self, mr: &[Label]) -> Option<MrId> {
+        self.lookup.get(mr).copied()
+    }
+
+    /// Returns the sequence for an id.
+    pub fn sequence(&self, id: MrId) -> &[Label] {
+        &self.sequences[id.index()]
+    }
+
+    /// Number of distinct minimum repeats interned.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Total bytes used by the stored sequences (for index-size reporting).
+    pub fn memory_bytes(&self) -> usize {
+        self.sequences
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<Label>() + std::mem::size_of::<Vec<Label>>())
+            .sum()
+    }
+
+    /// Rebuilds the lookup map after deserialization.
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .sequences
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), MrId(i as u32)))
+            .collect();
+    }
+
+    /// Iterates over `(id, sequence)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MrId, &[Label])> + '_ {
+        self.sequences
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (MrId(i as u32), s.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(ids: &[u16]) -> Vec<Label> {
+        ids.iter().map(|&i| Label(i)).collect()
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut catalog = MrCatalog::new();
+        let a = catalog.intern(&seq(&[0, 1]));
+        let b = catalog.intern(&seq(&[1]));
+        let a2 = catalog.intern(&seq(&[0, 1]));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.sequence(a), &seq(&[0, 1])[..]);
+    }
+
+    #[test]
+    fn resolve_does_not_intern() {
+        let mut catalog = MrCatalog::new();
+        catalog.intern(&seq(&[0]));
+        assert!(catalog.resolve(&seq(&[1])).is_none());
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "minimum repeats")]
+    fn interning_reducible_sequence_panics_in_debug() {
+        let mut catalog = MrCatalog::new();
+        catalog.intern(&seq(&[0, 0]));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut catalog = MrCatalog::new();
+        let id = catalog.intern(&seq(&[0, 1, 2]));
+        let json = serde_json::to_string(&catalog).unwrap();
+        let mut back: MrCatalog = serde_json::from_str(&json).unwrap();
+        back.rebuild_lookup();
+        assert_eq!(back.resolve(&seq(&[0, 1, 2])), Some(id));
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn iter_lists_all_sequences() {
+        let mut catalog = MrCatalog::new();
+        catalog.intern(&seq(&[0]));
+        catalog.intern(&seq(&[0, 1]));
+        let all: Vec<_> = catalog.iter().map(|(_, s)| s.to_vec()).collect();
+        assert_eq!(all, vec![seq(&[0]), seq(&[0, 1])]);
+    }
+}

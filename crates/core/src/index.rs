@@ -1,0 +1,591 @@
+//! The RLC index data structure and its query algorithm (§V-A, Algorithm 1).
+//!
+//! The index assigns to every vertex `v` two sets of entries:
+//!
+//! * `Lout(v) = {(w, MR) | v ⇝ w with a path whose label sequence is MR^+}`
+//! * `Lin(v)  = {(u, MR) | u ⇝ v with a path whose label sequence is MR^+}`
+//!
+//! A query `(s, t, L+)` is true iff `(t, L) ∈ Lout(s)`, `(s, L) ∈ Lin(t)`, or
+//! some hub `x` has `(x, L) ∈ Lout(s)` and `(x, L) ∈ Lin(t)` (Definition 4).
+//! Entries are kept ordered by the hub's *access id* so the third case is a
+//! merge join (Algorithm 1), giving `O(|Lout(s)| + |Lin(t)|)` query time.
+
+use crate::catalog::{MrCatalog, MrId};
+use crate::order::VertexOrder;
+use crate::query::RlcQuery;
+use rlc_graph::{Label, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// One labelling entry: a hub vertex and the minimum repeat of a witnessing
+/// path between the owner of the entry and the hub.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// The hub vertex (the root of the kernel-based search that created the
+    /// entry).
+    pub hub: VertexId,
+    /// Interned minimum repeat of the witnessing path.
+    pub mr: MrId,
+}
+
+/// Summary statistics of a built index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// The recursive `k` the index was built for.
+    pub k: usize,
+    /// Number of vertices covered.
+    pub vertices: usize,
+    /// Total number of entries across all `Lin` sets.
+    pub lin_entries: usize,
+    /// Total number of entries across all `Lout` sets.
+    pub lout_entries: usize,
+    /// Number of distinct minimum repeats appearing in entries.
+    pub distinct_mrs: usize,
+    /// Estimated memory footprint in bytes (see [`RlcIndex::memory_bytes`]).
+    pub memory_bytes: usize,
+    /// Largest `|Lin(v)| + |Lout(v)|` over all vertices.
+    pub max_entries_per_vertex: usize,
+}
+
+impl IndexStats {
+    /// Total entries (`Lin` + `Lout`).
+    pub fn total_entries(&self) -> usize {
+        self.lin_entries + self.lout_entries
+    }
+
+    /// Memory footprint in mebibytes, as reported in Table IV.
+    pub fn memory_megabytes(&self) -> f64 {
+        self.memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// The RLC index of a graph, built by [`crate::build::build_index`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RlcIndex {
+    pub(crate) k: usize,
+    pub(crate) order: VertexOrder,
+    pub(crate) lin: Vec<Vec<IndexEntry>>,
+    pub(crate) lout: Vec<Vec<IndexEntry>>,
+    pub(crate) catalog: MrCatalog,
+}
+
+impl RlcIndex {
+    /// Creates an empty index skeleton; used by the builder.
+    pub(crate) fn empty(k: usize, order: VertexOrder) -> Self {
+        let n = order.len();
+        RlcIndex {
+            k,
+            order,
+            lin: vec![Vec::new(); n],
+            lout: vec![Vec::new(); n],
+            catalog: MrCatalog::new(),
+        }
+    }
+
+    /// The recursive `k` this index supports: queries may use constraints of
+    /// at most this many labels.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices covered by the index.
+    pub fn vertex_count(&self) -> usize {
+        self.lin.len()
+    }
+
+    /// The vertex processing order used to build the index.
+    pub fn order(&self) -> &VertexOrder {
+        &self.order
+    }
+
+    /// The catalog of minimum repeats referenced by entries.
+    pub fn catalog(&self) -> &MrCatalog {
+        &self.catalog
+    }
+
+    /// The `Lin` entries of `v`, ordered by hub access id.
+    pub fn lin(&self, v: VertexId) -> &[IndexEntry] {
+        &self.lin[v as usize]
+    }
+
+    /// The `Lout` entries of `v`, ordered by hub access id.
+    pub fn lout(&self, v: VertexId) -> &[IndexEntry] {
+        &self.lout[v as usize]
+    }
+
+    /// Whether the index can answer a query with this constraint length.
+    pub fn supports(&self, query: &RlcQuery) -> bool {
+        !query.constraint.is_empty() && query.constraint.len() <= self.k
+    }
+
+    /// Answers an RLC query `(s, t, L+)` (Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint is longer than the index's `k`; use
+    /// [`RlcIndex::supports`] to check first when the constraint length is
+    /// not statically known.
+    pub fn query(&self, query: &RlcQuery) -> bool {
+        assert!(
+            self.supports(query),
+            "constraint of length {} exceeds index recursive k = {}",
+            query.constraint.len(),
+            self.k
+        );
+        match self.catalog.resolve(&query.constraint) {
+            // A constraint never recorded anywhere in the graph cannot be
+            // satisfied by any path (completeness of the index).
+            None => false,
+            Some(mr) => self.query_interned(query.source, query.target, mr),
+        }
+    }
+
+    /// Answers the Kleene-star variant `(s, t, L*)`, which additionally holds
+    /// when `s = t` (the empty path).
+    pub fn query_star(&self, query: &RlcQuery) -> bool {
+        query.source == query.target || self.query(query)
+    }
+
+    /// Convenience wrapper: answers `(s, t, constraint+)` for a raw label
+    /// slice, reducing it to its minimum repeat is *not* performed — the
+    /// caller must pass a minimum repeat (as [`RlcQuery::new`] enforces).
+    pub fn reaches(&self, source: VertexId, target: VertexId, constraint: &[Label]) -> bool {
+        let query = RlcQuery::new(source, target, constraint.to_vec())
+            .expect("constraint must be a non-empty minimum repeat");
+        self.query(&query)
+    }
+
+    /// Core query procedure over an interned constraint.
+    pub(crate) fn query_interned(&self, s: VertexId, t: VertexId, mr: MrId) -> bool {
+        let lout_s = &self.lout[s as usize];
+        let lin_t = &self.lin[t as usize];
+        // Case 2 of Definition 4: direct entries.
+        if lout_s.iter().any(|e| e.hub == t && e.mr == mr) {
+            return true;
+        }
+        if lin_t.iter().any(|e| e.hub == s && e.mr == mr) {
+            return true;
+        }
+        // Case 1: merge join on hub access id.
+        let mut i = 0;
+        let mut j = 0;
+        while i < lout_s.len() && j < lin_t.len() {
+            let ai = self.order.aid(lout_s[i].hub);
+            let bj = self.order.aid(lin_t[j].hub);
+            if ai < bj {
+                i += 1;
+            } else if ai > bj {
+                j += 1;
+            } else {
+                // Runs of entries sharing this hub on both sides.
+                let hub = lout_s[i].hub;
+                let i_start = i;
+                while i < lout_s.len() && lout_s[i].hub == hub {
+                    i += 1;
+                }
+                let j_start = j;
+                while j < lin_t.len() && lin_t[j].hub == hub {
+                    j += 1;
+                }
+                let left = lout_s[i_start..i].iter().any(|e| e.mr == mr);
+                if left {
+                    let right = lin_t[j_start..j].iter().any(|e| e.mr == mr);
+                    if right {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Total number of entries.
+    pub fn entry_count(&self) -> usize {
+        self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Estimated memory footprint in bytes: 8 bytes per entry, 16 bytes of
+    /// per-vertex bookkeeping (two offset entries, as a CSR-packed production
+    /// deployment would store), the access-id array, and the MR catalog.
+    pub fn memory_bytes(&self) -> usize {
+        self.entry_count() * std::mem::size_of::<IndexEntry>()
+            + self.vertex_count() * 16
+            + self.order.aid.len() * std::mem::size_of::<u32>()
+            + self.catalog.memory_bytes()
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> IndexStats {
+        let lin_entries = self.lin.iter().map(Vec::len).sum();
+        let lout_entries = self.lout.iter().map(Vec::len).sum();
+        let max_entries_per_vertex = (0..self.vertex_count())
+            .map(|v| self.lin[v].len() + self.lout[v].len())
+            .max()
+            .unwrap_or(0);
+        IndexStats {
+            k: self.k,
+            vertices: self.vertex_count(),
+            lin_entries,
+            lout_entries,
+            distinct_mrs: self.catalog.len(),
+            memory_bytes: self.memory_bytes(),
+            max_entries_per_vertex,
+        }
+    }
+
+    /// Counts entries that are redundant in the sense of Definition 5: an
+    /// entry is redundant if the reachability fact it encodes is already
+    /// answerable through the remaining entries.
+    ///
+    /// Theorem 2 states the index built with all pruning rules enabled has no
+    /// redundant entries (it is *condensed*); this is asserted in tests and
+    /// exercised by the pruning ablation.
+    pub fn redundant_entries(&self) -> usize {
+        let mut redundant = 0;
+        for t in 0..self.vertex_count() as VertexId {
+            for entry in &self.lin[t as usize] {
+                let s = entry.hub;
+                if self.answerable_without_lin_entry(s, t, entry.mr) {
+                    redundant += 1;
+                }
+            }
+        }
+        for s in 0..self.vertex_count() as VertexId {
+            for entry in &self.lout[s as usize] {
+                let t = entry.hub;
+                if self.answerable_without_lout_entry(s, t, entry.mr) {
+                    redundant += 1;
+                }
+            }
+        }
+        redundant
+    }
+
+    /// Whether the index contains no redundant entries (Theorem 2).
+    pub fn is_condensed(&self) -> bool {
+        self.redundant_entries() == 0
+    }
+
+    /// Can `(s, t, mr+)` be answered without using the entry `(s, mr) ∈ Lin(t)`?
+    fn answerable_without_lin_entry(&self, s: VertexId, t: VertexId, mr: MrId) -> bool {
+        // Case 2 via Lout(s).
+        if self.lout[s as usize]
+            .iter()
+            .any(|e| e.hub == t && e.mr == mr)
+        {
+            return true;
+        }
+        // Case 1 with any hub other than s itself (the hub-s pair on the
+        // Lin(t) side would be the entry under test).
+        self.join_hub_exists(s, t, mr, Some(s))
+    }
+
+    /// Can `(s, t, mr+)` be answered without using the entry `(t, mr) ∈ Lout(s)`?
+    fn answerable_without_lout_entry(&self, s: VertexId, t: VertexId, mr: MrId) -> bool {
+        if self.lin[t as usize]
+            .iter()
+            .any(|e| e.hub == s && e.mr == mr)
+        {
+            return true;
+        }
+        self.join_hub_exists(s, t, mr, Some(t))
+    }
+
+    /// Whether some hub `x` (optionally excluding one vertex) has `(x, mr)` in
+    /// both `Lout(s)` and `Lin(t)`.
+    fn join_hub_exists(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        mr: MrId,
+        exclude: Option<VertexId>,
+    ) -> bool {
+        let lout_s = &self.lout[s as usize];
+        let lin_t = &self.lin[t as usize];
+        for a in lout_s {
+            if a.mr != mr || Some(a.hub) == exclude {
+                continue;
+            }
+            if lin_t.iter().any(|b| b.hub == a.hub && b.mr == mr) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Serializes the index to a compact binary representation.
+    ///
+    /// Layout: header (`k`, vertex count, catalog size), the catalog
+    /// sequences, the access-id permutation, then per-vertex entry lists.
+    /// All integers are little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = Vec::with_capacity(self.memory_bytes());
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(self.k as u32);
+        buf.put_u64_le(self.vertex_count() as u64);
+        buf.put_u32_le(self.catalog.len() as u32);
+        for (_, seq) in self.catalog.iter() {
+            buf.put_u8(seq.len() as u8);
+            for label in seq {
+                buf.put_u16_le(label.0);
+            }
+        }
+        for &v in &self.order.sequence {
+            buf.put_u32_le(v);
+        }
+        for side in [&self.lout, &self.lin] {
+            for entries in side {
+                buf.put_u32_le(entries.len() as u32);
+                for e in entries {
+                    buf.put_u32_le(e.hub);
+                    buf.put_u32_le(e.mr.0);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserializes an index produced by [`RlcIndex::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+        use bytes::Buf;
+        let mut buf = data;
+        let check = |ok: bool, what: &str| -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(format!(
+                    "truncated or corrupt index data while reading {what}"
+                ))
+            }
+        };
+        check(buf.remaining() >= 20, "header")?;
+        let magic = buf.get_u32_le();
+        if magic != MAGIC {
+            return Err(format!("bad magic {magic:#x}, not an RLC index blob"));
+        }
+        let k = buf.get_u32_le() as usize;
+        let n = buf.get_u64_le() as usize;
+        let catalog_len = buf.get_u32_le() as usize;
+        let mut catalog = MrCatalog::new();
+        for _ in 0..catalog_len {
+            check(buf.remaining() >= 1, "catalog entry length")?;
+            let len = buf.get_u8() as usize;
+            check(buf.remaining() >= 2 * len, "catalog entry")?;
+            let seq: Vec<Label> = (0..len).map(|_| Label(buf.get_u16_le())).collect();
+            catalog.intern(&seq);
+        }
+        check(buf.remaining() >= 4 * n, "vertex order")?;
+        let sequence: Vec<VertexId> = (0..n).map(|_| buf.get_u32_le()).collect();
+        let mut aid = vec![0u32; n];
+        for (pos, &v) in sequence.iter().enumerate() {
+            check((v as usize) < n, "vertex order entry")?;
+            aid[v as usize] = pos as u32;
+        }
+        let order = VertexOrder { sequence, aid };
+        let read_side = |buf: &mut &[u8]| -> Result<Vec<Vec<IndexEntry>>, String> {
+            let mut side = Vec::with_capacity(n);
+            for _ in 0..n {
+                check(buf.remaining() >= 4, "entry list length")?;
+                let len = buf.get_u32_le() as usize;
+                check(buf.remaining() >= 8 * len, "entry list")?;
+                let mut entries = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let hub = buf.get_u32_le();
+                    let mr = MrId(buf.get_u32_le());
+                    if hub as usize >= n {
+                        return Err(format!(
+                            "corrupt index data: entry hub {hub} out of range for {n} vertices"
+                        ));
+                    }
+                    if mr.index() >= catalog_len {
+                        return Err(format!(
+                            "corrupt index data: entry references unknown minimum repeat {}",
+                            mr.0
+                        ));
+                    }
+                    entries.push(IndexEntry { hub, mr });
+                }
+                side.push(entries);
+            }
+            Ok(side)
+        };
+        let lout = read_side(&mut buf)?;
+        let lin = read_side(&mut buf)?;
+        Ok(RlcIndex {
+            k,
+            order,
+            lin,
+            lout,
+            catalog,
+        })
+    }
+
+    /// Human-readable dump of all entries, with vertex/label names resolved
+    /// against `graph` when available. Intended for debugging and examples.
+    pub fn describe(&self, graph: &rlc_graph::LabeledGraph) -> String {
+        let mut out = String::new();
+        let vertex = |v: VertexId| {
+            graph
+                .vertex_name(v)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("v{v}"))
+        };
+        let mr = |id: MrId| {
+            let seq = self.catalog.sequence(id);
+            let parts: Vec<String> = seq
+                .iter()
+                .map(|l| {
+                    graph
+                        .labels()
+                        .name(*l)
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| format!("{l}"))
+                })
+                .collect();
+            format!("({})", parts.join(","))
+        };
+        for v in 0..self.vertex_count() as VertexId {
+            let fmt_entries = |entries: &[IndexEntry]| {
+                entries
+                    .iter()
+                    .map(|e| format!("({},{})", vertex(e.hub), mr(e.mr)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push_str(&format!(
+                "{}: Lin = [{}], Lout = [{}]\n",
+                vertex(v),
+                fmt_entries(&self.lin[v as usize]),
+                fmt_entries(&self.lout[v as usize]),
+            ));
+        }
+        out
+    }
+}
+
+const MAGIC: u32 = 0x524C_4331; // "RLC1"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{compute_order, OrderingStrategy};
+    use rlc_graph::examples::fig2_graph;
+
+    /// Builds a tiny hand-rolled index for the two-vertex graph a -x-> b to
+    /// exercise the query procedure without the builder.
+    fn tiny_index() -> RlcIndex {
+        let mut b = rlc_graph::GraphBuilder::new();
+        b.add_edge_named("a", "x", "b");
+        let g = b.build();
+        let order = compute_order(&g, OrderingStrategy::InOutDegree);
+        let mut index = RlcIndex::empty(2, order);
+        let x = g.labels().resolve("x").unwrap();
+        let mr = index.catalog.intern(&[x]);
+        let a = g.vertex_id("a").unwrap();
+        let bb = g.vertex_id("b").unwrap();
+        // Record a ⇝ b with (x)+ as a Case-2 entry on the Lin side.
+        index.lin[bb as usize].push(IndexEntry { hub: a, mr });
+        index
+    }
+
+    #[test]
+    fn case2_entries_answer_queries() {
+        let index = tiny_index();
+        assert!(index.query_interned(0, 1, MrId(0)));
+        assert!(!index.query_interned(1, 0, MrId(0)));
+    }
+
+    #[test]
+    fn unknown_constraint_is_false() {
+        let index = tiny_index();
+        let q = RlcQuery::new(0, 1, vec![Label(99)]).unwrap();
+        assert!(!index.query(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds index recursive k")]
+    fn over_long_constraint_panics() {
+        let index = tiny_index();
+        let q = RlcQuery::new(0, 1, vec![Label(0), Label(1), Label(2)]).unwrap();
+        index.query(&q);
+    }
+
+    #[test]
+    fn query_star_accepts_identical_endpoints() {
+        let index = tiny_index();
+        let q = RlcQuery::new(0, 0, vec![Label(5)]).unwrap();
+        assert!(index.query_star(&q));
+        assert!(!index.query(&q));
+    }
+
+    #[test]
+    fn merge_join_finds_common_hub() {
+        let mut b = rlc_graph::GraphBuilder::new();
+        b.add_edge_named("s", "x", "h");
+        b.add_edge_named("h", "x", "t");
+        let g = b.build();
+        let order = compute_order(&g, OrderingStrategy::InOutDegree);
+        let mut index = RlcIndex::empty(2, order);
+        let x = g.labels().resolve("x").unwrap();
+        let mr = index.catalog.intern(&[x]);
+        let s = g.vertex_id("s").unwrap();
+        let h = g.vertex_id("h").unwrap();
+        let t = g.vertex_id("t").unwrap();
+        index.lout[s as usize].push(IndexEntry { hub: h, mr });
+        index.lin[t as usize].push(IndexEntry { hub: h, mr });
+        assert!(index.query_interned(s, t, mr));
+        // A different constraint through the same hub must not match.
+        let other = index.catalog.intern(&[Label(9)]);
+        assert!(!index.query_interned(s, t, other));
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_queries() {
+        let g = fig2_graph();
+        let (index, _) = crate::build::build_index(&g, &crate::build::BuildConfig::new(2));
+        let bytes = index.to_bytes();
+        let back = RlcIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.k(), index.k());
+        assert_eq!(back.entry_count(), index.entry_count());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                for (_, seq) in index.catalog().iter() {
+                    let q = RlcQuery::new(s, t, seq.to_vec()).unwrap();
+                    assert_eq!(index.query(&q), back.query(&q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(RlcIndex::from_bytes(&[1, 2, 3]).is_err());
+        let mut blob = tiny_index().to_bytes();
+        blob[0] ^= 0xFF;
+        assert!(RlcIndex::from_bytes(&blob).is_err());
+        let blob = tiny_index().to_bytes();
+        assert!(RlcIndex::from_bytes(&blob[..blob.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn stats_reflect_entries() {
+        let index = tiny_index();
+        let stats = index.stats();
+        assert_eq!(stats.lin_entries, 1);
+        assert_eq!(stats.lout_entries, 0);
+        assert_eq!(stats.total_entries(), 1);
+        assert_eq!(stats.distinct_mrs, 1);
+        assert!(stats.memory_bytes > 0);
+        assert!(stats.memory_megabytes() > 0.0);
+        assert_eq!(stats.max_entries_per_vertex, 1);
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let g = fig2_graph();
+        let (index, _) = crate::build::build_index(&g, &crate::build::BuildConfig::new(2));
+        let text = index.describe(&g);
+        assert!(text.contains("v1"));
+        assert!(text.contains("Lout"));
+    }
+}

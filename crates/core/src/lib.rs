@@ -1,0 +1,60 @@
+//! # rlc-core
+//!
+//! The **RLC index**: a reachability index for *recursive label-concatenated*
+//! graph queries, reproducing
+//! "A Reachability Index for Recursive Label-Concatenated Graph Queries"
+//! (Zhang, Bonifati, Kapp, Haprian, Lozi — ICDE 2023).
+//!
+//! An RLC query `(s, t, L+)` asks whether the graph contains a path from `s`
+//! to `t` whose sequence of edge labels is `L` repeated one or more times,
+//! where `L` is a sequence of at most `k` labels (`k` is fixed when the index
+//! is built). The index stores, per vertex, two small sets of
+//! `(hub, minimum-repeat)` entries; a query is answered by a merge join over
+//! the source's out-set and the target's in-set.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rlc_graph::examples::fig1_graph;
+//! use rlc_core::{RlcIndex, RlcQuery};
+//!
+//! let graph = fig1_graph();
+//! let index = RlcIndex::build(&graph, 2);
+//! // Does money flow from account A14 to A19 through a chain of
+//! // debit/credit transactions?
+//! let q = RlcQuery::from_names(&graph, "A14", "A19", &["debits", "credits"]).unwrap();
+//! assert!(index.query(&q));
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`repeats`] | §III-A, §IV | minimum repeats, kernels, Theorem 1 |
+//! | [`query`] | §III-B | the `RlcQuery` type and its validity rules |
+//! | [`index`] | §V-A | the index structure and Algorithm 1 (query) |
+//! | [`build`] | §IV, §V-B | Algorithm 2 (indexing), pruning rules PR1–PR3 |
+//! | [`order`] | §V-B | vertex orderings (IN-OUT and ablation alternatives) |
+//! | [`catalog`] | §V-C | interning of minimum repeats |
+//! | [`hybrid`] | §VI-C | extended `a+ ∘ b+` queries (index + traversal) |
+//! | [`verify`] | Theorems 2 & 3 | operational soundness/completeness checking |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod build;
+pub mod catalog;
+pub mod hybrid;
+pub mod index;
+pub mod order;
+pub mod query;
+pub mod repeats;
+pub mod verify;
+
+pub use build::{build_index, BuildConfig, BuildStats, KbsStrategy};
+pub use catalog::{MrCatalog, MrId};
+pub use hybrid::{evaluate_hybrid, ConcatQuery, ConcatQueryError};
+pub use index::{IndexEntry, IndexStats, RlcIndex};
+pub use order::{compute_order, OrderingStrategy, VertexOrder};
+pub use query::{QueryError, RlcQuery};
+pub use verify::{verify_index, Mismatch, VerificationMode, VerificationReport};

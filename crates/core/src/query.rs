@@ -1,0 +1,189 @@
+//! RLC query types (Definition 1).
+
+use crate::repeats::{is_minimum_repeat, minimum_repeat};
+use rlc_graph::{Label, LabeledGraph, VertexId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A recursive label-concatenated reachability query `(s, t, L+)`:
+/// does a path from `source` to `target` exist whose label sequence is one or
+/// more repetitions of `constraint`?
+///
+/// The constraint must be its own minimum repeat (Definition 1); use
+/// [`RlcQuery::new`] to have this checked, or [`RlcQuery::normalized`] to
+/// reduce an arbitrary sequence to its MR first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RlcQuery {
+    /// Source vertex `s`.
+    pub source: VertexId,
+    /// Target vertex `t`.
+    pub target: VertexId,
+    /// The label sequence `L` under the Kleene plus.
+    pub constraint: Vec<Label>,
+}
+
+/// Errors raised when constructing an [`RlcQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The constraint is empty; `ε+` selects nothing under Definition 1.
+    EmptyConstraint,
+    /// The constraint is not its own minimum repeat, e.g. `(a, a)+`.
+    ///
+    /// Such constraints additionally restrict the path length (the even-path
+    /// problem) and are outside the query class the index supports.
+    NotMinimumRepeat {
+        /// The offending constraint.
+        constraint: Vec<Label>,
+        /// Its minimum repeat, which would be the equivalent valid constraint
+        /// *without* the implicit length restriction.
+        minimum_repeat: Vec<Label>,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyConstraint => write!(f, "RLC constraint must not be empty"),
+            QueryError::NotMinimumRepeat {
+                constraint,
+                minimum_repeat,
+            } => write!(
+                f,
+                "RLC constraint {constraint:?} is not a minimum repeat (MR is {minimum_repeat:?}); \
+                 queries with L ≠ MR(L) impose a path-length constraint and are not supported"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl RlcQuery {
+    /// Creates a query, validating that the constraint is a non-empty minimum
+    /// repeat.
+    pub fn new(
+        source: VertexId,
+        target: VertexId,
+        constraint: Vec<Label>,
+    ) -> Result<Self, QueryError> {
+        if constraint.is_empty() {
+            return Err(QueryError::EmptyConstraint);
+        }
+        if !is_minimum_repeat(&constraint) {
+            let mr = minimum_repeat(&constraint).to_vec();
+            return Err(QueryError::NotMinimumRepeat {
+                constraint,
+                minimum_repeat: mr,
+            });
+        }
+        Ok(RlcQuery {
+            source,
+            target,
+            constraint,
+        })
+    }
+
+    /// Creates a query after replacing the constraint by its minimum repeat.
+    ///
+    /// Useful when the constraint comes from user input and the caller wants
+    /// the closest supported query rather than an error.
+    pub fn normalized(
+        source: VertexId,
+        target: VertexId,
+        constraint: &[Label],
+    ) -> Result<Self, QueryError> {
+        if constraint.is_empty() {
+            return Err(QueryError::EmptyConstraint);
+        }
+        Ok(RlcQuery {
+            source,
+            target,
+            constraint: minimum_repeat(constraint).to_vec(),
+        })
+    }
+
+    /// Builds a query from vertex names and label names resolved against a
+    /// graph, the ergonomic entry point used by the examples.
+    pub fn from_names(
+        graph: &LabeledGraph,
+        source: &str,
+        target: &str,
+        labels: &[&str],
+    ) -> Result<Self, String> {
+        let s = graph
+            .vertex_id(source)
+            .ok_or_else(|| format!("unknown vertex {source:?}"))?;
+        let t = graph
+            .vertex_id(target)
+            .ok_or_else(|| format!("unknown vertex {target:?}"))?;
+        let constraint: Vec<Label> = labels
+            .iter()
+            .map(|name| {
+                graph
+                    .labels()
+                    .resolve(name)
+                    .ok_or_else(|| format!("unknown label {name:?}"))
+            })
+            .collect::<Result<_, _>>()?;
+        RlcQuery::new(s, t, constraint).map_err(|e| e.to_string())
+    }
+
+    /// Number of labels in the constraint (must be at most the index's `k`).
+    pub fn constraint_len(&self) -> usize {
+        self.constraint.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_graph::examples::fig1_graph;
+
+    #[test]
+    fn valid_query_is_accepted() {
+        let q = RlcQuery::new(0, 1, vec![Label(0), Label(1)]).unwrap();
+        assert_eq!(q.constraint_len(), 2);
+    }
+
+    #[test]
+    fn empty_constraint_is_rejected() {
+        assert_eq!(
+            RlcQuery::new(0, 1, vec![]).unwrap_err(),
+            QueryError::EmptyConstraint
+        );
+    }
+
+    #[test]
+    fn non_mr_constraint_is_rejected_with_suggestion() {
+        let err = RlcQuery::new(0, 1, vec![Label(0), Label(0)]).unwrap_err();
+        match err {
+            QueryError::NotMinimumRepeat { minimum_repeat, .. } => {
+                assert_eq!(minimum_repeat, vec![Label(0)]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalized_reduces_to_mr() {
+        let q = RlcQuery::normalized(0, 1, &[Label(0), Label(1), Label(0), Label(1)]).unwrap();
+        assert_eq!(q.constraint, vec![Label(0), Label(1)]);
+    }
+
+    #[test]
+    fn from_names_resolves_against_graph() {
+        let g = fig1_graph();
+        let q = RlcQuery::from_names(&g, "A14", "A19", &["debits", "credits"]).unwrap();
+        assert_eq!(q.source, g.vertex_id("A14").unwrap());
+        assert_eq!(q.constraint_len(), 2);
+        assert!(RlcQuery::from_names(&g, "A14", "nope", &["debits"]).is_err());
+        assert!(RlcQuery::from_names(&g, "A14", "A19", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = RlcQuery::new(0, 1, vec![Label(2), Label(2)]).unwrap_err();
+        assert!(err.to_string().contains("not a minimum repeat"));
+        assert!(QueryError::EmptyConstraint.to_string().contains("empty"));
+    }
+}

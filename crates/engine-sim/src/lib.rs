@@ -1,0 +1,99 @@
+//! # rlc-engine-sim
+//!
+//! Simulated mainstream graph engines, standing in for the three systems of
+//! the paper's Table V (two anonymized commercial engines and Virtuoso).
+//! None of those systems has an RLC-specific reachability index; they
+//! evaluate recursive property paths with generic machinery. The three
+//! archetypes implemented here cover the evaluation strategies those systems
+//! use:
+//!
+//! * [`InterpretedEngine`] — tuple-at-a-time interpretation of the query
+//!   automaton over a dictionary-encoded adjacency store (Sys1-like);
+//! * [`MaterializingEngine`] — breadth-wise evaluation that materializes the
+//!   full binding table of every expansion step before deduplicating
+//!   (Sys2-like);
+//! * [`TripleStoreEngine`] — a sorted SPO/POS triple store evaluating the
+//!   path by per-block transitive closure with index nested-loop joins
+//!   (Virtuoso-like).
+//!
+//! All three return exactly the same answers as the RLC index (they are
+//! correct evaluators); they are only slower, which is what Table V measures.
+//! See DESIGN.md ("Substitutions") for why this preserves the shape of the
+//! paper's comparison.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod interpreted;
+pub mod materializing;
+pub mod triple_store;
+
+use rlc_core::ConcatQuery;
+use rlc_graph::LabeledGraph;
+
+pub use interpreted::InterpretedEngine;
+pub use materializing::MaterializingEngine;
+pub use triple_store::TripleStoreEngine;
+
+/// A loaded graph engine able to evaluate recursive property-path
+/// reachability queries (RLC queries and concatenations of Kleene-plus
+/// blocks).
+pub trait GraphEngine {
+    /// Human-readable engine name, used in the Table V report.
+    fn name(&self) -> &str;
+
+    /// Evaluates a reachability query with a `B1+ ∘ … ∘ Bm+` constraint.
+    fn evaluate(&self, query: &ConcatQuery) -> bool;
+}
+
+/// Instantiates all three simulated engines loaded with `graph`.
+pub fn all_engines(graph: &LabeledGraph) -> Vec<Box<dyn GraphEngine>> {
+    vec![
+        Box::new(InterpretedEngine::load(graph)),
+        Box::new(MaterializingEngine::load(graph)),
+        Box::new(TripleStoreEngine::load(graph)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_baselines::bfs::bfs_concat_query;
+    use rlc_graph::examples::fig1_graph;
+    use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+
+    #[test]
+    fn all_engines_agree_with_online_oracle() {
+        let g = erdos_renyi(&SyntheticConfig::new(80, 3.0, 3, 4));
+        let engines = all_engines(&g);
+        let l0 = rlc_graph::Label(0);
+        let l1 = rlc_graph::Label(1);
+        for s in (0..g.vertex_count() as u32).step_by(9) {
+            for t in (0..g.vertex_count() as u32).step_by(11) {
+                for blocks in [vec![vec![l0]], vec![vec![l0, l1]], vec![vec![l0], vec![l1]]] {
+                    let q = ConcatQuery::new(s, t, blocks);
+                    let expected = bfs_concat_query(&g, &q);
+                    for engine in &engines {
+                        assert_eq!(
+                            engine.evaluate(&q),
+                            expected,
+                            "engine {} disagrees on ({s},{t})",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_have_distinct_names() {
+        let g = fig1_graph();
+        let engines = all_engines(&g);
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"Sys1 (interpreted)"));
+        assert!(names.contains(&"Sys2 (materializing)"));
+        assert!(names.contains(&"Virtuoso-like (triple store)"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Incremental construction of [`LabeledGraph`] instances.
+
+use crate::graph::{Edge, LabeledGraph, VertexId};
+use crate::label::{Label, LabelInterner};
+use std::collections::HashMap;
+
+/// Builder for [`LabeledGraph`].
+///
+/// Supports both *named* construction (vertices and labels given as strings,
+/// interned on first use) and *dense* construction (vertices given as `u32`
+/// ids, labels as [`Label`]), which is what the synthetic generators use.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    labels: LabelInterner,
+    vertex_names: Vec<String>,
+    vertex_lookup: HashMap<String, VertexId>,
+    /// Highest dense vertex id seen plus one (for id-based construction).
+    min_vertex_count: usize,
+    named: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder for a dense-id graph with `vertex_count` vertices and
+    /// `label_count` anonymous labels (`l0`…).
+    pub fn with_capacity(vertex_count: usize, label_count: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::new(),
+            labels: LabelInterner::anonymous(label_count),
+            vertex_names: Vec::new(),
+            vertex_lookup: HashMap::new(),
+            min_vertex_count: vertex_count,
+            named: false,
+        }
+    }
+
+    /// Ensures a vertex named `name` exists and returns its id.
+    pub fn add_vertex(&mut self, name: &str) -> VertexId {
+        self.named = true;
+        if let Some(&v) = self.vertex_lookup.get(name) {
+            return v;
+        }
+        let v = self.vertex_names.len() as VertexId;
+        self.vertex_names.push(name.to_owned());
+        self.vertex_lookup.insert(name.to_owned(), v);
+        if self.vertex_names.len() > self.min_vertex_count {
+            self.min_vertex_count = self.vertex_names.len();
+        }
+        v
+    }
+
+    /// Adds an edge between named vertices with a named label, interning all
+    /// three strings as needed. Returns the created edge.
+    pub fn add_edge_named(&mut self, source: &str, label: &str, target: &str) -> Edge {
+        let s = self.add_vertex(source);
+        let t = self.add_vertex(target);
+        let l = self.labels.intern(label);
+        let e = Edge::new(s, l, t);
+        self.edges.push(e);
+        e
+    }
+
+    /// Adds an edge between dense vertex ids with an already-known label.
+    pub fn add_edge(&mut self, source: VertexId, label: Label, target: VertexId) {
+        let needed = (source.max(target) as usize) + 1;
+        if needed > self.min_vertex_count {
+            self.min_vertex_count = needed;
+        }
+        debug_assert!(
+            label.index() < self.labels.len().max(label.index() + 1),
+            "label must be interned before use"
+        );
+        self.edges.push(Edge::new(source, label, target));
+    }
+
+    /// Interns a label name, returning its id.
+    pub fn intern_label(&mut self, name: &str) -> Label {
+        self.labels.intern(name)
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn vertex_count(&self) -> usize {
+        self.min_vertex_count
+    }
+
+    /// Finalizes the builder into an immutable [`LabeledGraph`].
+    pub fn build(self) -> LabeledGraph {
+        let names = if self.named {
+            Some(self.vertex_names)
+        } else {
+            None
+        };
+        // Dense-id construction may reference labels never interned by name;
+        // make sure the interner covers the largest label index used.
+        let mut labels = self.labels;
+        let max_label = self
+            .edges
+            .iter()
+            .map(|e| e.label.index())
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        while labels.len() < max_label {
+            let next = labels.len();
+            labels.intern(&format!("l{next}"));
+        }
+        LabeledGraph::from_edges(self.min_vertex_count, &self.edges, labels, names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_construction_interns_vertices_once() {
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_vertex("a");
+        let v2 = b.add_vertex("a");
+        assert_eq!(v1, v2);
+        b.add_edge_named("a", "x", "b");
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.vertex_id("a"), Some(v1));
+    }
+
+    #[test]
+    fn dense_construction_expands_vertex_count() {
+        let mut b = GraphBuilder::with_capacity(3, 2);
+        b.add_edge(0, Label(0), 1);
+        b.add_edge(1, Label(1), 7);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.label_count(), 2);
+        assert!(g.vertex_name(0).is_none());
+    }
+
+    #[test]
+    fn dense_construction_grows_label_space_when_needed() {
+        let mut b = GraphBuilder::with_capacity(2, 1);
+        b.add_edge(0, Label(4), 1);
+        let g = b.build();
+        assert_eq!(g.label_count(), 5);
+    }
+
+    #[test]
+    fn isolated_vertices_survive_build() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex("lonely");
+        b.add_edge_named("a", "x", "b");
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 3);
+        let lonely = g.vertex_id("lonely").unwrap();
+        assert_eq!(g.out_degree(lonely), 0);
+        assert_eq!(g.in_degree(lonely), 0);
+    }
+
+    #[test]
+    fn with_capacity_keeps_declared_vertex_count() {
+        let b = GraphBuilder::with_capacity(10, 3);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.label_count(), 3);
+    }
+}

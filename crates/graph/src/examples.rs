@@ -1,0 +1,135 @@
+//! The two illustrative graphs of the paper, used across tests and examples.
+//!
+//! * [`fig1_graph`] — the interleaved social / professional / financial
+//!   network of Fig. 1 (persons, accounts and transaction events with the
+//!   labels `knows`, `worksFor`, `holds`, `debits`, `credits`);
+//! * [`fig2_graph`] — the six-vertex, three-label graph of Fig. 2 used as the
+//!   running example for the RLC index (Table II).
+
+use crate::builder::GraphBuilder;
+use crate::graph::LabeledGraph;
+
+/// Builds the social/professional/financial network of the paper's Fig. 1.
+///
+/// The graph is reconstructed from the paper's textual description: it
+/// contains the fraud-detection path
+/// `A14 -debits-> E15 -credits-> A17 -debits-> E18 -credits-> A19`
+/// (so `Q1(A14, A19, (debits, credits)+)` is true), no path from `P10` to
+/// `P13` matching `(knows, knows, worksFor)+` (so `Q2` is false), a
+/// `knows`-cycle between `P11` and `P12`, and both a length-3 and a length-4
+/// all-`knows` path from `P10` to `P16`.
+pub fn fig1_graph() -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    // Social / professional layer.
+    b.add_edge_named("P10", "knows", "P11");
+    b.add_edge_named("P11", "knows", "P12");
+    b.add_edge_named("P12", "knows", "P11");
+    b.add_edge_named("P11", "worksFor", "P12");
+    b.add_edge_named("P12", "knows", "P13");
+    b.add_edge_named("P12", "knows", "P16");
+    b.add_edge_named("P13", "knows", "P16");
+    b.add_edge_named("P13", "worksFor", "P16");
+    // Account ownership.
+    b.add_edge_named("P11", "holds", "A14");
+    b.add_edge_named("P16", "holds", "A19");
+    // Financial transaction layer.
+    b.add_edge_named("A14", "debits", "E15");
+    b.add_edge_named("E15", "credits", "A17");
+    b.add_edge_named("A17", "debits", "E18");
+    b.add_edge_named("E18", "credits", "A19");
+    b.build()
+}
+
+/// Builds the running-example graph of the paper's Fig. 2 (vertices `v1`–`v6`,
+/// labels `l1`–`l3`).
+///
+/// The edge set is reconstructed from the worked examples in the paper
+/// (Examples 4–6 and Table II): it contains exactly the paths those examples
+/// rely on, and the IN-OUT ordering of its vertices is
+/// `(v1, v3, v2, v4, v5, v6)` as stated in §V-B.
+pub fn fig2_graph() -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    // Intern vertices in id order v1..v6 so that dense ids match the paper.
+    for v in ["v1", "v2", "v3", "v4", "v5", "v6"] {
+        b.add_vertex(v);
+    }
+    b.add_edge_named("v1", "l1", "v2");
+    b.add_edge_named("v1", "l2", "v3");
+    b.add_edge_named("v2", "l1", "v5");
+    b.add_edge_named("v2", "l2", "v5");
+    b.add_edge_named("v3", "l1", "v2");
+    b.add_edge_named("v3", "l1", "v6");
+    b.add_edge_named("v3", "l2", "v1");
+    b.add_edge_named("v3", "l2", "v4");
+    b.add_edge_named("v4", "l1", "v1");
+    b.add_edge_named("v4", "l3", "v6");
+    b.add_edge_named("v5", "l1", "v1");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_contains_fraud_path() {
+        let g = fig1_graph();
+        assert_eq!(g.label_count(), 5);
+        let debits = g.labels().resolve("debits").unwrap();
+        let credits = g.labels().resolve("credits").unwrap();
+        let a14 = g.vertex_id("A14").unwrap();
+        let e15 = g.vertex_id("E15").unwrap();
+        let a17 = g.vertex_id("A17").unwrap();
+        let e18 = g.vertex_id("E18").unwrap();
+        let a19 = g.vertex_id("A19").unwrap();
+        assert!(g.has_edge(a14, debits, e15));
+        assert!(g.has_edge(e15, credits, a17));
+        assert!(g.has_edge(a17, debits, e18));
+        assert!(g.has_edge(e18, credits, a19));
+    }
+
+    #[test]
+    fn fig1_has_knows_cycle() {
+        let g = fig1_graph();
+        let knows = g.labels().resolve("knows").unwrap();
+        let p11 = g.vertex_id("P11").unwrap();
+        let p12 = g.vertex_id("P12").unwrap();
+        assert!(g.has_edge(p11, knows, p12));
+        assert!(g.has_edge(p12, knows, p11));
+    }
+
+    #[test]
+    fn fig2_shape_matches_paper() {
+        let g = fig2_graph();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 11);
+        assert_eq!(g.label_count(), 3);
+        // The path of Example 4: v3 -l2-> v4 -l1-> v1 -l2-> v3 -l1-> v6.
+        let l1 = g.labels().resolve("l1").unwrap();
+        let l2 = g.labels().resolve("l2").unwrap();
+        let v1 = g.vertex_id("v1").unwrap();
+        let v3 = g.vertex_id("v3").unwrap();
+        let v4 = g.vertex_id("v4").unwrap();
+        let v6 = g.vertex_id("v6").unwrap();
+        assert!(g.has_edge(v3, l2, v4));
+        assert!(g.has_edge(v4, l1, v1));
+        assert!(g.has_edge(v1, l2, v3));
+        assert!(g.has_edge(v3, l1, v6));
+    }
+
+    #[test]
+    fn fig2_in_out_ordering_matches_paper() {
+        // The paper states the IN-OUT order (descending (|out|+1)(|in|+1)) is
+        // (v1, v3, v2, v4, v5, v6).
+        let g = fig2_graph();
+        let score = |name: &str| {
+            let v = g.vertex_id(name).unwrap();
+            (g.out_degree(v) + 1) * (g.in_degree(v) + 1)
+        };
+        assert!(score("v1") > score("v3"));
+        assert!(score("v3") > score("v2"));
+        assert!(score("v2") > score("v4"));
+        assert!(score("v4") >= score("v5"));
+        assert!(score("v5") > score("v6"));
+    }
+}

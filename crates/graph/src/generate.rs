@@ -1,0 +1,312 @@
+//! Synthetic graph generators used by the experimental evaluation (§VI-B).
+//!
+//! The paper evaluates the RLC index on Erdős–Rényi (ER) and Barabási–Albert
+//! (BA) graphs generated with JGraphT, with edge labels drawn from a Zipfian
+//! distribution with exponent 2 (the same scheme it applies to real-world
+//! graphs that lack labels). This module reproduces those generators:
+//!
+//! * [`erdos_renyi`] — `G(n, m)`-style directed ER graph with a target
+//!   average out-degree (uniform degree distribution);
+//! * [`barabasi_albert`] — preferential-attachment graph containing an
+//!   initial complete core (skewed degree distribution), directed by emitting
+//!   each attachment edge in both orientations' random choice;
+//! * [`zipfian_labels`] — label assignment with `P(l_i) ∝ 1 / i^2`.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::Zipf;
+
+/// Configuration of a synthetic graph: number of vertices, average degree
+/// (edges per vertex), number of distinct labels, Zipf exponent and seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of vertices `|V|`.
+    pub vertices: usize,
+    /// Average out-degree `d = |E| / |V|`.
+    pub avg_degree: f64,
+    /// Number of distinct edge labels `|L|`.
+    pub labels: usize,
+    /// Zipf exponent for label assignment (the paper uses 2.0).
+    pub zipf_exponent: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Convenience constructor matching the paper's defaults (Zipf exponent 2).
+    pub fn new(vertices: usize, avg_degree: f64, labels: usize, seed: u64) -> Self {
+        SyntheticConfig {
+            vertices,
+            avg_degree,
+            labels,
+            zipf_exponent: 2.0,
+            seed,
+        }
+    }
+
+    /// Total number of edges implied by the configuration.
+    pub fn edge_count(&self) -> usize {
+        (self.vertices as f64 * self.avg_degree).round() as usize
+    }
+}
+
+/// Generates a directed Erdős–Rényi-style graph with `config.vertices`
+/// vertices and `vertices * avg_degree` uniformly random directed edges, then
+/// assigns Zipfian labels.
+///
+/// Self loops are excluded (matching JGraphT's `GnmRandomGraphGenerator`
+/// defaults used by the paper); parallel edges may occur with negligible
+/// probability and are kept.
+pub fn erdos_renyi(config: &SyntheticConfig) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.vertices;
+    let m = config.edge_count();
+    let mut builder = GraphBuilder::with_capacity(n, config.labels);
+    let labels = zipfian_labels(m, config.labels, config.zipf_exponent, &mut rng);
+    let mut emitted = 0usize;
+    while emitted < m {
+        let s = rng.gen_range(0..n) as VertexId;
+        let t = rng.gen_range(0..n) as VertexId;
+        if s == t && n > 1 {
+            continue;
+        }
+        builder.add_edge(s, labels[emitted], t);
+        emitted += 1;
+    }
+    builder.build()
+}
+
+/// Generates a directed Barabási–Albert graph: an initial complete directed
+/// core of `m0 = ceil(avg_degree) + 1` vertices, then every new vertex
+/// attaches `m = round(avg_degree)` out-edges to existing vertices chosen
+/// with probability proportional to their current degree. Labels are Zipfian.
+///
+/// The resulting degree distribution is heavily skewed and the core is a
+/// complete subgraph — the two properties the paper's analysis of BA-graphs
+/// relies on (§VI-B).
+pub fn barabasi_albert(config: &SyntheticConfig) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.vertices;
+    let m_attach = config.avg_degree.round().max(1.0) as usize;
+    let m0 = (m_attach + 1).min(n.max(1));
+    let mut builder = GraphBuilder::with_capacity(n, config.labels);
+
+    // Repeated-endpoint list implements preferential attachment in O(1) per
+    // sample: each edge endpoint is pushed once, so sampling uniformly from
+    // the list is degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    let mut edge_labels: Vec<Label> = Vec::new();
+    let take_label = |rng: &mut StdRng, edge_labels: &mut Vec<Label>| {
+        if edge_labels.is_empty() {
+            *edge_labels = zipfian_labels(4096, config.labels, config.zipf_exponent, rng);
+        }
+        edge_labels.pop().expect("label buffer refilled above")
+    };
+
+    // Complete directed core (every ordered pair, no self loops).
+    for i in 0..m0 {
+        for j in 0..m0 {
+            if i == j {
+                continue;
+            }
+            let l = take_label(&mut rng, &mut edge_labels);
+            builder.add_edge(i as VertexId, l, j as VertexId);
+            endpoints.push(i as VertexId);
+            endpoints.push(j as VertexId);
+        }
+    }
+
+    for v in m0..n {
+        for _ in 0..m_attach {
+            // Resample degree-proportionally until the endpoint differs from
+            // the new vertex, so the generator never emits self loops (loop
+            // injection, when wanted, is a separate explicit step).
+            let mut target = v as VertexId;
+            for _ in 0..16 {
+                let candidate = if endpoints.is_empty() {
+                    rng.gen_range(0..v) as VertexId
+                } else {
+                    endpoints[rng.gen_range(0..endpoints.len())]
+                };
+                if candidate != v as VertexId {
+                    target = candidate;
+                    break;
+                }
+            }
+            if target == v as VertexId {
+                target = rng.gen_range(0..v) as VertexId;
+            }
+            let l = take_label(&mut rng, &mut edge_labels);
+            // Orient half of the attachment edges towards the new vertex so
+            // that both in- and out-reachability grow, as in a directed BA
+            // construction.
+            if rng.gen_bool(0.5) {
+                builder.add_edge(v as VertexId, l, target);
+            } else {
+                builder.add_edge(target, l, v as VertexId);
+            }
+            endpoints.push(v as VertexId);
+            endpoints.push(target);
+        }
+    }
+    builder.build()
+}
+
+/// Draws `count` labels from a Zipfian distribution over `label_count`
+/// labels with the given exponent: label `l_i` (1-based rank `i`) has
+/// probability proportional to `1 / i^exponent`.
+pub fn zipfian_labels<R: Rng>(
+    count: usize,
+    label_count: usize,
+    exponent: f64,
+    rng: &mut R,
+) -> Vec<Label> {
+    assert!(label_count > 0, "need at least one label");
+    if label_count == 1 {
+        return vec![Label(0); count];
+    }
+    let zipf = Zipf::new(label_count as u64, exponent).expect("valid Zipf parameters");
+    (0..count)
+        .map(|_| {
+            let rank = zipf.sample(rng) as usize; // 1-based rank
+            Label::from_index(rank - 1)
+        })
+        .collect()
+}
+
+/// Relabels an existing graph with Zipfian labels, keeping its structure.
+///
+/// This mirrors the paper's treatment of real-world graphs that come without
+/// edge labels (the "Synthetic Labels" column of Table III).
+pub fn assign_zipfian_labels(
+    graph: &LabeledGraph,
+    label_count: usize,
+    exponent: f64,
+    seed: u64,
+) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = zipfian_labels(graph.edge_count(), label_count, exponent, &mut rng);
+    let mut builder = GraphBuilder::with_capacity(graph.vertex_count(), label_count);
+    for (i, e) in graph.edges().enumerate() {
+        builder.add_edge(e.source, labels[i], e.target);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn er_graph_matches_requested_size() {
+        let cfg = SyntheticConfig::new(500, 3.0, 8, 42);
+        let g = erdos_renyi(&cfg);
+        assert_eq!(g.vertex_count(), 500);
+        assert_eq!(g.edge_count(), 1500);
+        assert_eq!(g.label_count(), 8);
+    }
+
+    #[test]
+    fn er_graph_is_reproducible_for_same_seed() {
+        let cfg = SyntheticConfig::new(200, 2.0, 4, 7);
+        let g1 = erdos_renyi(&cfg);
+        let g2 = erdos_renyi(&cfg);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn er_graph_differs_across_seeds() {
+        let a = erdos_renyi(&SyntheticConfig::new(200, 2.0, 4, 1));
+        let b = erdos_renyi(&SyntheticConfig::new(200, 2.0, 4, 2));
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn er_graph_has_no_self_loops() {
+        let g = erdos_renyi(&SyntheticConfig::new(300, 4.0, 8, 3));
+        assert!(g.edges().all(|e| e.source != e.target));
+    }
+
+    #[test]
+    fn ba_graph_has_expected_scale_and_skew() {
+        let cfg = SyntheticConfig::new(1000, 4.0, 8, 11);
+        let g = barabasi_albert(&cfg);
+        assert_eq!(g.vertex_count(), 1000);
+        // Core edges + (n - m0) * m edges.
+        assert!(g.edge_count() >= 1000 * 4 - 100);
+        // Degree skew: the maximum total degree should far exceed the average.
+        let max_deg = g
+            .vertices()
+            .map(|v| g.out_degree(v) + g.in_degree(v))
+            .max()
+            .unwrap();
+        let avg_deg = 2.0 * g.edge_count() as f64 / g.vertex_count() as f64;
+        assert!(
+            max_deg as f64 > 4.0 * avg_deg,
+            "BA graph should have a heavy-tailed degree distribution (max {max_deg}, avg {avg_deg})"
+        );
+    }
+
+    #[test]
+    fn ba_graph_contains_complete_core() {
+        let cfg = SyntheticConfig::new(50, 3.0, 4, 5);
+        let g = barabasi_albert(&cfg);
+        let m0 = 4;
+        for i in 0..m0 {
+            for j in 0..m0 {
+                if i != j {
+                    let has = g
+                        .out_edges(i as VertexId)
+                        .iter()
+                        .any(|(t, _)| t == j as VertexId);
+                    assert!(has, "core edge {i}->{j} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_labels_are_skewed_towards_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let labels = zipfian_labels(20_000, 8, 2.0, &mut rng);
+        let mut counts = [0usize; 8];
+        for l in &labels {
+            counts[l.index()] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        // Rank-1 label should dominate: for exponent 2 over 8 labels its mass
+        // is ~0.645.
+        assert!(counts[0] as f64 > 0.55 * labels.len() as f64);
+        let distinct: HashSet<_> = labels.iter().collect();
+        assert!(distinct.len() >= 4, "tail labels should still appear");
+    }
+
+    #[test]
+    fn zipfian_single_label_degenerates_gracefully() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels = zipfian_labels(10, 1, 2.0, &mut rng);
+        assert!(labels.iter().all(|l| *l == Label(0)));
+    }
+
+    #[test]
+    fn relabeling_preserves_structure() {
+        let cfg = SyntheticConfig::new(100, 3.0, 2, 9);
+        let g = erdos_renyi(&cfg);
+        let relabeled = assign_zipfian_labels(&g, 16, 2.0, 77);
+        assert_eq!(relabeled.vertex_count(), g.vertex_count());
+        assert_eq!(relabeled.edge_count(), g.edge_count());
+        assert_eq!(relabeled.label_count(), 16);
+        let structural_a: Vec<_> = g.edges().map(|e| (e.source, e.target)).collect();
+        let structural_b: Vec<_> = relabeled.edges().map(|e| (e.source, e.target)).collect();
+        assert_eq!(structural_a, structural_b);
+    }
+}

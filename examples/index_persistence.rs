@@ -1,0 +1,50 @@
+//! Persisting and reloading an RLC index.
+//!
+//! Building the index is the expensive part (Table IV); production use
+//! builds it offline, stores it next to the graph, and memory-maps or loads
+//! it at query time. This example shows the binary round trip and verifies
+//! that the reloaded index answers exactly like the original.
+//!
+//! Run with: `cargo run --release --example index_persistence`
+
+use rlc::prelude::*;
+use rlc::workloads::datasets::dataset_by_code;
+
+fn main() {
+    // A scaled-down stand-in of the paper's Web-NotreDame graph.
+    let spec = dataset_by_code("WN").expect("WN is in the catalog");
+    let graph = spec.generate(1.0 / 256.0, 7);
+    println!(
+        "WN stand-in: {} vertices, {} edges, {} labels",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+
+    let (index, stats) = build_index(&graph, &BuildConfig::new(2));
+    println!(
+        "built index in {:.2?} with {} entries",
+        stats.duration,
+        index.entry_count()
+    );
+
+    // Serialize to a compact binary blob and write it to a temporary file.
+    let blob = index.to_bytes();
+    let path = std::env::temp_dir().join("wn-standin.rlc");
+    std::fs::write(&path, &blob).expect("write index blob");
+    println!("wrote {} bytes to {}", blob.len(), path.display());
+
+    // Reload and verify on a verified workload.
+    let restored = rlc::index::RlcIndex::from_bytes(&std::fs::read(&path).expect("read blob"))
+        .expect("valid index blob");
+    let queries = generate_query_set(&graph, &QueryGenConfig::small(100, 100, 2, 3));
+    for (q, expected) in queries.iter() {
+        assert_eq!(restored.query(q), expected);
+        assert_eq!(restored.query(q), index.query(q));
+    }
+    println!(
+        "reloaded index answers all {} verified queries identically",
+        queries.len()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a small edge-labeled graph, build the RLC index, and
+//! answer recursive label-concatenated reachability queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rlc::prelude::*;
+
+fn main() {
+    // The running-example graph of the paper (Fig. 2): six vertices, three
+    // labels. You can also build your own with `GraphBuilder`.
+    let graph = rlc::graph::examples::fig2_graph();
+    println!(
+        "graph: {} vertices, {} edges, {} labels",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+
+    // Build the RLC index with recursive k = 2: it will answer any query
+    // whose constraint has at most 2 labels.
+    let index = RlcIndex::build(&graph, 2);
+    let stats = index.stats();
+    println!(
+        "index: {} entries ({} Lin + {} Lout), {} distinct minimum repeats",
+        stats.total_entries(),
+        stats.lin_entries,
+        stats.lout_entries,
+        stats.distinct_mrs
+    );
+
+    // The three example queries of the paper (Example 4).
+    let q1 = RlcQuery::from_names(&graph, "v3", "v6", &["l2", "l1"]).unwrap();
+    let q2 = RlcQuery::from_names(&graph, "v1", "v2", &["l2", "l1"]).unwrap();
+    let q3 = RlcQuery::from_names(&graph, "v1", "v3", &["l1"]).unwrap();
+    println!("Q1(v3, v6, (l2,l1)+) = {}", index.query(&q1)); // true
+    println!("Q2(v1, v2, (l2,l1)+) = {}", index.query(&q2)); // true
+    println!("Q3(v1, v3, (l1)+)    = {}", index.query(&q3)); // false
+
+    // Kleene-star queries reduce to the plus variant plus an equality check.
+    let star = RlcQuery::from_names(&graph, "v4", "v4", &["l3"]).unwrap();
+    println!("Q4(v4, v4, (l3)*)    = {}", index.query_star(&star)); // true (empty path)
+
+    // The full index content, with vertex and label names resolved.
+    println!("\nindex entries:\n{}", index.describe(&graph));
+}

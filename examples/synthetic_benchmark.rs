@@ -1,0 +1,68 @@
+//! End-to-end benchmark on a synthetic social-network-like graph: generate a
+//! Barabási–Albert graph, build the RLC index, generate a verified query
+//! workload, and compare the index against online traversals — a miniature
+//! version of the paper's Fig. 3 experiment.
+//!
+//! Run with: `cargo run --release --example synthetic_benchmark`
+
+use rlc::graph::generate::{barabasi_albert, SyntheticConfig};
+use rlc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A 50K-vertex preferential-attachment graph with 8 Zipfian labels —
+    // about the shape of the paper's smaller real-world datasets.
+    let config = SyntheticConfig::new(50_000, 4.0, 8, 42);
+    let graph = barabasi_albert(&config);
+    println!(
+        "generated BA graph: {} vertices, {} edges, {} labels",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+
+    // Build the index (recursive k = 2, the practical value observed in
+    // real-world query logs).
+    let (index, build_stats) = build_index(&graph, &BuildConfig::new(2));
+    println!(
+        "built RLC index in {:.2?}: {} entries, {:.1} MB ({} attempts pruned by PR1/PR2)",
+        build_stats.duration,
+        index.entry_count(),
+        index.stats().memory_megabytes(),
+        build_stats.pruned_pr1 + build_stats.pruned_pr2,
+    );
+
+    // A verified workload of 200 true and 200 false queries with 2-label
+    // constraints (the paper uses 1000 + 1000).
+    let queries = generate_query_set(&graph, &QueryGenConfig::small(200, 200, 2, 7));
+    println!("generated {} verified queries", queries.len());
+
+    // Evaluate with the index.
+    let start = Instant::now();
+    let mut index_hits = 0usize;
+    for (q, expected) in queries.iter() {
+        let got = index.query(q);
+        assert_eq!(got, expected);
+        index_hits += got as usize;
+    }
+    let index_time = start.elapsed();
+
+    // Evaluate with bidirectional online search (the strongest online
+    // baseline of the paper).
+    let start = Instant::now();
+    let mut bibfs_hits = 0usize;
+    for (q, expected) in queries.iter() {
+        let got = bibfs_query(&graph, q);
+        assert_eq!(got, expected);
+        bibfs_hits += got as usize;
+    }
+    let bibfs_time = start.elapsed();
+    assert_eq!(index_hits, bibfs_hits);
+
+    println!("RLC index : {index_time:.2?} for {} queries", queries.len());
+    println!("BiBFS     : {bibfs_time:.2?} for {} queries", queries.len());
+    println!(
+        "speed-up  : {:.0}x",
+        bibfs_time.as_secs_f64() / index_time.as_secs_f64().max(1e-9)
+    );
+}

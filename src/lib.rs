@@ -1,0 +1,50 @@
+//! # rlc
+//!
+//! Facade crate of the RLC index reproduction ("A Reachability Index for
+//! Recursive Label-Concatenated Graph Queries", ICDE 2023). It re-exports the
+//! public API of the workspace crates so downstream users can depend on a
+//! single crate:
+//!
+//! * [`graph`] — edge-labeled graph substrate, generators, statistics, I/O;
+//! * [`index`] — the RLC index, its builder, queries and hybrid evaluation;
+//! * [`baselines`] — online traversals (BFS, BiBFS, DFS) and the extended
+//!   transitive closure;
+//! * [`workloads`] — query-set generation and the Table III dataset catalog;
+//! * [`engines`] — the simulated graph engines used as Table V comparators.
+//!
+//! ```
+//! use rlc::prelude::*;
+//!
+//! let graph = rlc::graph::examples::fig1_graph();
+//! let index = RlcIndex::build(&graph, 2);
+//! let query = RlcQuery::from_names(&graph, "A14", "A19", &["debits", "credits"]).unwrap();
+//! assert!(index.query(&query));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Edge-labeled graph substrate (re-export of [`rlc_graph`]).
+pub use rlc_graph as graph;
+
+/// The RLC index (re-export of [`rlc_core`]).
+pub use rlc_core as index;
+
+/// Baseline evaluators (re-export of [`rlc_baselines`]).
+pub use rlc_baselines as baselines;
+
+/// Workload and dataset generation (re-export of [`rlc_workloads`]).
+pub use rlc_workloads as workloads;
+
+/// Simulated graph engines (re-export of [`rlc_engine_sim`]).
+pub use rlc_engine_sim as engines;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use rlc_baselines::{bfs_query, bibfs_query, EtcBuildConfig, EtcIndex};
+    pub use rlc_core::{
+        build_index, evaluate_hybrid, BuildConfig, ConcatQuery, RlcIndex, RlcQuery,
+    };
+    pub use rlc_graph::{GraphBuilder, Label, LabeledGraph, VertexId};
+    pub use rlc_workloads::{generate_query_set, QueryGenConfig};
+}

@@ -1,0 +1,143 @@
+//! Integration tests tying the implementation back to the worked examples of
+//! the paper: Example 1 (Fig. 1), Examples 2–6 (Fig. 2, Table II), and the
+//! definitions of §III.
+
+use rlc::graph::examples::{fig1_graph, fig2_graph};
+use rlc::index::repeats::{kernel_tail, minimum_repeat};
+use rlc::prelude::*;
+
+#[test]
+fn example1_fraud_queries_on_fig1() {
+    let graph = fig1_graph();
+    let index = RlcIndex::build(&graph, 3);
+
+    // Q1(A14, A19, (debits, credits)+) is true thanks to the path
+    // A14 -debits-> E15 -credits-> A17 -debits-> E18 -credits-> A19.
+    let q1 = RlcQuery::from_names(&graph, "A14", "A19", &["debits", "credits"]).unwrap();
+    assert!(index.query(&q1));
+
+    // Q2(P10, P13, (knows, knows, worksFor)+) is false.
+    let q2 = RlcQuery::from_names(&graph, "P10", "P13", &["knows", "knows", "worksFor"]).unwrap();
+    assert!(!index.query(&q2));
+}
+
+#[test]
+fn section3_concise_label_sequences_on_fig1() {
+    // §III-C: S2(P12, P16) = {(knows), (knows, worksFor)}.
+    let graph = fig1_graph();
+    let index = RlcIndex::build(&graph, 2);
+    let p12 = graph.vertex_id("P12").unwrap();
+    let p16 = graph.vertex_id("P16").unwrap();
+    let knows = graph.labels().resolve("knows").unwrap();
+    let works_for = graph.labels().resolve("worksFor").unwrap();
+    let holds = graph.labels().resolve("holds").unwrap();
+
+    assert!(index.reaches(p12, p16, &[knows]));
+    assert!(index.reaches(p12, p16, &[knows, works_for]));
+    assert!(!index.reaches(p12, p16, &[works_for]));
+    assert!(!index.reaches(p12, p16, &[holds]));
+    assert!(!index.reaches(p12, p16, &[works_for, knows]));
+}
+
+#[test]
+fn section3_minimum_repeat_of_fig1_path() {
+    // §III-A: the path P10 -knows-> P11 -worksFor-> P12 -knows-> P13
+    // -worksFor-> P16 has MR (knows, worksFor).
+    let graph = fig1_graph();
+    let knows = graph.labels().resolve("knows").unwrap();
+    let works_for = graph.labels().resolve("worksFor").unwrap();
+    let seq = vec![knows, works_for, knows, works_for];
+    assert_eq!(minimum_repeat(&seq), &[knows, works_for][..]);
+}
+
+#[test]
+fn example2_kernel_of_knows_power() {
+    // §IV Example 2 / Definition 3: (knows, knows, knows, knows) has kernel
+    // (knows) and tail ε.
+    let graph = fig1_graph();
+    let knows = graph.labels().resolve("knows").unwrap();
+    let seq = vec![knows; 4];
+    let (kernel, tail) = kernel_tail(&seq).unwrap();
+    assert_eq!(kernel, &[knows][..]);
+    assert!(tail.is_empty());
+}
+
+#[test]
+fn example4_queries_on_fig2() {
+    let graph = fig2_graph();
+    let index = RlcIndex::build(&graph, 2);
+
+    let q1 = RlcQuery::from_names(&graph, "v3", "v6", &["l2", "l1"]).unwrap();
+    assert!(index.query(&q1), "Example 4: Q1(v3, v6, (l2,l1)+) is true");
+
+    let q2 = RlcQuery::from_names(&graph, "v1", "v2", &["l2", "l1"]).unwrap();
+    assert!(index.query(&q2), "Example 4: Q2(v1, v2, (l2,l1)+) is true");
+
+    let q3 = RlcQuery::from_names(&graph, "v1", "v3", &["l1"]).unwrap();
+    assert!(!index.query(&q3), "Example 4: Q3(v1, v3, (l1)+) is false");
+
+    // v1 does reach v3 (e.g. under (l2)+), only the (l1)+ constraint fails.
+    let reach = RlcQuery::from_names(&graph, "v1", "v3", &["l2"]).unwrap();
+    assert!(index.query(&reach));
+}
+
+#[test]
+fn table2_entry_content_is_reflected_in_queries() {
+    // Spot-check reachability facts that Table II's entries encode.
+    let graph = fig2_graph();
+    let index = RlcIndex::build(&graph, 2);
+    let queries_true = [
+        ("v1", "v1", vec!["l2"]),       // (v1, l2) ∈ Lout(v1): l2-cycle at v1
+        ("v1", "v1", vec!["l1"]),       // l1-cycle through v2, v5
+        ("v1", "v1", vec!["l2", "l1"]), // (l2,l1)-cycle
+        ("v4", "v3", vec!["l1", "l2"]), // (v3,(l1,l2)) ∈ Lout(v4)
+        ("v5", "v3", vec!["l1", "l2"]), // (v3,(l1,l2)) ∈ Lout(v5)
+        ("v1", "v4", vec!["l2"]),       // (v1,l2) ∈ Lin(v4)
+        ("v1", "v5", vec!["l1", "l2"]), // (v1,(l1,l2)) ∈ Lin(v5)
+        ("v2", "v5", vec!["l2"]),       // (v2,l2) ∈ Lin(v5)
+        ("v3", "v6", vec!["l2", "l3"]), // (v3,(l2,l3)) ∈ Lin(v6)
+        ("v4", "v6", vec!["l3"]),       // (v4,l3) ∈ Lin(v6)
+        ("v3", "v3", vec!["l1", "l2"]), // (v3,(l1,l2)) ∈ Lout(v3)
+    ];
+    for (s, t, labels) in queries_true {
+        let q = RlcQuery::from_names(&graph, s, t, &labels.to_vec()).unwrap();
+        assert!(index.query(&q), "expected true: ({s}, {t}, {labels:?})");
+    }
+    let queries_false = [
+        ("v6", "v1", vec!["l1"]), // Lout(v6) is empty: v6 reaches nothing
+        ("v1", "v6", vec!["l3"]), // no l3-only path from v1
+        ("v2", "v4", vec!["l1"]), // no l1-only path v2 to v4
+        ("v5", "v2", vec!["l2"]), // no l2-only path v5 to v2
+    ];
+    for (s, t, labels) in queries_false {
+        let q = RlcQuery::from_names(&graph, s, t, &labels.to_vec()).unwrap();
+        assert!(!index.query(&q), "expected false: ({s}, {t}, {labels:?})");
+    }
+}
+
+#[test]
+fn fig2_index_size_matches_table2_ballpark_and_is_condensed() {
+    let graph = fig2_graph();
+    let index = RlcIndex::build(&graph, 2);
+    let entries = index.entry_count();
+    assert!(
+        (18..=26).contains(&entries),
+        "Table II has 22 entries; got {entries}"
+    );
+    assert!(index.is_condensed(), "Theorem 2: index must be condensed");
+    // Lin(v1) is empty and Lout(v6) is empty in Table II.
+    let v1 = graph.vertex_id("v1").unwrap();
+    let v6 = graph.vertex_id("v6").unwrap();
+    assert!(index.lin(v1).is_empty(), "Lin(v1) should be empty");
+    assert!(index.lout(v6).is_empty(), "Lout(v6) should be empty");
+}
+
+#[test]
+fn definition1_rejects_non_minimum_repeat_constraints() {
+    // Queries with L ≠ MR(L), e.g. (knows, knows)+, are outside the class
+    // (they impose the even-path constraint).
+    let graph = fig1_graph();
+    let knows = graph.labels().resolve("knows").unwrap();
+    assert!(RlcQuery::new(0, 1, vec![knows, knows]).is_err());
+    assert!(RlcQuery::new(0, 1, vec![knows]).is_ok());
+}

@@ -1,0 +1,217 @@
+//! Property-based tests of the index's central guarantees (Theorems 2 and 3):
+//! on randomly generated graphs, the RLC index must return exactly the same
+//! answers as an online oracle for every vertex pair and every valid
+//! constraint, must contain no redundant entries, and must survive a binary
+//! serialization round trip unchanged.
+
+use proptest::prelude::*;
+use rlc::baselines::{bfs_query, bibfs_query, dfs_query, EtcBuildConfig, EtcIndex};
+use rlc::index::repeats::enumerate_minimum_repeats;
+use rlc::index::{build_index, BuildConfig, KbsStrategy, OrderingStrategy};
+use rlc::prelude::*;
+
+/// A random edge-labeled graph: `n` vertices, arbitrary labeled edges.
+fn arb_graph(
+    max_vertices: usize,
+    max_edges: usize,
+    labels: u16,
+) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_vertices).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..labels, 0..n as u32), 0..=max_edges).prop_map(
+            move |edges| {
+                let mut builder = GraphBuilder::with_capacity(n, labels as usize);
+                for (source, label, target) in edges {
+                    builder.add_edge(source, Label(label), target);
+                }
+                builder.build()
+            },
+        )
+    })
+}
+
+/// Exhaustively compares the index against the BFS oracle on every vertex
+/// pair and every minimum repeat of length at most `k`.
+fn assert_index_matches_oracle(graph: &LabeledGraph, k: usize, config: &BuildConfig) {
+    let (index, _) = build_index(graph, config);
+    let constraints = enumerate_minimum_repeats(graph.label_count().max(1), k);
+    for s in graph.vertices() {
+        for t in graph.vertices() {
+            for constraint in &constraints {
+                let query = RlcQuery::new(s, t, constraint.clone()).unwrap();
+                let expected = bfs_query(graph, &query);
+                let got = index.query(&query);
+                assert_eq!(
+                    got, expected,
+                    "index disagrees with oracle on ({s}, {t}, {constraint:?})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_is_sound_and_complete_k2(graph in arb_graph(12, 30, 3)) {
+        assert_index_matches_oracle(&graph, 2, &BuildConfig::new(2));
+    }
+
+    #[test]
+    fn index_is_sound_and_complete_k3(graph in arb_graph(9, 22, 2)) {
+        assert_index_matches_oracle(&graph, 3, &BuildConfig::new(3));
+    }
+
+    #[test]
+    fn index_without_pruning_is_sound_and_complete(graph in arb_graph(10, 24, 3)) {
+        assert_index_matches_oracle(&graph, 2, &BuildConfig::new(2).without_pruning());
+    }
+
+    #[test]
+    fn lazy_strategy_is_sound_and_complete(graph in arb_graph(10, 24, 3)) {
+        assert_index_matches_oracle(
+            &graph,
+            2,
+            &BuildConfig::new(2).with_strategy(KbsStrategy::Lazy),
+        );
+    }
+
+    #[test]
+    fn alternative_orderings_are_sound_and_complete(graph in arb_graph(10, 24, 3)) {
+        for ordering in [
+            OrderingStrategy::VertexId,
+            OrderingStrategy::OutDegree,
+            OrderingStrategy::Random(7),
+        ] {
+            assert_index_matches_oracle(&graph, 2, &BuildConfig::new(2).with_ordering(ordering));
+        }
+    }
+
+    #[test]
+    fn index_is_condensed(graph in arb_graph(12, 30, 3)) {
+        // Theorem 2: with all pruning rules the index has no redundant entries.
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        prop_assert_eq!(index.redundant_entries(), 0);
+    }
+
+    #[test]
+    fn online_baselines_agree_with_each_other(graph in arb_graph(12, 30, 3)) {
+        let constraints = enumerate_minimum_repeats(3, 2);
+        for s in graph.vertices() {
+            for t in graph.vertices() {
+                for constraint in &constraints {
+                    let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
+                    let bfs = bfs_query(&graph, &q);
+                    prop_assert_eq!(bfs, bibfs_query(&graph, &q));
+                    prop_assert_eq!(bfs, dfs_query(&graph, &q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn etc_agrees_with_index(graph in arb_graph(10, 26, 3)) {
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+        let constraints = enumerate_minimum_repeats(3, 2);
+        for s in graph.vertices() {
+            for t in graph.vertices() {
+                for constraint in &constraints {
+                    let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
+                    prop_assert_eq!(index.query(&q), etc.query(&q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_every_answer(graph in arb_graph(10, 26, 3)) {
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let restored = rlc::index::RlcIndex::from_bytes(&index.to_bytes()).unwrap();
+        let constraints = enumerate_minimum_repeats(3, 2);
+        for s in graph.vertices() {
+            for t in graph.vertices() {
+                for constraint in &constraints {
+                    let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
+                    prop_assert_eq!(index.query(&q), restored.query(&q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kleene_star_equals_plus_or_equality(graph in arb_graph(12, 30, 3)) {
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let constraints = enumerate_minimum_repeats(3, 2);
+        for s in graph.vertices() {
+            for t in graph.vertices() {
+                for constraint in &constraints {
+                    let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
+                    let star = index.query_star(&q);
+                    prop_assert_eq!(star, (s == t) || index.query(&q));
+                }
+            }
+        }
+    }
+}
+
+/// Minimum-repeat algebra properties, checked independently of any graph.
+mod repeats_properties {
+    use super::*;
+    use rlc::index::repeats::{is_minimum_repeat, kernel_tail, minimum_repeat, minimum_repeat_len};
+
+    fn arb_sequence() -> impl Strategy<Value = Vec<Label>> {
+        proptest::collection::vec(0u16..4, 1..24).prop_map(|v| v.into_iter().map(Label).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn mr_divides_and_reconstructs(seq in arb_sequence()) {
+            let mr_len = minimum_repeat_len(&seq);
+            prop_assert!(mr_len >= 1 && mr_len <= seq.len());
+            prop_assert_eq!(seq.len() % mr_len, 0);
+            // Repeating the MR reconstructs the sequence.
+            for (i, label) in seq.iter().enumerate() {
+                prop_assert_eq!(*label, seq[i % mr_len]);
+            }
+            // The MR is itself irreducible.
+            prop_assert!(is_minimum_repeat(minimum_repeat(&seq)));
+        }
+
+        #[test]
+        fn mr_is_idempotent(seq in arb_sequence()) {
+            let mr = minimum_repeat(&seq).to_vec();
+            prop_assert_eq!(minimum_repeat(&mr).to_vec(), mr.clone());
+        }
+
+        #[test]
+        fn mr_of_explicit_power_is_base(seq in arb_sequence(), reps in 1usize..4) {
+            let base = minimum_repeat(&seq).to_vec();
+            let mut power = Vec::new();
+            for _ in 0..reps {
+                power.extend_from_slice(&base);
+            }
+            prop_assert_eq!(minimum_repeat(&power).to_vec(), base);
+        }
+
+        #[test]
+        fn kernel_decomposition_reconstructs_sequence(seq in arb_sequence()) {
+            if let Some((kernel, tail)) = kernel_tail(&seq) {
+                prop_assert!(is_minimum_repeat(kernel));
+                prop_assert!(tail.len() < kernel.len());
+                prop_assert!(seq.len() >= 2 * kernel.len());
+                // seq = kernel^h ∘ tail.
+                let h = (seq.len() - tail.len()) / kernel.len();
+                prop_assert!(h >= 2);
+                let mut rebuilt: Vec<Label> = Vec::new();
+                for _ in 0..h {
+                    rebuilt.extend_from_slice(kernel);
+                }
+                rebuilt.extend_from_slice(tail);
+                prop_assert_eq!(rebuilt, seq.clone());
+            }
+        }
+    }
+}
