@@ -1,7 +1,13 @@
 //! NFA-guided breadth-first search over the graph–automaton product (the
 //! "BFS" baseline of §VI).
+//!
+//! The traversal state (visited table, queue) lives in the per-thread
+//! [`crate::scratch::ProductScratch`], so repeated queries — in particular
+//! batches fanned out by [`rlc_core::engine::ReachabilityEngine::evaluate_batch`]
+//! — perform no per-query allocation in the steady state.
 
 use crate::nfa::Nfa;
+use crate::scratch::{with_scratch, ProductScratch};
 use rlc_core::{ConcatQuery, RlcQuery};
 use rlc_graph::{LabeledGraph, VertexId};
 use std::collections::{HashSet, VecDeque};
@@ -23,25 +29,36 @@ pub fn bfs_concat_query(graph: &LabeledGraph, query: &ConcatQuery) -> bool {
 
 /// Product-graph BFS shared by the RLC and concatenation entry points.
 pub fn bfs_product(graph: &LabeledGraph, nfa: &Nfa, source: VertexId, target: VertexId) -> bool {
+    with_scratch(|scratch| bfs_product_scratch(graph, nfa, source, target, scratch))
+}
+
+/// Product BFS over explicit scratch state.
+fn bfs_product_scratch(
+    graph: &LabeledGraph,
+    nfa: &Nfa,
+    source: VertexId,
+    target: VertexId,
+    scratch: &mut ProductScratch,
+) -> bool {
     let states = nfa.state_count();
-    let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
-    let mut queue: VecDeque<(VertexId, usize)> = VecDeque::new();
-    visited.insert((source, nfa.start));
-    queue.push_back((source, nfa.start));
     debug_assert!(states > 0);
+    scratch.begin(graph.vertex_count() * states);
+    let slot = |v: VertexId, q: usize| v as usize * states + q;
+    scratch.mark_forward(slot(source, nfa.start));
     if source == target && nfa.accepting[nfa.start] {
         return true;
     }
-    while let Some((v, q)) = queue.pop_front() {
+    scratch.queue.push_back((source, nfa.start as u32));
+    while let Some((v, q)) = scratch.queue.pop_front() {
         for (w, label) in graph.out_edges(v) {
-            for q_next in nfa.next(q, label) {
-                if !visited.insert((w, q_next)) {
+            for q_next in nfa.next(q as usize, label) {
+                if scratch.mark_forward(slot(w, q_next)) {
                     continue;
                 }
                 if w == target && nfa.accepting[q_next] {
                     return true;
                 }
-                queue.push_back((w, q_next));
+                scratch.queue.push_back((w, q_next as u32));
             }
         }
     }
@@ -136,6 +153,19 @@ mod tests {
         )
         .unwrap();
         assert!(!bfs_query(&g, &q));
+    }
+
+    #[test]
+    fn repeated_queries_reuse_scratch_state() {
+        // Back-to-back queries with different automaton sizes must not leak
+        // visited state between runs.
+        let g = fig2_graph();
+        let q_true = RlcQuery::from_names(&g, "v3", "v6", &["l2", "l1"]).unwrap();
+        let q_false = RlcQuery::from_names(&g, "v1", "v3", &["l1"]).unwrap();
+        for _ in 0..50 {
+            assert!(bfs_query(&g, &q_true));
+            assert!(!bfs_query(&g, &q_false));
+        }
     }
 
     #[test]

@@ -7,11 +7,15 @@
 //! what makes BiBFS markedly faster than plain BFS on the large, high-degree
 //! graphs of the paper (Fig. 3) while remaining orders of magnitude slower
 //! than the RLC index.
+//!
+//! Both visited sets and all frontier buffers live in the per-thread
+//! [`crate::scratch::ProductScratch`], so batch evaluation performs no
+//! per-query allocation in the steady state.
 
 use crate::nfa::Nfa;
+use crate::scratch::{with_scratch, ProductScratch};
 use rlc_core::{ConcatQuery, RlcQuery};
 use rlc_graph::{LabeledGraph, VertexId};
-use std::collections::HashSet;
 
 /// Answers an RLC query by bidirectional product search.
 pub fn bibfs_query(graph: &LabeledGraph, query: &RlcQuery) -> bool {
@@ -27,63 +31,84 @@ pub fn bibfs_concat_query(graph: &LabeledGraph, query: &ConcatQuery) -> bool {
 
 /// Bidirectional BFS over the graph–automaton product.
 pub fn bibfs_product(graph: &LabeledGraph, nfa: &Nfa, source: VertexId, target: VertexId) -> bool {
-    type State = (VertexId, usize);
+    with_scratch(|scratch| bibfs_product_scratch(graph, nfa, source, target, scratch))
+}
 
-    let mut forward_seen: HashSet<State> = HashSet::new();
-    let mut backward_seen: HashSet<State> = HashSet::new();
-    let mut forward_frontier: Vec<State> = vec![(source, nfa.start)];
-    forward_seen.insert((source, nfa.start));
-    let mut backward_frontier: Vec<State> = Vec::new();
-    for q in nfa.accepting_states() {
-        let s = (target, q);
-        if backward_seen.insert(s) {
-            backward_frontier.push(s);
+/// Bidirectional product search over explicit scratch state.
+fn bibfs_product_scratch(
+    graph: &LabeledGraph,
+    nfa: &Nfa,
+    source: VertexId,
+    target: VertexId,
+    scratch: &mut ProductScratch,
+) -> bool {
+    let states = nfa.state_count();
+    scratch.begin(graph.vertex_count() * states);
+    scratch.ensure_backward(graph.vertex_count() * states);
+    let slot = |v: VertexId, q: usize| v as usize * states + q;
+
+    let mut forward = scratch.take_frontier();
+    let mut backward = scratch.take_frontier();
+    let mut next = scratch.take_frontier();
+
+    let result = 'search: {
+        scratch.mark_forward(slot(source, nfa.start));
+        forward.push((source, nfa.start as u32));
+        for q in nfa.accepting_states() {
+            if !scratch.mark_backward(slot(target, q)) {
+                backward.push((target, q as u32));
+            }
         }
-    }
-    if backward_frontier.is_empty() {
-        return false;
-    }
-    if forward_frontier.iter().any(|s| backward_seen.contains(s)) {
-        return true;
-    }
+        if backward.is_empty() {
+            break 'search false;
+        }
+        if scratch.backward_visited(slot(source, nfa.start)) {
+            break 'search true;
+        }
 
-    while !forward_frontier.is_empty() && !backward_frontier.is_empty() {
-        // Expand the cheaper side: estimate by frontier size.
-        if forward_frontier.len() <= backward_frontier.len() {
-            let mut next = Vec::new();
-            for (v, q) in forward_frontier.drain(..) {
-                for (w, label) in graph.out_edges(v) {
-                    for q_next in nfa.next(q, label) {
-                        let state = (w, q_next);
-                        if backward_seen.contains(&state) {
-                            return true;
-                        }
-                        if forward_seen.insert(state) {
-                            next.push(state);
+        while !forward.is_empty() && !backward.is_empty() {
+            // Expand the cheaper side: estimate by frontier size.
+            if forward.len() <= backward.len() {
+                next.clear();
+                for &(v, q) in forward.iter() {
+                    for (w, label) in graph.out_edges(v) {
+                        for q_next in nfa.next(q as usize, label) {
+                            let state = slot(w, q_next);
+                            if scratch.backward_visited(state) {
+                                break 'search true;
+                            }
+                            if !scratch.mark_forward(state) {
+                                next.push((w, q_next as u32));
+                            }
                         }
                     }
                 }
-            }
-            forward_frontier = next;
-        } else {
-            let mut next = Vec::new();
-            for (v, q) in backward_frontier.drain(..) {
-                for (u, label) in graph.in_edges(v) {
-                    for q_prev in nfa.prev(q, label) {
-                        let state = (u, q_prev);
-                        if forward_seen.contains(&state) {
-                            return true;
-                        }
-                        if backward_seen.insert(state) {
-                            next.push(state);
+                std::mem::swap(&mut forward, &mut next);
+            } else {
+                next.clear();
+                for &(v, q) in backward.iter() {
+                    for (u, label) in graph.in_edges(v) {
+                        for q_prev in nfa.prev(q as usize, label) {
+                            let state = slot(u, q_prev);
+                            if scratch.forward_visited(state) {
+                                break 'search true;
+                            }
+                            if !scratch.mark_backward(state) {
+                                next.push((u, q_prev as u32));
+                            }
                         }
                     }
                 }
+                std::mem::swap(&mut backward, &mut next);
             }
-            backward_frontier = next;
         }
-    }
-    false
+        false
+    };
+
+    scratch.recycle_frontier(forward);
+    scratch.recycle_frontier(backward);
+    scratch.recycle_frontier(next);
+    result
 }
 
 #[cfg(test)]

@@ -1,10 +1,13 @@
 //! Depth-first online traversal (mentioned in §VI as the same-complexity
 //! alternative to BFS).
+//!
+//! Like the other traversal baselines, the visited table and the work stack
+//! live in the per-thread [`crate::scratch::ProductScratch`].
 
 use crate::nfa::Nfa;
-use rlc_core::RlcQuery;
+use crate::scratch::{with_scratch, ProductScratch};
+use rlc_core::{ConcatQuery, RlcQuery};
 use rlc_graph::{LabeledGraph, VertexId};
-use std::collections::HashSet;
 
 /// Answers an RLC query by iterative depth-first search over the
 /// graph–automaton product.
@@ -13,24 +16,44 @@ pub fn dfs_query(graph: &LabeledGraph, query: &RlcQuery) -> bool {
     dfs_product(graph, &nfa, query.source, query.target)
 }
 
+/// Answers an extended concatenation query (`B1+ ∘ … ∘ Bm+`) by product DFS
+/// with the automaton built for the whole concatenation.
+pub fn dfs_concat_query(graph: &LabeledGraph, query: &ConcatQuery) -> bool {
+    let nfa = Nfa::concatenation(&query.blocks);
+    dfs_product(graph, &nfa, query.source, query.target)
+}
+
 /// Product-graph DFS.
 pub fn dfs_product(graph: &LabeledGraph, nfa: &Nfa, source: VertexId, target: VertexId) -> bool {
-    let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
-    let mut stack: Vec<(VertexId, usize)> = vec![(source, nfa.start)];
-    visited.insert((source, nfa.start));
+    with_scratch(|scratch| dfs_product_scratch(graph, nfa, source, target, scratch))
+}
+
+/// Product DFS over explicit scratch state.
+fn dfs_product_scratch(
+    graph: &LabeledGraph,
+    nfa: &Nfa,
+    source: VertexId,
+    target: VertexId,
+    scratch: &mut ProductScratch,
+) -> bool {
+    let states = nfa.state_count();
+    scratch.begin(graph.vertex_count() * states);
+    let slot = |v: VertexId, q: usize| v as usize * states + q;
+    scratch.mark_forward(slot(source, nfa.start));
     if source == target && nfa.accepting[nfa.start] {
         return true;
     }
-    while let Some((v, q)) = stack.pop() {
+    scratch.stack.push((source, nfa.start as u32));
+    while let Some((v, q)) = scratch.stack.pop() {
         for (w, label) in graph.out_edges(v) {
-            for q_next in nfa.next(q, label) {
-                if !visited.insert((w, q_next)) {
+            for q_next in nfa.next(q as usize, label) {
+                if scratch.mark_forward(slot(w, q_next)) {
                     continue;
                 }
                 if w == target && nfa.accepting[q_next] {
                     return true;
                 }
-                stack.push((w, q_next));
+                scratch.stack.push((w, q_next as u32));
             }
         }
     }
@@ -40,9 +63,9 @@ pub fn dfs_product(graph: &LabeledGraph, nfa: &Nfa, source: VertexId, target: Ve
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bfs::bfs_query;
+    use crate::bfs::{bfs_concat_query, bfs_query};
     use rlc_core::repeats::enumerate_minimum_repeats;
-    use rlc_graph::examples::fig2_graph;
+    use rlc_graph::examples::{fig1_graph, fig2_graph};
     use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
 
     #[test]
@@ -64,6 +87,19 @@ mod tests {
                     let q = RlcQuery::new(s, t, mr.clone()).unwrap();
                     assert_eq!(bfs_query(&g, &q), dfs_query(&g, &q));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn concat_query_agrees_with_bfs() {
+        let g = fig1_graph();
+        let knows = g.labels().resolve("knows").unwrap();
+        let holds = g.labels().resolve("holds").unwrap();
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let q = ConcatQuery::new(s, t, vec![vec![knows], vec![holds]]);
+                assert_eq!(bfs_concat_query(&g, &q), dfs_concat_query(&g, &q));
             }
         }
     }

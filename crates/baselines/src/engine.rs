@@ -1,0 +1,268 @@
+//! [`ReachabilityEngine`] adapters for the baseline evaluators.
+//!
+//! Each adapter is a thin struct borrowing the graph (and, for ETC, the
+//! closure) and routing the trait methods through the scratch-backed
+//! traversal functions, so batch evaluation via
+//! [`ReachabilityEngine::evaluate_batch`] reuses per-thread buffers instead
+//! of allocating per query.
+
+use crate::bfs::{bfs_concat_query, bfs_query};
+use crate::bibfs::{bibfs_concat_query, bibfs_query};
+use crate::dfs::{dfs_concat_query, dfs_query};
+use crate::etc::EtcIndex;
+use rlc_core::engine::ReachabilityEngine;
+use rlc_core::{repetition_closure, ConcatQuery, RlcQuery};
+use rlc_graph::{LabeledGraph, VertexId};
+
+/// The online breadth-first baseline as a [`ReachabilityEngine`].
+pub struct BfsEngine<'g> {
+    graph: &'g LabeledGraph,
+}
+
+impl<'g> BfsEngine<'g> {
+    /// Wraps a graph.
+    pub fn new(graph: &'g LabeledGraph) -> Self {
+        BfsEngine { graph }
+    }
+}
+
+impl ReachabilityEngine for BfsEngine<'_> {
+    fn name(&self) -> &str {
+        "BFS"
+    }
+
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        bfs_query(self.graph, query)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+        bfs_concat_query(self.graph, query)
+    }
+}
+
+/// The bidirectional-search baseline as a [`ReachabilityEngine`].
+pub struct BiBfsEngine<'g> {
+    graph: &'g LabeledGraph,
+}
+
+impl<'g> BiBfsEngine<'g> {
+    /// Wraps a graph.
+    pub fn new(graph: &'g LabeledGraph) -> Self {
+        BiBfsEngine { graph }
+    }
+}
+
+impl ReachabilityEngine for BiBfsEngine<'_> {
+    fn name(&self) -> &str {
+        "BiBFS"
+    }
+
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        bibfs_query(self.graph, query)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+        bibfs_concat_query(self.graph, query)
+    }
+}
+
+/// The depth-first baseline as a [`ReachabilityEngine`].
+pub struct DfsEngine<'g> {
+    graph: &'g LabeledGraph,
+}
+
+impl<'g> DfsEngine<'g> {
+    /// Wraps a graph.
+    pub fn new(graph: &'g LabeledGraph) -> Self {
+        DfsEngine { graph }
+    }
+}
+
+impl ReachabilityEngine for DfsEngine<'_> {
+    fn name(&self) -> &str {
+        "DFS"
+    }
+
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        dfs_query(self.graph, query)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+        dfs_concat_query(self.graph, query)
+    }
+}
+
+/// The extended transitive closure as a [`ReachabilityEngine`].
+///
+/// Plain RLC queries are answered by the closure's hash lookup alone.
+/// Concatenated constraints are answered the same way the hybrid evaluator
+/// works: an online repetition closure for every block except the last, and
+/// one ETC lookup per frontier vertex for the final block.
+pub struct EtcEngine<'g> {
+    graph: &'g LabeledGraph,
+    etc: &'g EtcIndex,
+}
+
+impl<'g> EtcEngine<'g> {
+    /// Wraps a graph and its extended transitive closure.
+    pub fn new(graph: &'g LabeledGraph, etc: &'g EtcIndex) -> Self {
+        EtcEngine { graph, etc }
+    }
+}
+
+impl ReachabilityEngine for EtcEngine<'_> {
+    fn name(&self) -> &str {
+        "ETC"
+    }
+
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        self.etc.query(query)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+        if let Err(error) = query.validate(self.etc.k()) {
+            panic!("invalid concatenation query: {error}");
+        }
+        let mut frontier: Vec<VertexId> = vec![query.source];
+        for (i, block) in query.blocks.iter().enumerate() {
+            let is_last = i + 1 == query.blocks.len();
+            if is_last {
+                return frontier.iter().any(|&v| {
+                    self.etc.query(&RlcQuery {
+                        source: v,
+                        target: query.target,
+                        constraint: block.clone(),
+                    })
+                });
+            }
+            frontier = repetition_closure(self.graph, &frontier, block);
+            if frontier.is_empty() {
+                return false;
+            }
+        }
+        unreachable!("the last block returns from the loop");
+    }
+}
+
+/// The three purely online traversal engines over `graph`, boxed for uniform
+/// iteration (BFS, BiBFS, DFS).
+pub fn online_engines(graph: &LabeledGraph) -> Vec<Box<dyn ReachabilityEngine + '_>> {
+    vec![
+        Box::new(BfsEngine::new(graph)),
+        Box::new(BiBfsEngine::new(graph)),
+        Box::new(DfsEngine::new(graph)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etc::EtcBuildConfig;
+    use rlc_graph::examples::fig1_graph;
+    use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+    use rlc_graph::Label;
+
+    #[test]
+    fn online_engines_have_distinct_names() {
+        let g = fig1_graph();
+        let engines = online_engines(&g);
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["BFS", "BiBFS", "DFS"]);
+    }
+
+    #[test]
+    fn adapters_agree_with_each_other_on_rlc_queries() {
+        let g = erdos_renyi(&SyntheticConfig::new(70, 3.0, 3, 13));
+        let engines = online_engines(&g);
+        for s in (0..g.vertex_count() as u32).step_by(7) {
+            for t in (0..g.vertex_count() as u32).step_by(9) {
+                for constraint in [vec![Label(0)], vec![Label(0), Label(1)]] {
+                    let q = RlcQuery::new(s, t, constraint).unwrap();
+                    let answers: Vec<bool> = engines.iter().map(|e| e.evaluate(&q)).collect();
+                    assert_eq!(answers[0], answers[1], "BFS vs BiBFS on ({s},{t})");
+                    assert_eq!(answers[0], answers[2], "BFS vs DFS on ({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn etc_engine_answers_rlc_and_concat_queries() {
+        let g = fig1_graph();
+        let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
+        let engine = EtcEngine::new(&g, &etc);
+        assert_eq!(engine.name(), "ETC");
+        let q = RlcQuery::from_names(&g, "A14", "A19", &["debits", "credits"]).unwrap();
+        assert!(engine.evaluate(&q));
+
+        let knows = g.labels().resolve("knows").unwrap();
+        let holds = g.labels().resolve("holds").unwrap();
+        let concat = ConcatQuery::new(
+            g.vertex_id("P10").unwrap(),
+            g.vertex_id("A19").unwrap(),
+            vec![vec![knows], vec![holds]],
+        );
+        assert!(engine.evaluate_concat(&concat));
+        assert_eq!(
+            engine.evaluate_concat(&concat),
+            bfs_concat_query(&g, &concat)
+        );
+    }
+
+    #[test]
+    fn etc_engine_concat_agrees_with_bfs_everywhere() {
+        let g = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 31));
+        let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
+        let engine = EtcEngine::new(&g, &etc);
+        let l0 = Label(0);
+        let l1 = Label(1);
+        for s in (0..g.vertex_count() as u32).step_by(5) {
+            for t in (0..g.vertex_count() as u32).step_by(7) {
+                for blocks in [
+                    vec![vec![l0]],
+                    vec![vec![l0, l1]],
+                    vec![vec![l0], vec![l1]],
+                    vec![vec![l1], vec![l0, l1]],
+                ] {
+                    let q = ConcatQuery::new(s, t, blocks);
+                    assert_eq!(
+                        engine.evaluate_concat(&q),
+                        bfs_concat_query(&g, &q),
+                        "({s},{t})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_matches_single_for_all_adapters() {
+        let g = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 3));
+        let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
+        let queries: Vec<RlcQuery> = (0..g.vertex_count() as u32)
+            .flat_map(|s| {
+                [vec![Label(0)], vec![Label(1), Label(0)]]
+                    .into_iter()
+                    .map(move |c| RlcQuery::new(s, (s * 7 + 3) % 50, c).unwrap())
+            })
+            .collect();
+        let mut engines = online_engines(&g);
+        engines.push(Box::new(EtcEngine::new(&g, &etc)));
+        for engine in &engines {
+            let batch = engine.evaluate_batch(&queries);
+            for (query, answer) in queries.iter().zip(&batch) {
+                assert_eq!(*answer, engine.evaluate(query), "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid concatenation query")]
+    fn etc_engine_rejects_overlong_blocks() {
+        let g = fig1_graph();
+        let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
+        let engine = EtcEngine::new(&g, &etc);
+        let q = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(1), Label(2)]]);
+        engine.evaluate_concat(&q);
+    }
+}

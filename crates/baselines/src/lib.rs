@@ -12,7 +12,11 @@
 //! * [`dfs`] — depth-first variant (mentioned in §VI as an alternative with
 //!   the same complexity as BFS);
 //! * [`etc`] — the extended transitive closure: a fully materialized map from
-//!   vertex pairs to the set of minimum repeats of connecting paths.
+//!   vertex pairs to the set of minimum repeats of connecting paths;
+//! * [`engine`] — [`rlc_core::engine::ReachabilityEngine`] adapters for all
+//!   of the above, the uniform interface the experiments and tests use;
+//! * [`scratch`] — per-thread reusable traversal state backing the online
+//!   baselines, so batch evaluation allocates nothing per query.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -20,11 +24,14 @@
 pub mod bfs;
 pub mod bibfs;
 pub mod dfs;
+pub mod engine;
 pub mod etc;
 pub mod nfa;
+pub mod scratch;
 
 pub use bfs::bfs_query;
 pub use bibfs::bibfs_query;
 pub use dfs::dfs_query;
+pub use engine::{online_engines, BfsEngine, BiBfsEngine, DfsEngine, EtcEngine};
 pub use etc::{EtcBuildConfig, EtcIndex, EtcStats};
 pub use nfa::Nfa;

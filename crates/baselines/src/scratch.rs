@@ -1,0 +1,196 @@
+//! Reusable per-thread search state for the online product traversals.
+//!
+//! Every BFS/BiBFS/DFS evaluation explores `(vertex, NFA state)` pairs. A
+//! naive implementation allocates a fresh hash set and queue per query; on a
+//! batch of thousands of queries those allocations dominate. This module
+//! provides [`ProductScratch`] — epoch-stamped visited tables plus reusable
+//! frontier containers sized to `|V| × |Q|` — and a thread-local instance so
+//! the [`crate::engine`] adapters evaluate whole batches without per-query
+//! allocation in the steady state (containers grow once per thread, then are
+//! reused; epoch bumps make clearing O(1)).
+
+use rlc_graph::VertexId;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// Reusable search state for product-graph traversals.
+///
+/// A "slot" is the dense encoding `vertex * state_count + state` of a
+/// product state. The two stamp tables implement two independent visited
+/// sets (forward and backward, for bidirectional search); a slot is visited
+/// in the current traversal iff its stamp equals the current epoch, so
+/// clearing between queries is a single counter increment.
+#[derive(Debug, Default)]
+pub struct ProductScratch {
+    forward_stamps: Vec<u32>,
+    backward_stamps: Vec<u32>,
+    epoch: u32,
+    /// BFS work queue.
+    pub(crate) queue: VecDeque<(VertexId, u32)>,
+    /// DFS work stack.
+    pub(crate) stack: Vec<(VertexId, u32)>,
+    /// Frontier buffers for bidirectional search, reused across queries.
+    frontier_buffers: Vec<Vec<(VertexId, u32)>>,
+}
+
+impl ProductScratch {
+    /// Creates empty scratch state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the scratch for a traversal over `slots` product states:
+    /// bumps the epoch (O(1) clear of both visited sets), grows the forward
+    /// stamp table if needed, and clears the work containers.
+    ///
+    /// Only the forward table is sized here — BFS and DFS never touch the
+    /// backward table, so growing it eagerly would double the footprint of
+    /// every unidirectional traversal. Bidirectional search additionally
+    /// calls [`Self::ensure_backward`].
+    pub(crate) fn begin(&mut self, slots: usize) {
+        if self.forward_stamps.len() < slots {
+            self.forward_stamps.resize(slots, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: reset the tables once every 2^32 queries.
+            self.forward_stamps.iter_mut().for_each(|s| *s = 0);
+            self.backward_stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+        self.stack.clear();
+    }
+
+    /// Grows the backward stamp table to cover `slots` product states; must
+    /// be called (after [`Self::begin`]) before using the backward visited
+    /// set.
+    pub(crate) fn ensure_backward(&mut self, slots: usize) {
+        if self.backward_stamps.len() < slots {
+            self.backward_stamps.resize(slots, 0);
+        }
+    }
+
+    /// Marks a slot visited in the forward set; returns whether it was
+    /// already visited.
+    #[inline]
+    pub(crate) fn mark_forward(&mut self, slot: usize) -> bool {
+        let stamp = &mut self.forward_stamps[slot];
+        let was = *stamp == self.epoch;
+        *stamp = self.epoch;
+        was
+    }
+
+    /// Whether a slot is visited in the forward set.
+    #[inline]
+    pub(crate) fn forward_visited(&self, slot: usize) -> bool {
+        self.forward_stamps[slot] == self.epoch
+    }
+
+    /// Marks a slot visited in the backward set; returns whether it was
+    /// already visited.
+    #[inline]
+    pub(crate) fn mark_backward(&mut self, slot: usize) -> bool {
+        let stamp = &mut self.backward_stamps[slot];
+        let was = *stamp == self.epoch;
+        *stamp = self.epoch;
+        was
+    }
+
+    /// Whether a slot is visited in the backward set.
+    #[inline]
+    pub(crate) fn backward_visited(&self, slot: usize) -> bool {
+        self.backward_stamps[slot] == self.epoch
+    }
+
+    /// Hands out a cleared frontier buffer (capacity retained from earlier
+    /// traversals). Return it with [`Self::recycle_frontier`].
+    pub(crate) fn take_frontier(&mut self) -> Vec<(VertexId, u32)> {
+        let mut buffer = self.frontier_buffers.pop().unwrap_or_default();
+        buffer.clear();
+        buffer
+    }
+
+    /// Returns a frontier buffer for reuse by later traversals.
+    pub(crate) fn recycle_frontier(&mut self, buffer: Vec<(VertexId, u32)>) {
+        self.frontier_buffers.push(buffer);
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ProductScratch> = RefCell::new(ProductScratch::new());
+}
+
+/// Runs `f` with this thread's [`ProductScratch`].
+///
+/// The traversal entry points route through here, so batch evaluation —
+/// which fans queries out across rayon workers — reuses one scratch per
+/// worker thread.
+pub fn with_scratch<R>(f: impl FnOnce(&mut ProductScratch) -> R) -> R {
+    SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_bump_clears_visited_sets() {
+        let mut scratch = ProductScratch::new();
+        scratch.begin(10);
+        scratch.ensure_backward(10);
+        assert!(!scratch.mark_forward(3));
+        assert!(scratch.mark_forward(3));
+        assert!(scratch.forward_visited(3));
+        assert!(!scratch.backward_visited(3));
+        scratch.begin(10);
+        assert!(!scratch.forward_visited(3));
+        assert!(!scratch.mark_forward(3));
+    }
+
+    #[test]
+    fn stamp_tables_grow_on_demand() {
+        let mut scratch = ProductScratch::new();
+        scratch.begin(4);
+        scratch.mark_forward(3);
+        scratch.begin(100);
+        assert!(!scratch.forward_visited(99));
+        scratch.ensure_backward(100);
+        scratch.mark_backward(99);
+        assert!(scratch.backward_visited(99));
+    }
+
+    #[test]
+    fn backward_table_grows_only_when_requested() {
+        // BFS/DFS traversals must not pay for the backward table.
+        let mut scratch = ProductScratch::new();
+        scratch.begin(1000);
+        assert_eq!(scratch.forward_stamps.len(), 1000);
+        assert!(scratch.backward_stamps.is_empty());
+        scratch.ensure_backward(1000);
+        assert_eq!(scratch.backward_stamps.len(), 1000);
+    }
+
+    #[test]
+    fn frontier_buffers_are_recycled() {
+        let mut scratch = ProductScratch::new();
+        let mut buffer = scratch.take_frontier();
+        buffer.push((1, 0));
+        buffer.reserve(1000);
+        let capacity = buffer.capacity();
+        scratch.recycle_frontier(buffer);
+        let reused = scratch.take_frontier();
+        assert!(reused.is_empty());
+        assert_eq!(reused.capacity(), capacity);
+    }
+
+    #[test]
+    fn thread_local_scratch_is_accessible() {
+        let sum = with_scratch(|scratch| {
+            scratch.begin(8);
+            scratch.mark_forward(1);
+            scratch.forward_visited(1) as usize
+        });
+        assert_eq!(sum, 1);
+    }
+}

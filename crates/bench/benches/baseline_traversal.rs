@@ -2,7 +2,8 @@
 //! index on the same workload — the micro-scale counterpart of Fig. 3.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rlc_baselines::{bfs_query, bibfs_query, dfs_query};
+use rlc_baselines::{BfsEngine, BiBfsEngine, DfsEngine};
+use rlc_core::engine::{IndexEngine, ReachabilityEngine};
 use rlc_core::{build_index, BuildConfig};
 use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
 use rlc_workloads::{generate_query_set, QueryGenConfig};
@@ -17,50 +18,29 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(4));
-    group.bench_function("bfs", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for (q, _) in queries.iter() {
-                if bfs_query(black_box(&graph), q) {
-                    hits += 1;
+    let bfs = BfsEngine::new(&graph);
+    let bibfs = BiBfsEngine::new(&graph);
+    let dfs = DfsEngine::new(&graph);
+    let rlc = IndexEngine::new(&graph, &index);
+    let engines: [(&str, &dyn ReachabilityEngine); 4] = [
+        ("bfs", &bfs),
+        ("bibfs", &bibfs),
+        ("dfs", &dfs),
+        ("rlc_index", &rlc),
+    ];
+    for (label, engine) in engines {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (q, _) in queries.iter() {
+                    if engine.evaluate(black_box(q)) {
+                        hits += 1;
+                    }
                 }
-            }
-            hits
-        })
-    });
-    group.bench_function("bibfs", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for (q, _) in queries.iter() {
-                if bibfs_query(black_box(&graph), q) {
-                    hits += 1;
-                }
-            }
-            hits
-        })
-    });
-    group.bench_function("dfs", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for (q, _) in queries.iter() {
-                if dfs_query(black_box(&graph), q) {
-                    hits += 1;
-                }
-            }
-            hits
-        })
-    });
-    group.bench_function("rlc_index", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for (q, _) in queries.iter() {
-                if index.query(black_box(q)) {
-                    hits += 1;
-                }
-            }
-            hits
-        })
-    });
+                hits
+            })
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,14 @@
+//! Experiment binary: batch-throughput measurement of the parallel
+//! `ReachabilityEngine::evaluate_batch` path on a ≥ 10K-vertex synthetic
+//! graph.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::batch;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", batch::run(&args));
+}

@@ -2,7 +2,9 @@
 //! prints all reports. Expect a long runtime at the default scale; pass
 //! `--quick` for a smoke run.
 
-use rlc_bench::experiments::{ablation, fig3, fig4, fig5, fig6, fig7, table3, table4, table5};
+use rlc_bench::experiments::{
+    ablation, batch, fig3, fig4, fig5, fig6, fig7, table3, table4, table5,
+};
 use rlc_bench::CommonArgs;
 
 fn main() {
@@ -19,6 +21,7 @@ fn main() {
         ("Table V", table5::run),
         ("Ablation A1", ablation::run_pruning_default),
         ("Ablation A2", ablation::run_strategy_default),
+        ("Batch throughput", batch::run),
     ];
     for (name, run) in sections {
         eprintln!(">>> running {name}");

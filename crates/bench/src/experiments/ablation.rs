@@ -10,6 +10,7 @@
 
 use crate::measure::evaluate_query_set;
 use crate::CommonArgs;
+use rlc_core::engine::IndexEngine;
 use rlc_core::{build_index, BuildConfig, KbsStrategy, OrderingStrategy};
 use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
 use rlc_workloads::{format_bytes, format_duration, generate_query_set, QueryGenConfig, Table};
@@ -76,7 +77,7 @@ pub fn run_pruning(args: &CommonArgs, vertices: usize) -> String {
     );
     for (name, config) in variants {
         let (index, stats) = build_index(&graph, &config);
-        let timing = evaluate_query_set(&queries, |q| index.query(q));
+        let timing = evaluate_query_set(&queries, &IndexEngine::new(&graph, &index));
         assert_eq!(timing.wrong_answers, 0, "{name}: wrong answer");
         let redundant = index.redundant_entries();
         table.add_row(vec![

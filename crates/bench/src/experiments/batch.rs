@@ -1,0 +1,153 @@
+//! Batch-throughput measurement of the parallel
+//! [`ReachabilityEngine::evaluate_batch`] path.
+//!
+//! Not an experiment of the paper: it validates this reproduction's
+//! batch-query hot path. On a synthetic graph (≥ 10K vertices at the default
+//! scale) a verified query set is evaluated (a) query-at-a-time and (b)
+//! through the rayon batch path at increasing worker counts, reporting
+//! throughput and the speed-up over single-threaded evaluation. On a
+//! multi-core host the traversal engines scale with cores; the per-thread
+//! scratch buffers keep the parallel path allocation-free per query.
+
+use crate::measure::{evaluate_query_set, evaluate_query_set_batch};
+use crate::CommonArgs;
+use rlc_baselines::{BfsEngine, BiBfsEngine};
+use rlc_core::engine::{batch_threads, IndexEngine, ReachabilityEngine};
+use rlc_core::{build_index, BuildConfig};
+use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+use rlc_workloads::{generate_query_set, QueryGenConfig, Table};
+
+/// Default vertex count (the acceptance bar for the batch path is a ≥ 10K
+/// vertex graph).
+pub const DEFAULT_VERTICES: usize = 12_000;
+
+/// Runs the measurement with default sizes.
+pub fn run(args: &CommonArgs) -> String {
+    let vertices = if args.quick { 2_000 } else { DEFAULT_VERTICES };
+    run_with(args, vertices)
+}
+
+/// Runs the measurement on an ER graph with the given vertex count.
+pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
+    // The sweep changes the process-global rayon thread override: serialize
+    // concurrent callers (the test suite runs experiments in parallel) and
+    // clear the override afterwards.
+    static SWEEP_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = SWEEP_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+
+    let graph = erdos_renyi(&SyntheticConfig::new(vertices, 4.0, 8, args.seed));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let mut qconfig = QueryGenConfig::paper(2, args.seed ^ 0xBA7C4);
+    qconfig.true_queries = args.queries;
+    qconfig.false_queries = args.queries;
+    let queries = generate_query_set(&graph, &qconfig);
+
+    let available = batch_threads();
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t < available {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    if available > 1 {
+        thread_counts.push(available);
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "Batch throughput: ER graph, |V| = {vertices}, d = 4, |L| = 8, k = 2, \
+             {} + {} queries ({available} CPUs available)",
+            queries.true_queries.len(),
+            queries.false_queries.len(),
+        ),
+        &[
+            "engine",
+            "mode",
+            "threads",
+            "total time",
+            "throughput",
+            "speed-up vs 1 thread",
+        ],
+    );
+
+    let bfs = BfsEngine::new(&graph);
+    let bibfs = BiBfsEngine::new(&graph);
+    let rlc = IndexEngine::new(&graph, &index);
+    let engines: [&dyn ReachabilityEngine; 3] = [&bfs, &bibfs, &rlc];
+    for engine in engines {
+        // Untimed warm-up so the first timed row does not pay scratch
+        // allocation and cache warming.
+        let _ = evaluate_query_set(&queries, engine);
+        let sequential = evaluate_query_set(&queries, engine);
+        assert_eq!(
+            sequential.wrong_answers,
+            0,
+            "{} returned a wrong answer",
+            engine.name()
+        );
+        let sequential_total = sequential.total();
+        table.add_row(vec![
+            engine.name().to_string(),
+            "sequential".into(),
+            "1".into(),
+            rlc_workloads::format_duration(sequential_total),
+            throughput(queries.len(), sequential_total.as_secs_f64()),
+            "1.0x".into(),
+        ]);
+        for &threads in &thread_counts {
+            // The vendored rayon consults this process-internal override per
+            // batch and honours it exactly (capped at the batch size), so
+            // the sweep runs in-process — no environment mutation, which
+            // would race with concurrent env readers — and the labels are
+            // accurate as long as the query count is at least the thread
+            // count.
+            rayon::set_thread_override(Some(threads));
+            let batch = evaluate_query_set_batch(&queries, engine);
+            assert_eq!(batch.wrong_answers, 0);
+            let batch_total = batch.total();
+            table.add_row(vec![
+                engine.name().to_string(),
+                "batch".into(),
+                threads.to_string(),
+                rlc_workloads::format_duration(batch_total),
+                throughput(queries.len(), batch_total.as_secs_f64()),
+                format!(
+                    "{:.1}x",
+                    sequential_total.as_secs_f64() / batch_total.as_secs_f64().max(1e-9)
+                ),
+            ]);
+        }
+    }
+    rayon::set_thread_override(None);
+    table.render()
+}
+
+fn throughput(queries: usize, seconds: f64) -> String {
+    if seconds <= 0.0 {
+        return "-".into();
+    }
+    format!("{:.0} q/s", queries as f64 / seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_all_engines_and_modes() {
+        let args = CommonArgs {
+            scale: 1.0,
+            seed: 8,
+            queries: 10,
+            quick: true,
+        };
+        let report = run_with(&args, 400);
+        assert!(report.contains("BFS"));
+        assert!(report.contains("BiBFS"));
+        assert!(report.contains("RLC"));
+        assert!(report.contains("batch"));
+        assert!(report.contains("sequential"));
+    }
+}

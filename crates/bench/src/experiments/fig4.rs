@@ -8,6 +8,7 @@
 use crate::experiments::prepare_dataset;
 use crate::measure::evaluate_query_set;
 use crate::CommonArgs;
+use rlc_core::engine::IndexEngine;
 use rlc_core::{build_index, BuildConfig};
 use rlc_workloads::datasets::table3_catalog;
 use rlc_workloads::{format_bytes, format_duration, Table};
@@ -60,7 +61,7 @@ pub fn run_subset(args: &CommonArgs, codes: &[&str], ks: &[usize]) -> String {
                 ]);
                 continue;
             }
-            let timing = evaluate_query_set(&queries, |q| index.query(q));
+            let timing = evaluate_query_set(&queries, &IndexEngine::new(&graph, &index));
             assert_eq!(timing.wrong_answers, 0, "index returned a wrong answer");
             table.add_row(vec![
                 spec.code.to_string(),

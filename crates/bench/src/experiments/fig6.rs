@@ -7,6 +7,7 @@
 
 use crate::measure::evaluate_query_set;
 use crate::CommonArgs;
+use rlc_core::engine::IndexEngine;
 use rlc_core::{build_index, BuildConfig};
 use rlc_graph::generate::{barabasi_albert, erdos_renyi, SyntheticConfig};
 use rlc_graph::LabeledGraph;
@@ -53,7 +54,7 @@ pub fn run_with(args: &CommonArgs, sizes: &[usize]) -> String {
             qconfig.true_queries = queries_per_set;
             qconfig.false_queries = queries_per_set;
             let queries = generate_query_set(&graph, &qconfig);
-            let timing = evaluate_query_set(&queries, |q| index.query(q));
+            let timing = evaluate_query_set(&queries, &IndexEngine::new(&graph, &index));
             assert_eq!(timing.wrong_answers, 0, "index returned a wrong answer");
             table.add_row(vec![
                 n.to_string(),

@@ -16,8 +16,10 @@
 //! | [`fig7`] | Fig. 7 (App. C) — impact of k on synthetic graphs |
 //! | [`table5`] | Table V — speed-ups and break-even points vs graph engines |
 //! | [`ablation`] | pruning-rule / strategy / ordering ablations |
+//! | [`batch`] | parallel batch-query throughput (not from the paper) |
 
 pub mod ablation;
+pub mod batch;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -83,6 +85,7 @@ mod tests {
             table5::run_with(&args, 8),
             ablation::run_pruning(&args, 400),
             ablation::run_strategy(&args, 400),
+            batch::run_with(&args, 400),
         ] {
             assert!(!report.is_empty());
             assert!(

@@ -20,7 +20,8 @@ use crate::measure::median_duration;
 use crate::CommonArgs;
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rlc_core::{build_index, evaluate_hybrid, BuildConfig, ConcatQuery};
+use rlc_core::engine::{IndexEngine, ReachabilityEngine};
+use rlc_core::{build_index, BuildConfig, ConcatQuery};
 use rlc_engine_sim::all_engines;
 use rlc_graph::{Label, LabeledGraph, VertexId};
 use rlc_workloads::datasets::dataset_by_code;
@@ -40,6 +41,7 @@ pub fn run_with(args: &CommonArgs, instances_per_shape: usize) -> String {
     let build_started = Instant::now();
     let (index, build_stats) = build_index(&graph, &BuildConfig::new(3));
     let indexing_time = build_started.elapsed().max(build_stats.duration);
+    let rlc = IndexEngine::new(&graph, &index);
 
     // The three most frequent labels play the roles of a, b, c (frequent
     // labels make the online engines do the most work, matching the paper's
@@ -83,8 +85,7 @@ pub fn run_with(args: &CommonArgs, instances_per_shape: usize) -> String {
                     .map(|&(s, t)| {
                         let q = ConcatQuery::new(s, t, blocks.clone());
                         let start = Instant::now();
-                        let _ = evaluate_hybrid(&graph, &index, &q)
-                            .expect("query shape is valid for k = 3");
+                        let _ = rlc.evaluate_concat(&q);
                         start.elapsed()
                     })
                     .collect(),
@@ -101,12 +102,11 @@ pub fn run_with(args: &CommonArgs, instances_per_shape: usize) -> String {
                     .map(|&(s, t)| {
                         let q = ConcatQuery::new(s, t, blocks.clone());
                         let start = Instant::now();
-                        let engine_answer = engine.evaluate(&q);
+                        let engine_answer = engine.evaluate_concat(&q);
                         let elapsed = start.elapsed();
                         // Safety net: the simulated engines must agree with
                         // the index, otherwise the speed-up is meaningless.
-                        let index_answer = evaluate_hybrid(&graph, &index, &q)
-                            .expect("query shape is valid for k = 3");
+                        let index_answer = rlc.evaluate_concat(&q);
                         assert_eq!(
                             engine_answer,
                             index_answer,

@@ -1,5 +1,11 @@
 //! Measurement helpers shared by the experiment binaries.
+//!
+//! Every helper takes the evaluator as a `&dyn ReachabilityEngine`, so the
+//! experiments time BFS, BiBFS, DFS, ETC, the RLC index and the simulated
+//! engines through one code path instead of hand-rolled per-evaluator
+//! closures.
 
+use rlc_core::engine::ReachabilityEngine;
 use rlc_core::RlcQuery;
 use rlc_workloads::QuerySet;
 use std::time::{Duration, Instant};
@@ -33,17 +39,15 @@ impl QuerySetTiming {
     }
 }
 
-/// Runs `evaluate` over every query of `set`, checking answers and timing the
-/// true and false subsets separately (as Fig. 3 reports them separately).
-pub fn evaluate_query_set(
-    set: &QuerySet,
-    mut evaluate: impl FnMut(&RlcQuery) -> bool,
-) -> QuerySetTiming {
+/// Runs `engine` over every query of `set` one at a time, checking answers
+/// and timing the true and false subsets separately (as Fig. 3 reports them
+/// separately).
+pub fn evaluate_query_set(set: &QuerySet, engine: &dyn ReachabilityEngine) -> QuerySetTiming {
     let mut wrong_answers = 0;
 
     let start = Instant::now();
     for q in &set.true_queries {
-        if !evaluate(q) {
+        if !engine.evaluate(q) {
             wrong_answers += 1;
         }
     }
@@ -51,11 +55,35 @@ pub fn evaluate_query_set(
 
     let start = Instant::now();
     for q in &set.false_queries {
-        if evaluate(q) {
+        if engine.evaluate(q) {
             wrong_answers += 1;
         }
     }
     let false_total = start.elapsed();
+
+    QuerySetTiming {
+        true_total,
+        false_total,
+        wrong_answers,
+    }
+}
+
+/// Runs `engine` over the query set through the rayon-parallel batch path
+/// ([`ReachabilityEngine::evaluate_batch`]), checking answers and timing the
+/// two subsets separately. Comparing against [`evaluate_query_set`] measures
+/// the batch speed-up.
+pub fn evaluate_query_set_batch(set: &QuerySet, engine: &dyn ReachabilityEngine) -> QuerySetTiming {
+    let mut wrong_answers = 0;
+
+    let start = Instant::now();
+    let answers = engine.evaluate_batch(&set.true_queries);
+    let true_total = start.elapsed();
+    wrong_answers += answers.iter().filter(|&&a| !a).count();
+
+    let start = Instant::now();
+    let answers = engine.evaluate_batch(&set.false_queries);
+    let false_total = start.elapsed();
+    wrong_answers += answers.iter().filter(|&&a| a).count();
 
     QuerySetTiming {
         true_total,
@@ -104,7 +132,7 @@ pub fn evaluate_capped(
     queries: &[RlcQuery],
     expected: bool,
     budget: Duration,
-    mut evaluate: impl FnMut(&RlcQuery) -> bool,
+    engine: &dyn ReachabilityEngine,
 ) -> CappedTiming {
     let start = Instant::now();
     let mut evaluated = 0usize;
@@ -113,7 +141,7 @@ pub fn evaluate_capped(
         if start.elapsed() > budget {
             break;
         }
-        if evaluate(q) != expected {
+        if engine.evaluate(q) != expected {
             wrong_answers += 1;
         }
         evaluated += 1;
@@ -142,18 +170,42 @@ pub fn median_duration(mut samples: Vec<Duration>) -> Duration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlc_core::{build_index, BuildConfig};
+    use rlc_core::engine::IndexEngine;
+    use rlc_core::{build_index, BuildConfig, ConcatQuery};
     use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
     use rlc_workloads::{generate_query_set, QueryGenConfig};
+
+    /// An engine that ignores the query — used to exercise the wrong-answer
+    /// counters.
+    struct ConstEngine(bool);
+
+    impl ReachabilityEngine for ConstEngine {
+        fn name(&self) -> &str {
+            "const"
+        }
+
+        fn evaluate(&self, _query: &RlcQuery) -> bool {
+            self.0
+        }
+
+        fn evaluate_concat(&self, _query: &ConcatQuery) -> bool {
+            self.0
+        }
+    }
 
     #[test]
     fn evaluate_query_set_detects_wrong_answers() {
         let g = erdos_renyi(&SyntheticConfig::new(100, 3.0, 3, 1));
         let set = generate_query_set(&g, &QueryGenConfig::small(10, 10, 2, 1));
-        let always_true = evaluate_query_set(&set, |_| true);
+        let always_true = evaluate_query_set(&set, &ConstEngine(true));
         assert_eq!(always_true.wrong_answers, 10);
-        let always_false = evaluate_query_set(&set, |_| false);
+        let always_false = evaluate_query_set(&set, &ConstEngine(false));
         assert_eq!(always_false.wrong_answers, 10);
+        // The batch path counts identically.
+        assert_eq!(
+            evaluate_query_set_batch(&set, &ConstEngine(true)).wrong_answers,
+            10
+        );
     }
 
     #[test]
@@ -161,10 +213,26 @@ mod tests {
         let g = erdos_renyi(&SyntheticConfig::new(120, 3.0, 3, 2));
         let set = generate_query_set(&g, &QueryGenConfig::small(15, 15, 2, 3));
         let (index, _) = build_index(&g, &BuildConfig::new(2));
-        let timing = evaluate_query_set(&set, |q| index.query(q));
+        let engine = IndexEngine::new(&g, &index);
+        let timing = evaluate_query_set(&set, &engine);
         assert_eq!(timing.wrong_answers, 0);
         assert!(timing.total() >= timing.true_total);
         assert!(timing.per_query(&set) <= timing.total());
+        let batch_timing = evaluate_query_set_batch(&set, &engine);
+        assert_eq!(batch_timing.wrong_answers, 0);
+    }
+
+    #[test]
+    fn capped_evaluation_reports_progress() {
+        let g = erdos_renyi(&SyntheticConfig::new(100, 3.0, 3, 5));
+        let set = generate_query_set(&g, &QueryGenConfig::small(8, 8, 2, 7));
+        let (index, _) = build_index(&g, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&g, &index);
+        let timing = evaluate_capped(&set.true_queries, true, Duration::from_secs(60), &engine);
+        assert_eq!(timing.evaluated, 8);
+        assert_eq!(timing.wrong_answers, 0);
+        assert!(!timing.truncated());
+        assert_eq!(timing.extrapolated_total(), timing.elapsed);
     }
 
     #[test]

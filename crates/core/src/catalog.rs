@@ -24,11 +24,30 @@ impl MrId {
 }
 
 /// Append-only interner for minimum repeats.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Only the sequence list is serialized; deserialization rebuilds the
+/// sequence → id map automatically, so a deserialized catalog resolves
+/// constraints immediately.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct MrCatalog {
     sequences: Vec<Vec<Label>>,
     #[serde(skip)]
     lookup: HashMap<Vec<Label>, MrId>,
+}
+
+impl Deserialize for MrCatalog {
+    /// Reconstructs the catalog and rebuilds the skipped lookup map.
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a map for MrCatalog"))?;
+        let mut catalog = MrCatalog {
+            sequences: serde::map_field(entries, "sequences", "MrCatalog")?,
+            lookup: HashMap::new(),
+        };
+        catalog.rebuild_lookup();
+        Ok(catalog)
+    }
 }
 
 impl MrCatalog {
@@ -136,12 +155,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn serde_round_trip_is_self_healing() {
         let mut catalog = MrCatalog::new();
         let id = catalog.intern(&seq(&[0, 1, 2]));
         let json = serde_json::to_string(&catalog).unwrap();
-        let mut back: MrCatalog = serde_json::from_str(&json).unwrap();
-        back.rebuild_lookup();
+        let back: MrCatalog = serde_json::from_str(&json).unwrap();
+        // The lookup map is rebuilt by the custom Deserialize impl — no
+        // rebuild_lookup() call needed.
         assert_eq!(back.resolve(&seq(&[0, 1, 2])), Some(id));
         assert_eq!(back.len(), 1);
     }

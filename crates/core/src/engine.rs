@@ -1,0 +1,253 @@
+//! The evaluator abstraction every RLC-query backend plugs into.
+//!
+//! Historically each consumer of the workspace dispatched against four
+//! incompatible evaluator APIs: [`RlcIndex::query`], the `bfs_query` /
+//! `bibfs_query` / `dfs_query` free functions of `rlc-baselines`, the
+//! `EtcIndex`, and a `GraphEngine` trait private to `rlc-engine-sim`. This
+//! module unifies them: everything that can answer an RLC query implements
+//! [`ReachabilityEngine`], and batch evaluation fans out across CPU cores
+//! with rayon through the provided [`ReachabilityEngine::evaluate_batch`]
+//! default.
+//!
+//! Implementations live next to the evaluators they wrap:
+//!
+//! * [`IndexEngine`] and [`HybridEngine`] (this module) — the RLC index,
+//!   with hybrid index + traversal evaluation of concatenated constraints;
+//! * `BfsEngine`, `BiBfsEngine`, `DfsEngine`, `EtcEngine` in
+//!   `rlc-baselines` — the online traversals and the extended transitive
+//!   closure;
+//! * the three simulated mainstream engines in `rlc-engine-sim`.
+
+use crate::hybrid::{evaluate_hybrid, ConcatQuery};
+use crate::index::RlcIndex;
+use crate::query::RlcQuery;
+use rayon::prelude::*;
+use rlc_graph::LabeledGraph;
+
+/// An evaluator able to answer recursive label-concatenated reachability
+/// queries: plain RLC queries `(s, t, L+)` and extended concatenations
+/// `(s, t, B1+ ∘ … ∘ Bm+)`.
+///
+/// The `Sync` supertrait is what makes the batch path work: a batch borrows
+/// the engine from every worker thread simultaneously.
+pub trait ReachabilityEngine: Sync {
+    /// Human-readable engine name, used in experiment reports.
+    fn name(&self) -> &str;
+
+    /// Evaluates one RLC query `(s, t, L+)`.
+    fn evaluate(&self, query: &RlcQuery) -> bool;
+
+    /// Evaluates one extended query whose constraint is a concatenation of
+    /// Kleene-plus blocks.
+    ///
+    /// # Panics
+    ///
+    /// Index-backed engines panic when the query is structurally invalid for
+    /// their configuration (e.g. a block longer than the index's recursive
+    /// `k`); purely online engines accept any well-formed query.
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool;
+
+    /// Evaluates a batch of RLC queries, fanning out across CPU cores with
+    /// rayon. Answers are returned in query order.
+    ///
+    /// The default implementation parallelizes [`Self::evaluate`]; engines
+    /// with per-thread scratch state (the online traversals) reuse their
+    /// buffers within each worker, so steady-state batch evaluation performs
+    /// no per-query allocation.
+    fn evaluate_batch(&self, queries: &[RlcQuery]) -> Vec<bool> {
+        queries
+            .par_iter()
+            .map(|query| self.evaluate(query))
+            .collect()
+    }
+
+    /// Evaluates a batch of extended queries in parallel, in query order.
+    fn evaluate_concat_batch(&self, queries: &[ConcatQuery]) -> Vec<bool> {
+        queries
+            .par_iter()
+            .map(|query| self.evaluate_concat(query))
+            .collect()
+    }
+}
+
+/// Number of worker threads batch evaluation fans out to (rayon's thread
+/// count: `RAYON_NUM_THREADS` when set, available CPUs otherwise).
+pub fn batch_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// The RLC index as a [`ReachabilityEngine`]: plain queries are answered by
+/// the index alone (Algorithm 1), concatenated constraints by the hybrid
+/// index + traversal strategy of §VI-C.
+pub struct IndexEngine<'g> {
+    graph: &'g LabeledGraph,
+    index: &'g RlcIndex,
+}
+
+impl<'g> IndexEngine<'g> {
+    /// Wraps a graph and its index.
+    pub fn new(graph: &'g LabeledGraph, index: &'g RlcIndex) -> Self {
+        IndexEngine { graph, index }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &RlcIndex {
+        self.index
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &LabeledGraph {
+        self.graph
+    }
+}
+
+impl ReachabilityEngine for IndexEngine<'_> {
+    fn name(&self) -> &str {
+        "RLC"
+    }
+
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        self.index.query(query)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+        evaluate_hybrid(self.graph, self.index, query)
+            .unwrap_or_else(|error| panic!("invalid concatenation query: {error}"))
+    }
+}
+
+/// Hybrid evaluation as its own engine: *every* query — including plain RLC
+/// queries — is routed through the combined index + online-traversal
+/// evaluator of §VI-C. Useful for differential testing the hybrid path
+/// against the pure index path on the query class where both apply.
+pub struct HybridEngine<'g> {
+    graph: &'g LabeledGraph,
+    index: &'g RlcIndex,
+}
+
+impl<'g> HybridEngine<'g> {
+    /// Wraps a graph and its index.
+    pub fn new(graph: &'g LabeledGraph, index: &'g RlcIndex) -> Self {
+        HybridEngine { graph, index }
+    }
+}
+
+impl ReachabilityEngine for HybridEngine<'_> {
+    fn name(&self) -> &str {
+        "RLC hybrid"
+    }
+
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        let concat = ConcatQuery::new(query.source, query.target, vec![query.constraint.clone()]);
+        self.evaluate_concat(&concat)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+        evaluate_hybrid(self.graph, self.index, query)
+            .unwrap_or_else(|error| panic!("invalid concatenation query: {error}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_index, BuildConfig};
+    use rlc_graph::examples::fig2_graph;
+    use rlc_graph::Label;
+
+    #[test]
+    fn index_engine_answers_like_the_index() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        assert_eq!(engine.name(), "RLC");
+        for source in graph.vertices() {
+            for target in graph.vertices() {
+                for constraint in [vec![Label(0)], vec![Label(0), Label(1)]] {
+                    let q = RlcQuery::new(source, target, constraint).unwrap();
+                    assert_eq!(engine.evaluate(&q), index.query(&q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_evaluation() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let queries: Vec<RlcQuery> = graph
+            .vertices()
+            .flat_map(|s| {
+                graph
+                    .vertices()
+                    .map(move |t| RlcQuery::new(s, t, vec![Label(0), Label(1)]).unwrap())
+            })
+            .collect();
+        let batch = engine.evaluate_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (query, answer) in queries.iter().zip(&batch) {
+            assert_eq!(*answer, engine.evaluate(query));
+        }
+    }
+
+    #[test]
+    fn hybrid_engine_agrees_with_index_engine_on_rlc_queries() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let index_engine = IndexEngine::new(&graph, &index);
+        let hybrid = HybridEngine::new(&graph, &index);
+        assert_eq!(hybrid.name(), "RLC hybrid");
+        for source in graph.vertices() {
+            for target in graph.vertices() {
+                let q = RlcQuery::new(source, target, vec![Label(1)]).unwrap();
+                assert_eq!(hybrid.evaluate(&q), index_engine.evaluate(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn concat_batch_matches_single_evaluation() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let queries: Vec<ConcatQuery> = graph
+            .vertices()
+            .flat_map(|s| {
+                graph
+                    .vertices()
+                    .map(move |t| ConcatQuery::new(s, t, vec![vec![Label(0)], vec![Label(1)]]))
+            })
+            .collect();
+        let batch = engine.evaluate_concat_batch(&queries);
+        for (query, answer) in queries.iter().zip(&batch) {
+            assert_eq!(*answer, engine.evaluate_concat(query));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid concatenation query")]
+    fn invalid_concat_query_panics() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let bad = ConcatQuery::new(0, 1, vec![]);
+        engine.evaluate_concat(&bad);
+    }
+
+    #[test]
+    fn engines_are_object_safe() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engines: Vec<Box<dyn ReachabilityEngine + '_>> = vec![
+            Box::new(IndexEngine::new(&graph, &index)),
+            Box::new(HybridEngine::new(&graph, &index)),
+        ];
+        let q = RlcQuery::new(0, 1, vec![Label(0)]).unwrap();
+        for engine in &engines {
+            let single = engine.evaluate(&q);
+            let batch = engine.evaluate_batch(std::slice::from_ref(&q));
+            assert_eq!(batch, vec![single]);
+        }
+    }
+}

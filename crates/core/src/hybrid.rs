@@ -135,7 +135,11 @@ pub fn evaluate_hybrid(
 
 /// All vertices reachable from `sources` by a path whose label sequence is
 /// one or more repetitions of `block`.
-fn repetition_closure(
+///
+/// This is the online half of hybrid evaluation, exposed so other engines
+/// (e.g. the ETC adapter in `rlc-baselines`) can reuse it for the prefix
+/// blocks of a concatenated constraint.
+pub fn repetition_closure(
     graph: &LabeledGraph,
     sources: &[VertexId],
     block: &[Label],

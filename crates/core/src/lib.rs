@@ -37,6 +37,7 @@
 //! | [`order`] | §V-B | vertex orderings (IN-OUT and ablation alternatives) |
 //! | [`catalog`] | §V-C | interning of minimum repeats |
 //! | [`hybrid`] | §VI-C | extended `a+ ∘ b+` queries (index + traversal) |
+//! | [`engine`] | — | the `ReachabilityEngine` evaluator abstraction |
 //! | [`verify`] | Theorems 2 & 3 | operational soundness/completeness checking |
 
 #![warn(missing_docs)]
@@ -44,6 +45,7 @@
 
 pub mod build;
 pub mod catalog;
+pub mod engine;
 pub mod hybrid;
 pub mod index;
 pub mod order;
@@ -53,7 +55,8 @@ pub mod verify;
 
 pub use build::{build_index, BuildConfig, BuildStats, KbsStrategy};
 pub use catalog::{MrCatalog, MrId};
-pub use hybrid::{evaluate_hybrid, ConcatQuery, ConcatQueryError};
+pub use engine::{HybridEngine, IndexEngine, ReachabilityEngine};
+pub use hybrid::{evaluate_hybrid, repetition_closure, ConcatQuery, ConcatQueryError};
 pub use index::{IndexEntry, IndexStats, RlcIndex};
 pub use order::{compute_order, OrderingStrategy, VertexOrder};
 pub use query::{QueryError, RlcQuery};

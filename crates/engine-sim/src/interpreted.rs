@@ -8,9 +8,9 @@
 //! string comparisons. This reproduces the dominant costs a query interpreter
 //! pays when no reachability index is available.
 
-use crate::GraphEngine;
 use rlc_baselines::nfa::Nfa;
-use rlc_core::ConcatQuery;
+use rlc_core::engine::ReachabilityEngine;
+use rlc_core::{ConcatQuery, RlcQuery};
 use rlc_graph::{LabeledGraph, VertexId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -50,24 +50,17 @@ impl InterpretedEngine {
     fn label_name(&self, label: rlc_graph::Label) -> &str {
         &self.label_names[label.index()]
     }
-}
 
-impl GraphEngine for InterpretedEngine {
-    fn name(&self) -> &str {
-        "Sys1 (interpreted)"
-    }
-
-    fn evaluate(&self, query: &ConcatQuery) -> bool {
-        let nfa = Nfa::concatenation(&query.blocks);
-        // Tuple-at-a-time interpretation of the product automaton: every
-        // expansion re-resolves the transition's label name and performs a
-        // fresh adjacency lookup, as an interpreter over a generic storage
-        // layer does.
+    /// Tuple-at-a-time interpretation of the product automaton: every
+    /// expansion re-resolves the transition's label name and performs a
+    /// fresh adjacency lookup, as an interpreter over a generic storage
+    /// layer does.
+    fn evaluate_nfa(&self, nfa: &Nfa, source: VertexId, target: VertexId) -> bool {
         let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
         let mut queue: VecDeque<(VertexId, usize)> = VecDeque::new();
-        visited.insert((query.source, nfa.start));
-        queue.push_back((query.source, nfa.start));
-        if query.source == query.target && nfa.accepting[nfa.start] {
+        visited.insert((source, nfa.start));
+        queue.push_back((source, nfa.start));
+        if source == target && nfa.accepting[nfa.start] {
             return true;
         }
         while let Some((v, q)) = queue.pop_front() {
@@ -81,7 +74,7 @@ impl GraphEngine for InterpretedEngine {
                     if !visited.insert((w, q_next)) {
                         continue;
                     }
-                    if w == query.target && nfa.accepting[q_next] {
+                    if w == target && nfa.accepting[q_next] {
                         return true;
                     }
                     queue.push_back((w, q_next));
@@ -89,6 +82,22 @@ impl GraphEngine for InterpretedEngine {
             }
         }
         false
+    }
+}
+
+impl ReachabilityEngine for InterpretedEngine {
+    fn name(&self) -> &str {
+        "Sys1 (interpreted)"
+    }
+
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        let nfa = Nfa::kleene_plus(&query.constraint);
+        self.evaluate_nfa(&nfa, query.source, query.target)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+        let nfa = Nfa::concatenation(&query.blocks);
+        self.evaluate_nfa(&nfa, query.source, query.target)
     }
 }
 
@@ -108,13 +117,13 @@ mod tests {
             g.vertex_id("A19").unwrap(),
             vec![vec![debits, credits]],
         );
-        assert!(engine.evaluate(&q));
+        assert!(engine.evaluate_concat(&q));
         let q_false = ConcatQuery::new(
             g.vertex_id("A19").unwrap(),
             g.vertex_id("A14").unwrap(),
             vec![vec![debits, credits]],
         );
-        assert!(!engine.evaluate(&q_false));
+        assert!(!engine.evaluate_concat(&q_false));
     }
 
     #[test]
@@ -128,6 +137,6 @@ mod tests {
             g.vertex_id("A19").unwrap(),
             vec![vec![knows], vec![holds]],
         );
-        assert!(engine.evaluate(&q));
+        assert!(engine.evaluate_concat(&q));
     }
 }

@@ -16,7 +16,9 @@
 //!   path by per-block transitive closure with index nested-loop joins
 //!   (Virtuoso-like).
 //!
-//! All three return exactly the same answers as the RLC index (they are
+//! All three implement [`ReachabilityEngine`] — the evaluator abstraction of
+//! `rlc_core::engine` that this crate's private `GraphEngine` trait grew
+//! into — and return exactly the same answers as the RLC index (they are
 //! correct evaluators); they are only slower, which is what Table V measures.
 //! See DESIGN.md ("Substitutions") for why this preserves the shape of the
 //! paper's comparison.
@@ -28,26 +30,27 @@ pub mod interpreted;
 pub mod materializing;
 pub mod triple_store;
 
-use rlc_core::ConcatQuery;
 use rlc_graph::LabeledGraph;
 
 pub use interpreted::InterpretedEngine;
 pub use materializing::MaterializingEngine;
+pub use rlc_core::engine::ReachabilityEngine;
 pub use triple_store::TripleStoreEngine;
 
-/// A loaded graph engine able to evaluate recursive property-path
-/// reachability queries (RLC queries and concatenations of Kleene-plus
-/// blocks).
-pub trait GraphEngine {
-    /// Human-readable engine name, used in the Table V report.
-    fn name(&self) -> &str;
-
-    /// Evaluates a reachability query with a `B1+ ∘ … ∘ Bm+` constraint.
-    fn evaluate(&self, query: &ConcatQuery) -> bool;
-}
+/// Transitional alias for the `GraphEngine` trait this crate used to define;
+/// the abstraction now lives in `rlc_core::engine` and also covers plain RLC
+/// queries and parallel batch evaluation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use rlc_core::engine::ReachabilityEngine (evaluate_concat replaces evaluate)"
+)]
+pub use rlc_core::engine::ReachabilityEngine as GraphEngine;
 
 /// Instantiates all three simulated engines loaded with `graph`.
-pub fn all_engines(graph: &LabeledGraph) -> Vec<Box<dyn GraphEngine>> {
+///
+/// The engines copy the graph into their own storage models, so the returned
+/// boxes do not borrow `graph`.
+pub fn all_engines(graph: &LabeledGraph) -> Vec<Box<dyn ReachabilityEngine>> {
     vec![
         Box::new(InterpretedEngine::load(graph)),
         Box::new(MaterializingEngine::load(graph)),
@@ -58,7 +61,8 @@ pub fn all_engines(graph: &LabeledGraph) -> Vec<Box<dyn GraphEngine>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlc_baselines::bfs::bfs_concat_query;
+    use rlc_baselines::BfsEngine;
+    use rlc_core::{ConcatQuery, RlcQuery};
     use rlc_graph::examples::fig1_graph;
     use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
 
@@ -72,7 +76,31 @@ mod tests {
             for t in (0..g.vertex_count() as u32).step_by(11) {
                 for blocks in [vec![vec![l0]], vec![vec![l0, l1]], vec![vec![l0], vec![l1]]] {
                     let q = ConcatQuery::new(s, t, blocks);
-                    let expected = bfs_concat_query(&g, &q);
+                    let expected = BfsEngine::new(&g).evaluate_concat(&q);
+                    for engine in &engines {
+                        assert_eq!(
+                            engine.evaluate_concat(&q),
+                            expected,
+                            "engine {} disagrees on ({s},{t})",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_engines_answer_plain_rlc_queries() {
+        let g = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 17));
+        let engines = all_engines(&g);
+        let l0 = rlc_graph::Label(0);
+        let l1 = rlc_graph::Label(1);
+        for s in (0..g.vertex_count() as u32).step_by(7) {
+            for t in (0..g.vertex_count() as u32).step_by(5) {
+                for constraint in [vec![l0], vec![l1, l0]] {
+                    let q = RlcQuery::new(s, t, constraint).unwrap();
+                    let expected = BfsEngine::new(&g).evaluate(&q);
                     for engine in &engines {
                         assert_eq!(
                             engine.evaluate(&q),
@@ -95,5 +123,20 @@ mod tests {
         assert!(names.contains(&"Sys1 (interpreted)"));
         assert!(names.contains(&"Sys2 (materializing)"));
         assert!(names.contains(&"Virtuoso-like (triple store)"));
+    }
+
+    #[test]
+    fn batch_evaluation_matches_single() {
+        let g = erdos_renyi(&SyntheticConfig::new(40, 3.0, 3, 23));
+        let engines = all_engines(&g);
+        let queries: Vec<RlcQuery> = (0..40u32)
+            .map(|s| RlcQuery::new(s, (s + 13) % 40, vec![rlc_graph::Label(0)]).unwrap())
+            .collect();
+        for engine in &engines {
+            let batch = engine.evaluate_batch(&queries);
+            for (query, answer) in queries.iter().zip(&batch) {
+                assert_eq!(*answer, engine.evaluate(query), "{}", engine.name());
+            }
+        }
     }
 }

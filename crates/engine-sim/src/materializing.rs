@@ -9,9 +9,9 @@
 //! more expensive than the pointer-chasing online traversals — and both are
 //! orders of magnitude slower than one RLC-index lookup.
 
-use crate::GraphEngine;
 use rlc_baselines::nfa::Nfa;
-use rlc_core::ConcatQuery;
+use rlc_core::engine::ReachabilityEngine;
+use rlc_core::{ConcatQuery, RlcQuery};
 use rlc_graph::{Label, LabeledGraph, VertexId};
 use std::collections::HashMap;
 use std::collections::HashSet;
@@ -34,20 +34,15 @@ impl MaterializingEngine {
         }
         MaterializingEngine { edges_by_label }
     }
-}
 
-impl GraphEngine for MaterializingEngine {
-    fn name(&self) -> &str {
-        "Sys2 (materializing)"
-    }
-
-    fn evaluate(&self, query: &ConcatQuery) -> bool {
-        let nfa = Nfa::concatenation(&query.blocks);
+    /// Breadth-wise evaluation of the product automaton: join, materialize,
+    /// deduplicate — see the module documentation.
+    fn evaluate_nfa(&self, nfa: &Nfa, source: VertexId, target: VertexId) -> bool {
         // The binding relation holds (vertex, automaton state) pairs.
         let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
-        let mut frontier: Vec<(VertexId, usize)> = vec![(query.source, nfa.start)];
-        visited.insert((query.source, nfa.start));
-        if query.source == query.target && nfa.accepting[nfa.start] {
+        let mut frontier: Vec<(VertexId, usize)> = vec![(source, nfa.start)];
+        visited.insert((source, nfa.start));
+        if source == target && nfa.accepting[nfa.start] {
             return true;
         }
         while !frontier.is_empty() {
@@ -73,7 +68,7 @@ impl GraphEngine for MaterializingEngine {
             let mut next_frontier: Vec<(VertexId, usize)> = Vec::new();
             for binding in materialized {
                 if visited.insert(binding) {
-                    if binding.0 == query.target && nfa.accepting[binding.1] {
+                    if binding.0 == target && nfa.accepting[binding.1] {
                         return true;
                     }
                     next_frontier.push(binding);
@@ -82,6 +77,22 @@ impl GraphEngine for MaterializingEngine {
             frontier = next_frontier;
         }
         false
+    }
+}
+
+impl ReachabilityEngine for MaterializingEngine {
+    fn name(&self) -> &str {
+        "Sys2 (materializing)"
+    }
+
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        let nfa = Nfa::kleene_plus(&query.constraint);
+        self.evaluate_nfa(&nfa, query.source, query.target)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+        let nfa = Nfa::concatenation(&query.blocks);
+        self.evaluate_nfa(&nfa, query.source, query.target)
     }
 }
 
@@ -101,7 +112,7 @@ mod tests {
             for t in g.vertices() {
                 for blocks in [vec![vec![l1]], vec![vec![l2, l1]], vec![vec![l2], vec![l1]]] {
                     let q = ConcatQuery::new(s, t, blocks);
-                    assert_eq!(engine.evaluate(&q), bfs_concat_query(&g, &q));
+                    assert_eq!(engine.evaluate_concat(&q), bfs_concat_query(&g, &q));
                 }
             }
         }
@@ -118,7 +129,7 @@ mod tests {
             vec![vec![knows]],
         );
         assert!(
-            engine.evaluate(&q),
+            engine.evaluate_concat(&q),
             "P11 -knows-> P12 -knows-> P11 is a cycle"
         );
     }

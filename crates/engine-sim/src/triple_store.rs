@@ -8,8 +8,8 @@
 //! iteration over the frontier of reachable vertices, and binary-search range
 //! scans for every probe.
 
-use crate::GraphEngine;
-use rlc_core::ConcatQuery;
+use rlc_core::engine::ReachabilityEngine;
+use rlc_core::{ConcatQuery, RlcQuery};
 use rlc_graph::{Label, LabeledGraph, VertexId};
 use std::collections::HashSet;
 
@@ -80,12 +80,19 @@ impl TripleStoreEngine {
     }
 }
 
-impl GraphEngine for TripleStoreEngine {
+impl ReachabilityEngine for TripleStoreEngine {
     fn name(&self) -> &str {
         "Virtuoso-like (triple store)"
     }
 
-    fn evaluate(&self, query: &ConcatQuery) -> bool {
+    fn evaluate(&self, query: &RlcQuery) -> bool {
+        let mut frontier: HashSet<VertexId> = HashSet::new();
+        frontier.insert(query.source);
+        frontier = self.block_closure(&frontier, &query.constraint);
+        frontier.contains(&query.target)
+    }
+
+    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
         let mut frontier: HashSet<VertexId> = HashSet::new();
         frontier.insert(query.source);
         for block in &query.blocks {
@@ -121,7 +128,11 @@ mod tests {
                     vec![vec![l2], vec![l3]],
                 ] {
                     let q = ConcatQuery::new(s, t, blocks);
-                    assert_eq!(engine.evaluate(&q), bfs_concat_query(&g, &q), "({s},{t})");
+                    assert_eq!(
+                        engine.evaluate_concat(&q),
+                        bfs_concat_query(&g, &q),
+                        "({s},{t})"
+                    );
                 }
             }
         }
@@ -136,7 +147,7 @@ mod tests {
         for s in (0..g.vertex_count() as u32).step_by(7) {
             for t in (0..g.vertex_count() as u32).step_by(5) {
                 let q = ConcatQuery::new(s, t, vec![vec![l0, l1]]);
-                assert_eq!(engine.evaluate(&q), bfs_concat_query(&g, &q));
+                assert_eq!(engine.evaluate_concat(&q), bfs_concat_query(&g, &q));
             }
         }
     }
@@ -151,6 +162,6 @@ mod tests {
             g.vertex_id("P11").unwrap(),
             vec![vec![knows]],
         );
-        assert!(engine.evaluate(&q));
+        assert!(engine.evaluate_concat(&q));
     }
 }

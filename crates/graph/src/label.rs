@@ -50,11 +50,29 @@ impl fmt::Display for Label {
 /// Bidirectional mapping between label names and dense [`Label`] ids.
 ///
 /// The interner is append-only: once a name is interned its id never changes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Only the name list is serialized; deserialization rebuilds the name → id
+/// map automatically, so a deserialized interner resolves names immediately.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct LabelInterner {
     names: Vec<String>,
     #[serde(skip)]
     by_name: HashMap<String, Label>,
+}
+
+impl Deserialize for LabelInterner {
+    /// Reconstructs the interner and rebuilds the skipped lookup map.
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a map for LabelInterner"))?;
+        let mut interner = LabelInterner {
+            names: serde::map_field(entries, "names", "LabelInterner")?,
+            by_name: HashMap::new(),
+        };
+        interner.rebuild_lookup();
+        Ok(interner)
+    }
 }
 
 impl LabelInterner {
@@ -155,15 +173,14 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_lookup_restores_resolution() {
-        let mut interner = LabelInterner::anonymous(3);
+    fn deserialization_rebuilds_resolution_automatically() {
+        let interner = LabelInterner::anonymous(3);
         let json = serde_json::to_string(&interner).unwrap();
-        let mut restored: LabelInterner = serde_json::from_str(&json).unwrap();
-        assert_eq!(restored.resolve("l1"), None, "lookup map is not serialized");
-        restored.rebuild_lookup();
+        let restored: LabelInterner = serde_json::from_str(&json).unwrap();
+        // The lookup map is not serialized, but the custom Deserialize impl
+        // rebuilds it — no rebuild_lookup() call needed.
         assert_eq!(restored.resolve("l1"), Some(Label(1)));
         assert_eq!(restored.len(), interner.len());
-        let _ = &mut interner;
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! A money-laundering pattern is a chain of debit/credit hops between
 //! accounts: `(debits, credits)+`. The RLC index answers such checks in
 //! microseconds regardless of chain length, while an online traversal must
-//! re-walk the graph for every suspicious pair.
+//! re-walk the graph for every suspicious pair. Both evaluators are driven
+//! through the `ReachabilityEngine` trait, so swapping one for the other is
+//! a one-line change.
 //!
 //! Run with: `cargo run --release --example fraud_detection`
 
@@ -14,6 +16,9 @@ fn main() {
     // The interleaved social / professional / financial network of Fig. 1.
     let graph = rlc::graph::examples::fig1_graph();
     let index = RlcIndex::build(&graph, 2);
+    let engine = IndexEngine::new(&graph, &index);
+    // What an engine without the index has to do: online traversal.
+    let traversal = BfsEngine::new(&graph);
 
     println!("== money-flow checks: (debits, credits)+ ==");
     for (source, target) in [
@@ -23,11 +28,9 @@ fn main() {
         ("A19", "A14"),
     ] {
         let query = RlcQuery::from_names(&graph, source, target, &["debits", "credits"]).unwrap();
-        let index_answer = index.query(&query);
-        // Cross-check against an online traversal (what an engine without the
-        // index has to do).
-        let traversal_answer = bfs_query(&graph, &query);
-        assert_eq!(index_answer, traversal_answer);
+        let index_answer = engine.evaluate(&query);
+        // Cross-check the index against the online traversal.
+        assert_eq!(index_answer, traversal.evaluate(&query));
         println!(
             "  money can flow {source} -> {target} through debit/credit chains: {index_answer}"
         );
@@ -38,13 +41,13 @@ fn main() {
         let query = RlcQuery::from_names(&graph, source, target, &["knows"]).unwrap();
         println!(
             "  {source} reaches {target} through knows-chains: {}",
-            index.query(&query)
+            engine.evaluate(&query)
         );
     }
 
     // An extended constraint (the paper's Q4 shape): first follow knows-hops
     // to a person, then a holds-hop to one of their accounts. The index alone
-    // cannot answer the concatenation, but the hybrid evaluator combines an
+    // cannot answer the concatenation, but `evaluate_concat` combines an
     // online knows+ traversal with index lookups for the final block.
     println!("\n== extended constraint: knows+ . holds+ ==");
     let knows = graph.labels().resolve("knows").unwrap();
@@ -55,7 +58,8 @@ fn main() {
             graph.vertex_id(target).unwrap(),
             vec![vec![knows], vec![holds]],
         );
-        let answer = evaluate_hybrid(&graph, &index, &query).unwrap();
+        let answer = engine.evaluate_concat(&query);
+        assert_eq!(answer, traversal.evaluate_concat(&query));
         println!("  {source} can reach account {target} via knows+ then holds: {answer}");
     }
 }

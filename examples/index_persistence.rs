@@ -34,17 +34,22 @@ fn main() {
     std::fs::write(&path, &blob).expect("write index blob");
     println!("wrote {} bytes to {}", blob.len(), path.display());
 
-    // Reload and verify on a verified workload.
+    // Reload and verify on a verified workload, driving both indexes through
+    // the `ReachabilityEngine` trait (the batch path checks the whole
+    // workload in one parallel call).
     let restored = rlc::index::RlcIndex::from_bytes(&std::fs::read(&path).expect("read blob"))
         .expect("valid index blob");
-    let queries = generate_query_set(&graph, &QueryGenConfig::small(100, 100, 2, 3));
-    for (q, expected) in queries.iter() {
-        assert_eq!(restored.query(q), expected);
-        assert_eq!(restored.query(q), index.query(q));
-    }
+    let workload = generate_query_set(&graph, &QueryGenConfig::small(100, 100, 2, 3));
+    let queries: Vec<RlcQuery> = workload.iter().map(|(q, _)| q.clone()).collect();
+    let expected: Vec<bool> = workload.iter().map(|(_, e)| e).collect();
+    let original_engine = IndexEngine::new(&graph, &index);
+    let restored_engine = IndexEngine::new(&graph, &restored);
+    let restored_answers = restored_engine.evaluate_batch(&queries);
+    assert_eq!(restored_answers, expected);
+    assert_eq!(restored_answers, original_engine.evaluate_batch(&queries));
     println!(
         "reloaded index answers all {} verified queries identically",
-        queries.len()
+        workload.len()
     );
     std::fs::remove_file(&path).ok();
 }

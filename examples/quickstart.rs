@@ -40,6 +40,23 @@ fn main() {
     let star = RlcQuery::from_names(&graph, "v4", "v4", &["l3"]).unwrap();
     println!("Q4(v4, v4, (l3)*)    = {}", index.query_star(&star)); // true (empty path)
 
+    // Every evaluator in the workspace — the index, the online traversals,
+    // the simulated engines — implements `ReachabilityEngine`, so the same
+    // code drives any of them, including rayon-parallel batches.
+    let engine = IndexEngine::new(&graph, &index);
+    let baseline = BfsEngine::new(&graph);
+    let batch = vec![q1, q2, q3];
+    let index_answers = engine.evaluate_batch(&batch);
+    let baseline_answers = baseline.evaluate_batch(&batch);
+    assert_eq!(index_answers, baseline_answers);
+    println!(
+        "\nbatch of {} queries via {}: {:?} (matches {})",
+        batch.len(),
+        engine.name(),
+        index_answers,
+        baseline.name()
+    );
+
     // The full index content, with vertex and label names resolved.
     println!("\nindex entries:\n{}", index.describe(&graph));
 }

@@ -1,7 +1,8 @@
 //! End-to-end benchmark on a synthetic social-network-like graph: generate a
 //! Barabási–Albert graph, build the RLC index, generate a verified query
-//! workload, and compare the index against online traversals — a miniature
-//! version of the paper's Fig. 3 experiment.
+//! workload, and compare the index against online traversals through the
+//! uniform `ReachabilityEngine` interface — a miniature version of the
+//! paper's Fig. 3 experiment, plus the rayon-parallel batch path.
 //!
 //! Run with: `cargo run --release --example synthetic_benchmark`
 
@@ -34,35 +35,48 @@ fn main() {
 
     // A verified workload of 200 true and 200 false queries with 2-label
     // constraints (the paper uses 1000 + 1000).
-    let queries = generate_query_set(&graph, &QueryGenConfig::small(200, 200, 2, 7));
-    println!("generated {} verified queries", queries.len());
+    let workload = generate_query_set(&graph, &QueryGenConfig::small(200, 200, 2, 7));
+    println!("generated {} verified queries", workload.len());
+    let queries: Vec<RlcQuery> = workload.iter().map(|(q, _)| q.clone()).collect();
+    let expected: Vec<bool> = workload.iter().map(|(_, e)| e).collect();
 
-    // Evaluate with the index.
-    let start = Instant::now();
-    let mut index_hits = 0usize;
-    for (q, expected) in queries.iter() {
-        let got = index.query(q);
-        assert_eq!(got, expected);
-        index_hits += got as usize;
+    // The index and the strongest online baseline of the paper, behind the
+    // same trait.
+    let engines: Vec<Box<dyn ReachabilityEngine + '_>> = vec![
+        Box::new(IndexEngine::new(&graph, &index)),
+        Box::new(BiBfsEngine::new(&graph)),
+    ];
+    let mut totals = Vec::new();
+    for engine in &engines {
+        let start = Instant::now();
+        for (query, expected) in queries.iter().zip(&expected) {
+            assert_eq!(engine.evaluate(query), *expected);
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "{:<10}: {elapsed:.2?} for {} queries (sequential)",
+            engine.name(),
+            queries.len()
+        );
+        totals.push(elapsed);
     }
-    let index_time = start.elapsed();
-
-    // Evaluate with bidirectional online search (the strongest online
-    // baseline of the paper).
-    let start = Instant::now();
-    let mut bibfs_hits = 0usize;
-    for (q, expected) in queries.iter() {
-        let got = bibfs_query(&graph, q);
-        assert_eq!(got, expected);
-        bibfs_hits += got as usize;
-    }
-    let bibfs_time = start.elapsed();
-    assert_eq!(index_hits, bibfs_hits);
-
-    println!("RLC index : {index_time:.2?} for {} queries", queries.len());
-    println!("BiBFS     : {bibfs_time:.2?} for {} queries", queries.len());
     println!(
         "speed-up  : {:.0}x",
-        bibfs_time.as_secs_f64() / index_time.as_secs_f64().max(1e-9)
+        totals[1].as_secs_f64() / totals[0].as_secs_f64().max(1e-9)
     );
+
+    // The same workload through the rayon batch path: answers must agree,
+    // and on a multi-core machine the traversal baseline scales with cores.
+    for engine in &engines {
+        let start = Instant::now();
+        let answers = engine.evaluate_batch(&queries);
+        let elapsed = start.elapsed();
+        assert_eq!(answers, expected);
+        println!(
+            "{:<10}: {elapsed:.2?} for {} queries (batch, {} threads)",
+            engine.name(),
+            queries.len(),
+            rlc::index::engine::batch_threads()
+        );
+    }
 }

@@ -6,19 +6,26 @@
 //! single crate:
 //!
 //! * [`graph`] — edge-labeled graph substrate, generators, statistics, I/O;
-//! * [`index`] — the RLC index, its builder, queries and hybrid evaluation;
+//! * [`index`] — the RLC index, its builder, queries, hybrid evaluation, and
+//!   the [`index::engine::ReachabilityEngine`] evaluator abstraction;
 //! * [`baselines`] — online traversals (BFS, BiBFS, DFS) and the extended
-//!   transitive closure;
+//!   transitive closure, with their engine adapters;
 //! * [`workloads`] — query-set generation and the Table III dataset catalog;
 //! * [`engines`] — the simulated graph engines used as Table V comparators.
+//!
+//! Every evaluator implements `ReachabilityEngine`, so the same code drives
+//! the index, the online baselines and the simulated engines — including
+//! rayon-parallel batch evaluation:
 //!
 //! ```
 //! use rlc::prelude::*;
 //!
 //! let graph = rlc::graph::examples::fig1_graph();
 //! let index = RlcIndex::build(&graph, 2);
+//! let engine = IndexEngine::new(&graph, &index);
 //! let query = RlcQuery::from_names(&graph, "A14", "A19", &["debits", "credits"]).unwrap();
-//! assert!(index.query(&query));
+//! assert!(engine.evaluate(&query));
+//! assert_eq!(engine.evaluate_batch(&[query]), vec![true]);
 //! ```
 
 #![warn(missing_docs)]
@@ -41,10 +48,11 @@ pub use rlc_engine_sim as engines;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use rlc_baselines::{bfs_query, bibfs_query, EtcBuildConfig, EtcIndex};
-    pub use rlc_core::{
-        build_index, evaluate_hybrid, BuildConfig, ConcatQuery, RlcIndex, RlcQuery,
+    pub use rlc_baselines::{
+        BfsEngine, BiBfsEngine, DfsEngine, EtcBuildConfig, EtcEngine, EtcIndex,
     };
+    pub use rlc_core::engine::{HybridEngine, IndexEngine, ReachabilityEngine};
+    pub use rlc_core::{build_index, BuildConfig, ConcatQuery, RlcIndex, RlcQuery};
     pub use rlc_graph::{GraphBuilder, Label, LabeledGraph, VertexId};
     pub use rlc_workloads::{generate_query_set, QueryGenConfig};
 }

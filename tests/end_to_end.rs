@@ -1,12 +1,10 @@
 //! End-to-end integration tests spanning every crate of the workspace:
 //! dataset stand-in generation → index construction → workload generation →
 //! agreement of every evaluator (RLC index, online traversals, ETC, simulated
-//! engines, hybrid evaluation).
+//! engines, hybrid evaluation), all driven through the `ReachabilityEngine`
+//! trait.
 
-use rlc::baselines::bfs::bfs_concat_query;
-use rlc::baselines::{bfs_query, bibfs_query, dfs_query, EtcBuildConfig, EtcIndex};
 use rlc::engines::all_engines;
-use rlc::index::{evaluate_hybrid, ConcatQuery};
 use rlc::prelude::*;
 use rlc::workloads::datasets::dataset_by_code;
 use rlc::workloads::{generate_query_set, QueryGenConfig};
@@ -26,12 +24,22 @@ fn dataset_standin_pipeline_all_evaluators_agree() {
     assert_eq!(queries.true_queries.len(), 40);
     assert_eq!(queries.false_queries.len(), 40);
 
+    let engines: Vec<Box<dyn ReachabilityEngine + '_>> = vec![
+        Box::new(IndexEngine::new(&graph, &index)),
+        Box::new(BfsEngine::new(&graph)),
+        Box::new(BiBfsEngine::new(&graph)),
+        Box::new(DfsEngine::new(&graph)),
+        Box::new(EtcEngine::new(&graph, &etc)),
+    ];
     for (q, expected) in queries.iter() {
-        assert_eq!(index.query(q), expected, "RLC index wrong on {q:?}");
-        assert_eq!(bfs_query(&graph, q), expected, "BFS wrong on {q:?}");
-        assert_eq!(bibfs_query(&graph, q), expected, "BiBFS wrong on {q:?}");
-        assert_eq!(dfs_query(&graph, q), expected, "DFS wrong on {q:?}");
-        assert_eq!(etc.query(q), expected, "ETC wrong on {q:?}");
+        for engine in &engines {
+            assert_eq!(
+                engine.evaluate(q),
+                expected,
+                "{} wrong on {q:?}",
+                engine.name()
+            );
+        }
     }
 }
 
@@ -43,10 +51,9 @@ fn simulated_engines_agree_with_index_on_standin() {
     let engines = all_engines(&graph);
     let queries = generate_query_set(&graph, &QueryGenConfig::small(15, 15, 2, 9));
     for (q, expected) in queries.iter() {
-        let concat = ConcatQuery::new(q.source, q.target, vec![q.constraint.clone()]);
         for engine in &engines {
             assert_eq!(
-                engine.evaluate(&concat),
+                engine.evaluate(q),
                 expected,
                 "{} wrong on {q:?}",
                 engine.name()
@@ -61,6 +68,8 @@ fn hybrid_evaluation_agrees_with_automaton_baseline() {
     let spec = dataset_by_code("EP").unwrap();
     let graph = spec.generate(1.0 / 256.0, 17);
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let hybrid = HybridEngine::new(&graph, &index);
+    let oracle = BfsEngine::new(&graph);
     let labels: Vec<Label> = (0..graph.label_count().min(3))
         .map(Label::from_index)
         .collect();
@@ -73,9 +82,11 @@ fn hybrid_evaluation_agrees_with_automaton_baseline() {
                 vec![vec![labels[0], labels[1]], vec![labels[2]]],
             ] {
                 let q = ConcatQuery::new(s, t, blocks);
-                let hybrid = evaluate_hybrid(&graph, &index, &q).unwrap();
-                let oracle = bfs_concat_query(&graph, &q);
-                assert_eq!(hybrid, oracle, "hybrid disagrees on ({s},{t})");
+                assert_eq!(
+                    hybrid.evaluate_concat(&q),
+                    oracle.evaluate_concat(&q),
+                    "hybrid disagrees on ({s},{t})"
+                );
                 checked += 1;
             }
         }
@@ -116,6 +127,20 @@ fn query_workloads_are_balanced_and_verified_on_ba_graphs() {
 }
 
 #[test]
+fn batch_evaluation_agrees_with_single_across_the_facade() {
+    let graph = rlc::graph::generate::erdos_renyi(&rlc::graph::generate::SyntheticConfig::new(
+        500, 3.0, 4, 31,
+    ));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let set = generate_query_set(&graph, &QueryGenConfig::small(50, 50, 2, 13));
+    let queries: Vec<RlcQuery> = set.iter().map(|(q, _)| q.clone()).collect();
+    let engine = IndexEngine::new(&graph, &index);
+    let batch = engine.evaluate_batch(&queries);
+    let singles: Vec<bool> = queries.iter().map(|q| engine.evaluate(q)).collect();
+    assert_eq!(batch, singles);
+}
+
+#[test]
 fn facade_prelude_exposes_the_whole_pipeline() {
     // Compile-time check that the facade's prelude covers the common flow.
     let mut builder = GraphBuilder::new();
@@ -128,6 +153,8 @@ fn facade_prelude_exposes_the_whole_pipeline() {
     let a: VertexId = graph.vertex_id("a").unwrap();
     let q = RlcQuery::new(a, a, vec![x, y]).unwrap();
     assert!(index.query(&q));
-    assert!(bfs_query(&graph, &q));
-    assert!(bibfs_query(&graph, &q));
+    let bfs = BfsEngine::new(&graph);
+    let bibfs = BiBfsEngine::new(&graph);
+    assert!(bfs.evaluate(&q));
+    assert!(bibfs.evaluate(&q));
 }

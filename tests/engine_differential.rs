@@ -1,0 +1,158 @@
+//! Cross-engine differential test: every `ReachabilityEngine` implementation
+//! in the workspace — the RLC index, hybrid evaluation, the three online
+//! traversals, the extended transitive closure, and the three simulated
+//! mainstream engines — must return identical answers over seeded
+//! Erdős–Rényi graphs, on plain RLC queries, on concatenated constraints,
+//! and through the parallel batch path (batch answers must equal
+//! query-at-a-time answers for every engine).
+
+use rlc::engines::all_engines;
+use rlc::graph::generate::{erdos_renyi, SyntheticConfig};
+use rlc::index::repeats::enumerate_minimum_repeats;
+use rlc::prelude::*;
+
+/// Collects all nine evaluator implementations over one graph.
+fn full_roster<'g>(
+    graph: &'g LabeledGraph,
+    index: &'g RlcIndex,
+    etc: &'g EtcIndex,
+) -> Vec<Box<dyn ReachabilityEngine + 'g>> {
+    let mut engines: Vec<Box<dyn ReachabilityEngine + 'g>> = vec![
+        Box::new(IndexEngine::new(graph, index)),
+        Box::new(HybridEngine::new(graph, index)),
+        Box::new(BfsEngine::new(graph)),
+        Box::new(BiBfsEngine::new(graph)),
+        Box::new(DfsEngine::new(graph)),
+        Box::new(EtcEngine::new(graph, etc)),
+    ];
+    engines.extend(all_engines(graph));
+    engines
+}
+
+/// A shared query set covering every vertex-pair sample and every minimum
+/// repeat of length at most `k`.
+fn shared_queries(graph: &LabeledGraph, k: usize, stride: usize) -> Vec<RlcQuery> {
+    let constraints = enumerate_minimum_repeats(graph.label_count(), k);
+    let n = graph.vertex_count() as u32;
+    let mut queries = Vec::new();
+    for s in (0..n).step_by(stride) {
+        for t in (0..n).step_by(stride + 2) {
+            for constraint in &constraints {
+                queries.push(RlcQuery::new(s, t, constraint.clone()).unwrap());
+            }
+        }
+    }
+    queries
+}
+
+#[test]
+fn all_nine_engines_agree_on_rlc_queries() {
+    for seed in [3u64, 17, 42] {
+        let graph = erdos_renyi(&SyntheticConfig::new(90, 3.0, 3, seed));
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+        let engines = full_roster(&graph, &index, &etc);
+        assert_eq!(engines.len(), 9, "the differential roster must be complete");
+
+        let queries = shared_queries(&graph, 2, 7);
+        assert!(queries.len() > 100, "sample must be meaningful");
+        for query in &queries {
+            let reference = engines[0].evaluate(query);
+            for engine in &engines[1..] {
+                assert_eq!(
+                    engine.evaluate(query),
+                    reference,
+                    "seed {seed}: {} disagrees with {} on {query:?}",
+                    engine.name(),
+                    engines[0].name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_nine_engines_agree_on_concatenated_queries() {
+    let graph = erdos_renyi(&SyntheticConfig::new(70, 3.0, 3, 99));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let engines = full_roster(&graph, &index, &etc);
+
+    let l0 = Label(0);
+    let l1 = Label(1);
+    let l2 = Label(2);
+    let n = graph.vertex_count() as u32;
+    for s in (0..n).step_by(9) {
+        for t in (0..n).step_by(11) {
+            for blocks in [
+                vec![vec![l0]],
+                vec![vec![l0, l1]],
+                vec![vec![l0], vec![l1]],
+                vec![vec![l2], vec![l0, l1]],
+            ] {
+                let query = ConcatQuery::new(s, t, blocks);
+                let reference = engines[0].evaluate_concat(&query);
+                for engine in &engines[1..] {
+                    assert_eq!(
+                        engine.evaluate_concat(&query),
+                        reference,
+                        "{} disagrees with {} on {query:?}",
+                        engine.name(),
+                        engines[0].name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_answers_equal_single_answers_for_every_engine() {
+    let graph = erdos_renyi(&SyntheticConfig::new(80, 3.0, 3, 7));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let engines = full_roster(&graph, &index, &etc);
+
+    let queries = shared_queries(&graph, 2, 5);
+    let concat_queries: Vec<ConcatQuery> = queries
+        .iter()
+        .take(60)
+        .map(|q| ConcatQuery::new(q.source, q.target, vec![q.constraint.clone()]))
+        .collect();
+    for engine in &engines {
+        let batch = engine.evaluate_batch(&queries);
+        let singles: Vec<bool> = queries.iter().map(|q| engine.evaluate(q)).collect();
+        assert_eq!(batch, singles, "{}: batch != single", engine.name());
+
+        let concat_batch = engine.evaluate_concat_batch(&concat_queries);
+        let concat_singles: Vec<bool> = concat_queries
+            .iter()
+            .map(|q| engine.evaluate_concat(q))
+            .collect();
+        assert_eq!(
+            concat_batch,
+            concat_singles,
+            "{}: concat batch != single",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn batch_answers_match_the_verified_workload() {
+    // Batch evaluation against ground truth (not just self-consistency).
+    let graph = erdos_renyi(&SyntheticConfig::new(200, 3.0, 4, 21));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let workload = generate_query_set(&graph, &QueryGenConfig::small(30, 30, 2, 4));
+    let queries: Vec<RlcQuery> = workload.iter().map(|(q, _)| q.clone()).collect();
+    let expected: Vec<bool> = workload.iter().map(|(_, e)| e).collect();
+    for engine in full_roster(&graph, &index, &etc) {
+        assert_eq!(
+            engine.evaluate_batch(&queries),
+            expected,
+            "{} failed the verified workload",
+            engine.name()
+        );
+    }
+}

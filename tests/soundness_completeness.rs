@@ -1,116 +1,176 @@
-//! Property-based tests of the index's central guarantees (Theorems 2 and 3):
-//! on randomly generated graphs, the RLC index must return exactly the same
-//! answers as an online oracle for every vertex pair and every valid
+//! Randomized-property tests of the index's central guarantees (Theorems 2
+//! and 3): on randomly generated graphs, the RLC index must return exactly
+//! the same answers as an online oracle for every vertex pair and every valid
 //! constraint, must contain no redundant entries, and must survive a binary
 //! serialization round trip unchanged.
+//!
+//! The environment builds without a property-testing framework, so the
+//! random cases are driven by a small deterministic generator: every failure
+//! reports the case seed, making reproduction a one-liner.
 
-use proptest::prelude::*;
-use rlc::baselines::{bfs_query, bibfs_query, dfs_query, EtcBuildConfig, EtcIndex};
+use rlc::index::engine::ReachabilityEngine;
 use rlc::index::repeats::enumerate_minimum_repeats;
 use rlc::index::{build_index, BuildConfig, KbsStrategy, OrderingStrategy};
 use rlc::prelude::*;
 
-/// A random edge-labeled graph: `n` vertices, arbitrary labeled edges.
-fn arb_graph(
+/// Deterministic case generator (splitmix64).
+struct CaseRng(u64);
+
+impl CaseRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A random edge-labeled graph: between 2 and `max_vertices` vertices,
+/// up to `max_edges` arbitrary labeled edges (self loops and parallel edges
+/// included — both occur in the paper's datasets).
+fn random_graph(
+    rng: &mut CaseRng,
     max_vertices: usize,
     max_edges: usize,
     labels: u16,
-) -> impl Strategy<Value = LabeledGraph> {
-    (2..=max_vertices).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..labels, 0..n as u32), 0..=max_edges).prop_map(
-            move |edges| {
-                let mut builder = GraphBuilder::with_capacity(n, labels as usize);
-                for (source, label, target) in edges {
-                    builder.add_edge(source, Label(label), target);
-                }
-                builder.build()
-            },
-        )
-    })
+) -> LabeledGraph {
+    let n = 2 + rng.below(max_vertices as u64 - 1) as usize;
+    let m = rng.below(max_edges as u64 + 1) as usize;
+    let mut builder = GraphBuilder::with_capacity(n, labels as usize);
+    for _ in 0..m {
+        let s = rng.below(n as u64) as u32;
+        let t = rng.below(n as u64) as u32;
+        let l = Label(rng.below(labels as u64) as u16);
+        builder.add_edge(s, l, t);
+    }
+    builder.build()
 }
 
 /// Exhaustively compares the index against the BFS oracle on every vertex
 /// pair and every minimum repeat of length at most `k`.
-fn assert_index_matches_oracle(graph: &LabeledGraph, k: usize, config: &BuildConfig) {
+fn assert_index_matches_oracle(graph: &LabeledGraph, k: usize, config: &BuildConfig, case: u64) {
     let (index, _) = build_index(graph, config);
+    let oracle = rlc::baselines::engine::BfsEngine::new(graph);
     let constraints = enumerate_minimum_repeats(graph.label_count().max(1), k);
     for s in graph.vertices() {
         for t in graph.vertices() {
             for constraint in &constraints {
                 let query = RlcQuery::new(s, t, constraint.clone()).unwrap();
-                let expected = bfs_query(graph, &query);
+                let expected = oracle.evaluate(&query);
                 let got = index.query(&query);
                 assert_eq!(
                     got, expected,
-                    "index disagrees with oracle on ({s}, {t}, {constraint:?})"
+                    "case {case}: index disagrees with oracle on ({s}, {t}, {constraint:?})"
                 );
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn index_is_sound_and_complete_k2(graph in arb_graph(12, 30, 3)) {
-        assert_index_matches_oracle(&graph, 2, &BuildConfig::new(2));
+#[test]
+fn index_is_sound_and_complete_k2() {
+    let mut rng = CaseRng(0x5EED_0001);
+    for case in 0..48 {
+        let graph = random_graph(&mut rng, 12, 30, 3);
+        assert_index_matches_oracle(&graph, 2, &BuildConfig::new(2), case);
     }
+}
 
-    #[test]
-    fn index_is_sound_and_complete_k3(graph in arb_graph(9, 22, 2)) {
-        assert_index_matches_oracle(&graph, 3, &BuildConfig::new(3));
+#[test]
+fn index_is_sound_and_complete_k3() {
+    let mut rng = CaseRng(0x5EED_0002);
+    for case in 0..24 {
+        let graph = random_graph(&mut rng, 9, 22, 2);
+        assert_index_matches_oracle(&graph, 3, &BuildConfig::new(3), case);
     }
+}
 
-    #[test]
-    fn index_without_pruning_is_sound_and_complete(graph in arb_graph(10, 24, 3)) {
-        assert_index_matches_oracle(&graph, 2, &BuildConfig::new(2).without_pruning());
+#[test]
+fn index_without_pruning_is_sound_and_complete() {
+    let mut rng = CaseRng(0x5EED_0003);
+    for case in 0..32 {
+        let graph = random_graph(&mut rng, 10, 24, 3);
+        assert_index_matches_oracle(&graph, 2, &BuildConfig::new(2).without_pruning(), case);
     }
+}
 
-    #[test]
-    fn lazy_strategy_is_sound_and_complete(graph in arb_graph(10, 24, 3)) {
+#[test]
+fn lazy_strategy_is_sound_and_complete() {
+    let mut rng = CaseRng(0x5EED_0004);
+    for case in 0..32 {
+        let graph = random_graph(&mut rng, 10, 24, 3);
         assert_index_matches_oracle(
             &graph,
             2,
             &BuildConfig::new(2).with_strategy(KbsStrategy::Lazy),
+            case,
         );
     }
+}
 
-    #[test]
-    fn alternative_orderings_are_sound_and_complete(graph in arb_graph(10, 24, 3)) {
+#[test]
+fn alternative_orderings_are_sound_and_complete() {
+    let mut rng = CaseRng(0x5EED_0005);
+    for case in 0..12 {
+        let graph = random_graph(&mut rng, 10, 24, 3);
         for ordering in [
             OrderingStrategy::VertexId,
             OrderingStrategy::OutDegree,
             OrderingStrategy::Random(7),
         ] {
-            assert_index_matches_oracle(&graph, 2, &BuildConfig::new(2).with_ordering(ordering));
+            assert_index_matches_oracle(
+                &graph,
+                2,
+                &BuildConfig::new(2).with_ordering(ordering),
+                case,
+            );
         }
     }
+}
 
-    #[test]
-    fn index_is_condensed(graph in arb_graph(12, 30, 3)) {
-        // Theorem 2: with all pruning rules the index has no redundant entries.
+#[test]
+fn index_is_condensed() {
+    // Theorem 2: with all pruning rules the index has no redundant entries.
+    let mut rng = CaseRng(0x5EED_0006);
+    for case in 0..48 {
+        let graph = random_graph(&mut rng, 12, 30, 3);
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
-        prop_assert_eq!(index.redundant_entries(), 0);
+        assert_eq!(index.redundant_entries(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn online_baselines_agree_with_each_other(graph in arb_graph(12, 30, 3)) {
+#[test]
+fn online_baselines_agree_with_each_other() {
+    let mut rng = CaseRng(0x5EED_0007);
+    for case in 0..24 {
+        let graph = random_graph(&mut rng, 12, 30, 3);
+        let engines = rlc::baselines::engine::online_engines(&graph);
         let constraints = enumerate_minimum_repeats(3, 2);
         for s in graph.vertices() {
             for t in graph.vertices() {
                 for constraint in &constraints {
                     let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
-                    let bfs = bfs_query(&graph, &q);
-                    prop_assert_eq!(bfs, bibfs_query(&graph, &q));
-                    prop_assert_eq!(bfs, dfs_query(&graph, &q));
+                    let answers: Vec<bool> = engines.iter().map(|e| e.evaluate(&q)).collect();
+                    assert!(
+                        answers.windows(2).all(|w| w[0] == w[1]),
+                        "case {case}: baselines disagree on ({s}, {t}, {constraint:?}): {answers:?}"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn etc_agrees_with_index(graph in arb_graph(10, 26, 3)) {
+#[test]
+fn etc_agrees_with_index() {
+    let mut rng = CaseRng(0x5EED_0008);
+    for case in 0..24 {
+        let graph = random_graph(&mut rng, 10, 26, 3);
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
         let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
         let constraints = enumerate_minimum_repeats(3, 2);
@@ -118,14 +178,18 @@ proptest! {
             for t in graph.vertices() {
                 for constraint in &constraints {
                     let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
-                    prop_assert_eq!(index.query(&q), etc.query(&q));
+                    assert_eq!(index.query(&q), etc.query(&q), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn binary_round_trip_preserves_every_answer(graph in arb_graph(10, 26, 3)) {
+#[test]
+fn binary_round_trip_preserves_every_answer() {
+    let mut rng = CaseRng(0x5EED_0009);
+    for case in 0..24 {
+        let graph = random_graph(&mut rng, 10, 26, 3);
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
         let restored = rlc::index::RlcIndex::from_bytes(&index.to_bytes()).unwrap();
         let constraints = enumerate_minimum_repeats(3, 2);
@@ -133,14 +197,18 @@ proptest! {
             for t in graph.vertices() {
                 for constraint in &constraints {
                     let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
-                    prop_assert_eq!(index.query(&q), restored.query(&q));
+                    assert_eq!(index.query(&q), restored.query(&q), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn kleene_star_equals_plus_or_equality(graph in arb_graph(12, 30, 3)) {
+#[test]
+fn kleene_star_equals_plus_or_equality() {
+    let mut rng = CaseRng(0x5EED_000A);
+    for case in 0..24 {
+        let graph = random_graph(&mut rng, 12, 30, 3);
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
         let constraints = enumerate_minimum_repeats(3, 2);
         for s in graph.vertices() {
@@ -148,7 +216,7 @@ proptest! {
                 for constraint in &constraints {
                     let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
                     let star = index.query_star(&q);
-                    prop_assert_eq!(star, (s == t) || index.query(&q));
+                    assert_eq!(star, (s == t) || index.query(&q), "case {case}");
                 }
             }
         }
@@ -157,60 +225,75 @@ proptest! {
 
 /// Minimum-repeat algebra properties, checked independently of any graph.
 mod repeats_properties {
-    use super::*;
+    use super::CaseRng;
     use rlc::index::repeats::{is_minimum_repeat, kernel_tail, minimum_repeat, minimum_repeat_len};
+    use rlc::prelude::Label;
 
-    fn arb_sequence() -> impl Strategy<Value = Vec<Label>> {
-        proptest::collection::vec(0u16..4, 1..24).prop_map(|v| v.into_iter().map(Label).collect())
+    fn random_sequence(rng: &mut CaseRng) -> Vec<Label> {
+        let len = 1 + rng.below(23) as usize;
+        (0..len).map(|_| Label(rng.below(4) as u16)).collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        #[test]
-        fn mr_divides_and_reconstructs(seq in arb_sequence()) {
+    #[test]
+    fn mr_divides_and_reconstructs() {
+        let mut rng = CaseRng(0x5EED_000B);
+        for case in 0..256 {
+            let seq = random_sequence(&mut rng);
             let mr_len = minimum_repeat_len(&seq);
-            prop_assert!(mr_len >= 1 && mr_len <= seq.len());
-            prop_assert_eq!(seq.len() % mr_len, 0);
+            assert!(mr_len >= 1 && mr_len <= seq.len(), "case {case}");
+            assert_eq!(seq.len() % mr_len, 0, "case {case}");
             // Repeating the MR reconstructs the sequence.
             for (i, label) in seq.iter().enumerate() {
-                prop_assert_eq!(*label, seq[i % mr_len]);
+                assert_eq!(*label, seq[i % mr_len], "case {case}");
             }
             // The MR is itself irreducible.
-            prop_assert!(is_minimum_repeat(minimum_repeat(&seq)));
+            assert!(is_minimum_repeat(minimum_repeat(&seq)), "case {case}");
         }
+    }
 
-        #[test]
-        fn mr_is_idempotent(seq in arb_sequence()) {
+    #[test]
+    fn mr_is_idempotent() {
+        let mut rng = CaseRng(0x5EED_000C);
+        for case in 0..256 {
+            let seq = random_sequence(&mut rng);
             let mr = minimum_repeat(&seq).to_vec();
-            prop_assert_eq!(minimum_repeat(&mr).to_vec(), mr.clone());
+            assert_eq!(minimum_repeat(&mr).to_vec(), mr, "case {case}");
         }
+    }
 
-        #[test]
-        fn mr_of_explicit_power_is_base(seq in arb_sequence(), reps in 1usize..4) {
+    #[test]
+    fn mr_of_explicit_power_is_base() {
+        let mut rng = CaseRng(0x5EED_000D);
+        for case in 0..256 {
+            let seq = random_sequence(&mut rng);
+            let reps = 1 + rng.below(3) as usize;
             let base = minimum_repeat(&seq).to_vec();
             let mut power = Vec::new();
             for _ in 0..reps {
                 power.extend_from_slice(&base);
             }
-            prop_assert_eq!(minimum_repeat(&power).to_vec(), base);
+            assert_eq!(minimum_repeat(&power).to_vec(), base, "case {case}");
         }
+    }
 
-        #[test]
-        fn kernel_decomposition_reconstructs_sequence(seq in arb_sequence()) {
+    #[test]
+    fn kernel_decomposition_reconstructs_sequence() {
+        let mut rng = CaseRng(0x5EED_000E);
+        for case in 0..256 {
+            let seq = random_sequence(&mut rng);
             if let Some((kernel, tail)) = kernel_tail(&seq) {
-                prop_assert!(is_minimum_repeat(kernel));
-                prop_assert!(tail.len() < kernel.len());
-                prop_assert!(seq.len() >= 2 * kernel.len());
+                assert!(is_minimum_repeat(kernel), "case {case}");
+                assert!(tail.len() < kernel.len(), "case {case}");
+                assert!(seq.len() >= 2 * kernel.len(), "case {case}");
                 // seq = kernel^h ∘ tail.
                 let h = (seq.len() - tail.len()) / kernel.len();
-                prop_assert!(h >= 2);
+                assert!(h >= 2, "case {case}");
                 let mut rebuilt: Vec<Label> = Vec::new();
                 for _ in 0..h {
                     rebuilt.extend_from_slice(kernel);
                 }
                 rebuilt.extend_from_slice(tail);
-                prop_assert_eq!(rebuilt, seq.clone());
+                assert_eq!(rebuilt, seq, "case {case}");
             }
         }
     }

@@ -4,7 +4,6 @@
 
 use rlc::index::verify::{verify_index, VerificationMode};
 use rlc::index::{build_index, BuildConfig, KbsStrategy, OrderingStrategy};
-use rlc::prelude::*;
 use rlc::workloads::datasets::dataset_by_code;
 
 #[test]
@@ -16,7 +15,10 @@ fn dataset_standins_pass_sampled_verification() {
         let report = verify_index(
             &graph,
             &index,
-            VerificationMode::Sampled { pairs: 150, seed: 3 },
+            VerificationMode::Sampled {
+                pairs: 150,
+                seed: 3,
+            },
         );
         assert!(
             report.is_sound_and_complete(),

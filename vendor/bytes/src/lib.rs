@@ -1,0 +1,127 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the handful of external crates the workspace relies on are vendored as
+//! minimal, dependency-free reimplementations of exactly the API surface the
+//! workspace uses. This crate covers the little-endian cursor reading and
+//! appending that `rlc-core` uses for its binary index format: [`Buf`] over
+//! `&[u8]` and [`BufMut`] over `Vec<u8>`.
+
+#![warn(missing_docs)]
+
+/// Read side of a byte cursor. Implemented for `&[u8]`; every `get_*` call
+/// consumes bytes from the front.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no byte remains (as the real `bytes` crate does).
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes and returns a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Consumes and returns a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consumes and returns a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes([head[0], head[1]])
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes([head[0], head[1], head[2], head[3]])
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes([
+            head[0], head[1], head[2], head[3], head[4], head[5], head[6], head[7],
+        ])
+    }
+}
+
+/// Write side of a byte buffer. Implemented for `Vec<u8>`; every `put_*`
+/// call appends.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, value: u16);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
+    fn put_u16_le(&mut self, value: u16) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, value: u32) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, value: u64) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.remaining(), 15);
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u16_le(), 0x1234);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_the_end_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32_le();
+    }
+}

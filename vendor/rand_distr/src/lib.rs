@@ -1,0 +1,108 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the [`Zipf`] distribution the graph generators use for label
+//! assignment. Upstream `rand_distr` samples Zipf by rejection; the label
+//! alphabets in this workspace are tiny (≤ 50 symbols), so exact inverse-CDF
+//! sampling over a precomputed table is both simpler and faster here.
+
+#![warn(missing_docs)]
+
+pub use rand::Distribution;
+use rand::Rng;
+
+/// Error raised for invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipfError(&'static str);
+
+impl core::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid Zipf parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over ranks `1..=n`: rank `i` has probability
+/// proportional to `1 / i^s`. Sampling returns the rank as `f64`, matching
+/// the upstream crate's API.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[i]` = P(rank <= i + 1).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError("n must be at least 1"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ZipfError("exponent must be finite and non-negative"));
+        }
+        let weights: Vec<f64> = (1..=n).map(|rank| (rank as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.next_f64();
+        // First rank whose cumulative probability exceeds the draw.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn ranks_stay_in_bounds() {
+        let zipf = Zipf::new(8, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!((1.0..=8.0).contains(&rank));
+        }
+    }
+
+    #[test]
+    fn exponent_two_mass_is_front_loaded() {
+        // For s = 2 over 8 ranks, P(rank = 1) = 1 / H(8, 2) ≈ 0.645.
+        let zipf = Zipf::new(8, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let ones = (0..n).filter(|_| zipf.sample(&mut rng) == 1.0).count();
+        let rate = ones as f64 / n as f64;
+        assert!((rate - 0.645).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Zipf::new(0, 2.0).is_err());
+        assert!(Zipf::new(5, f64::NAN).is_err());
+        assert!(Zipf::new(5, -1.0).is_err());
+    }
+
+    #[test]
+    fn single_rank_always_returns_one() {
+        let zipf = Zipf::new(1, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1.0);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the `par_iter().map(..).collect()` subset the workspace uses, implemented
+//! with `std::thread::scope` over contiguous chunks instead of a work-stealing
+//! pool. Results are returned in input order, matching rayon's indexed
+//! parallel iterators.
+//!
+//! Threads are real: on a multi-core host a batch fans out across all
+//! available cores (or `RAYON_NUM_THREADS` when set). Small inputs skip the
+//! thread machinery entirely so the parallel path never loses to the
+//! sequential one on trivial batches.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-internal thread-count override (0 = none). An extension over
+/// upstream rayon: benchmark sweeps change the worker count mid-process
+/// through this atomic instead of mutating the `RAYON_NUM_THREADS`
+/// environment variable, which is undefined behavior to write while other
+/// threads may be reading the environment.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for subsequent parallel operations in this
+/// process (`None` clears the override). Takes precedence over
+/// `RAYON_NUM_THREADS`.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Number of worker threads a parallel operation will use: the process
+/// override from [`set_thread_override`] when set, else the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive integer,
+/// otherwise the number of available CPUs.
+pub fn current_num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if overridden > 0 {
+        return overridden;
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Minimum number of items per worker before fanning out is worth it (only
+/// applied when the thread count is auto-detected; an explicit
+/// `RAYON_NUM_THREADS` is honoured exactly, capped at the item count).
+const MIN_CHUNK: usize = 16;
+
+/// Number of workers a parallel operation over `items` elements will use.
+fn thread_plan(items: usize) -> usize {
+    if items <= 1 {
+        return 1;
+    }
+    let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if overridden > 0 {
+        return overridden.min(items);
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n.min(items);
+            }
+        }
+    }
+    let available = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    available.min(items / MIN_CHUNK).max(1)
+}
+
+/// Maps `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// preserving input order in the result.
+fn parallel_map<'data, T: Sync, U: Send, F>(items: &'data [T], f: F) -> Vec<U>
+where
+    F: Fn(&'data T) -> U + Sync,
+{
+    let threads = thread_plan(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunk_results: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            chunk_results.push(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in chunk_results {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Parallel iterator machinery (the subset of `rayon::iter` in use).
+pub mod iter {
+    use super::parallel_map;
+
+    /// Conversion into a borrowing parallel iterator, mirroring
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed item type.
+        type Item: Sync + 'data;
+
+        /// Returns a parallel iterator over borrowed items.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// A borrowing parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Maps every item through `f` in parallel.
+        pub fn map<U, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            U: Send,
+            F: Fn(&'data T) -> U + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// A mapped parallel iterator, ready to collect.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F> ParMap<'data, T, F> {
+        /// Executes the map in parallel and collects the results in input
+        /// order.
+        pub fn collect<C, U>(self) -> C
+        where
+            U: Send,
+            F: Fn(&'data T) -> U + Sync,
+            C: FromIterator<U>,
+        {
+            parallel_map(self.items, self.f).into_iter().collect()
+        }
+    }
+}
+
+/// The commonly imported traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), items.len());
+        for (i, &d) in doubled.iter().enumerate() {
+            assert_eq!(d, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn slices_and_vecs_are_both_iterable() {
+        let v = vec![1u32, 2, 3];
+        let s: &[u32] = &v;
+        let from_vec: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        let from_slice: Vec<u32> = s.par_iter().map(|&x| x).collect();
+        assert_eq!(from_vec, from_slice);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_takes_precedence_and_clears() {
+        // Serialize against any other test touching the global override.
+        super::set_thread_override(Some(3));
+        assert_eq!(super::current_num_threads(), 3);
+        // Parallel execution under the override still preserves order.
+        let items: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = items.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..101).collect::<Vec<u32>>());
+        super::set_thread_override(None);
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,411 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a simplified serialization framework with the same spelling as serde:
+//! [`Serialize`] / [`Deserialize`] traits, `#[derive(Serialize, Deserialize)]`
+//! (via the vendored `serde_derive` proc macro, which honours
+//! `#[serde(skip)]`), and impls for the std types the workspace serializes.
+//!
+//! Instead of serde's visitor architecture, values round-trip through a
+//! self-describing [`Value`] tree — the natural model for the JSON-only
+//! usage in this workspace. The vendored `serde_json` crate renders and
+//! parses that tree.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A self-describing serialized value (the data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a map value, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence value, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up and deserializes a named field of a map — used by the derive
+/// macro's generated code.
+pub fn map_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    type_name: &str,
+) -> Result<T, Error> {
+    let value = entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` for {type_name}")))?;
+    T::from_value(value)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        Error::custom(format!("integer {u} out of i64 range"))
+                    })?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, found {value:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected a 2-element sequence"))?;
+        if seq.len() != 2 {
+            return Err(Error::custom(format!(
+                "expected 2 elements, found {}",
+                seq.len()
+            )));
+        }
+        Ok((A::from_value(&seq[0])?, B::from_value(&seq[1])?))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        // Deterministic output independent of hash order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected a map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_owned(), Value::UInt(self.as_secs())),
+            ("nanos".to_owned(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected a {secs, nanos} map for Duration"))?;
+        let secs: u64 = map_field(entries, "secs", "Duration")?;
+        let nanos: u32 = map_field(entries, "nanos", "Duration")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.25f64.to_value()).unwrap(), 1.25);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
+        let some = Some(9u32);
+        assert_eq!(Option::<u32>::from_value(&some.to_value()).unwrap(), some);
+        let pair = (3u32, "x".to_string());
+        assert_eq!(<(u32, String)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = Duration::new(7, 123_456_789);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u32::from_value(&Value::Str("no".into())).is_err());
+        assert!(bool::from_value(&Value::UInt(1)).is_err());
+        assert!(u8::from_value(&Value::UInt(999)).is_err());
+    }
+}

@@ -1,0 +1,501 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` data model without depending on `syn`/`quote`: the item
+//! is parsed directly from the `proc_macro` token stream and the generated
+//! impl is emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! * named-field structs, honouring `#[serde(skip)]` (skipped fields are not
+//!   serialized and are reconstructed with `Default::default()`);
+//! * tuple structs (newtype structs serialize as their inner value, wider
+//!   tuples as a sequence);
+//! * unit structs;
+//! * enums with unit variants (serialized as the variant name), single- and
+//!   multi-payload tuple variants, and struct variants (externally tagged,
+//!   as upstream serde does).
+//!
+//! Generics are not supported; the workspace derives only on concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item)
+            .parse()
+            .expect("generated code parses"),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_deserialize(&item)
+            .parse()
+            .expect("generated code parses"),
+        Err(message) => compile_error(&message),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("error macro parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive: generic type {name} is not supported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => parse_struct(name, &tokens, i),
+        "enum" => parse_enum(name, &tokens, i),
+        other => Err(format!(
+            "serde derive: expected struct or enum, found {other}"
+        )),
+    }
+}
+
+fn parse_struct(name: String, tokens: &[TokenTree], i: usize) -> Result<Item, String> {
+    match tokens.get(i) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(group.stream())?;
+            Ok(Item::NamedStruct { name, fields })
+        }
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(group.stream());
+            Ok(Item::TupleStruct { name, arity })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        other => Err(format!(
+            "serde derive: unexpected token {other:?} in struct {name}"
+        )),
+    }
+}
+
+fn parse_enum(name: String, tokens: &[TokenTree], i: usize) -> Result<Item, String> {
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group,
+        other => return Err(format!("serde derive: expected enum body, found {other:?}")),
+    };
+    let body: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        skip_attributes(&body, &mut j);
+        if j >= body.len() {
+            break;
+        }
+        let variant_name = expect_ident(&body, &mut j)?;
+        let payload = match body.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                Payload::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                Payload::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => Payload::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while j < body.len() {
+            if matches!(&body[j], TokenTree::Punct(p) if p.as_char() == ',') {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        variants.push(Variant {
+            name: variant_name,
+            payload,
+        });
+    }
+    Ok(Item::Enum { name, variants })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde derive: expected `:` after field {name}, found {other:?}"
+                ))
+            }
+        }
+        // Consume the type up to the next comma at angle-bracket depth zero.
+        let mut depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let skip = attrs.iter().any(|a| is_serde_skip(a));
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth: i32 = 0;
+    let mut count = 1;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Advances past `#[...]` attribute groups, returning their normalized
+/// content strings (whitespace stripped), e.g. `serde(skip)`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut attrs = Vec::new();
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        let group = match (&is_hash, &tokens[*i + 1]) {
+            (true, TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => break,
+        };
+        let normalized: String = group
+            .stream()
+            .to_string()
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        attrs.push(normalized);
+        *i += 2;
+    }
+    attrs
+}
+
+fn is_serde_skip(normalized_attr: &str) -> bool {
+    normalized_attr
+        .strip_prefix("serde(")
+        .and_then(|rest| rest.strip_suffix(')'))
+        .is_some_and(|inner| inner.split(',').any(|part| part == "skip"))
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!(
+            "serde derive: expected identifier, found {other:?}"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "entries.push(({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = field.name
+                ));
+            }
+            (
+                name,
+                format!(
+                    "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}::serde::Value::Map(entries)"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Seq(vec![{}])", items.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+                    )),
+                    Payload::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Payload::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                             ::serde::Value::Seq(vec![{values}]))]),\n",
+                            binds = binders.join(", "),
+                            values = values.join(", "),
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "({n:?}.to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                             ::serde::Value::Map(vec![{pushes}]))]),\n",
+                            binds = binders.join(", "),
+                            pushes = pushes.join(", "),
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                if field.skip {
+                    inits.push_str(&format!(
+                        "{n}: ::core::default::Default::default(),\n",
+                        n = field.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::map_field(entries, {n:?}, {name:?})?,\n",
+                        n = field.name
+                    ));
+                }
+            }
+            (
+                name,
+                format!(
+                    "let entries = value.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected a map for \", {name:?})))?;\n\
+                     Ok({name} {{\n{inits}}})"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let seq = value.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected a sequence for \", {name:?})))?;\n\
+                     if seq.len() != {arity} {{\n\
+                     return Err(::serde::Error::custom(concat!(\"wrong arity for \", {name:?})));\n\
+                     }}\n\
+                     Ok({name}({items}))",
+                    items = items.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (name, format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.payload {
+                    Payload::Unit => {
+                        unit_arms.push_str(&format!("{v:?} => Ok({name}::{v}),\n"));
+                    }
+                    Payload::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),\n"
+                        ));
+                    }
+                    Payload::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let seq = payload.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected a sequence payload\"))?;\n\
+                             if seq.len() != {arity} {{\n\
+                             return Err(::serde::Error::custom(\"wrong payload arity\"));\n\
+                             }}\n\
+                             Ok({name}::{v}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{n}: ::core::default::Default::default()", n = f.name)
+                                } else {
+                                    format!(
+                                        "{n}: ::serde::map_field(entries, {n:?}, {name:?})?",
+                                        n = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let entries = payload.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected a map payload\"))?;\n\
+                             Ok({name}::{v} {{ {inits} }})\n\
+                             }}\n",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                     {unit_arms}\
+                     other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant {{other}} for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(outer) if outer.len() == 1 => {{\n\
+                     let (tag, payload) = &outer[0];\n\
+                     let _ = payload;\n\
+                     match tag.as_str() {{\n\
+                     {payload_arms}\
+                     other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant {{other}} for {name}\"))),\n\
+                     }}\n\
+                     }},\n\
+                     other => Err(::serde::Error::custom(format!(\
+                     \"expected an enum value for {name}, found {{other:?}}\"))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
