@@ -1,0 +1,14 @@
+//! Experiment binary: thread-sweep of the block-parallel index build on a
+//! synthetic graph, verifying every parallel build byte-identical to the
+//! sequential baseline.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::build_scaling;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", build_scaling::run(&args));
+}

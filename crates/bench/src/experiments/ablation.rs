@@ -84,7 +84,7 @@ pub fn run_pruning(args: &CommonArgs, vertices: usize) -> String {
             name.to_string(),
             format_duration(stats.duration),
             index.entry_count().to_string(),
-            format_bytes(index.memory_bytes()),
+            format_bytes(index.csr_memory_bytes()),
             redundant.to_string(),
             (redundant == 0).to_string(),
             format_duration(timing.total()),
@@ -141,7 +141,7 @@ pub fn run_strategy(args: &CommonArgs, vertices: usize) -> String {
             name.to_string(),
             format_duration(stats.duration),
             index.entry_count().to_string(),
-            format_bytes(index.memory_bytes()),
+            format_bytes(index.csr_memory_bytes()),
         ]);
     }
     out.push_str(&ordering_table.render());

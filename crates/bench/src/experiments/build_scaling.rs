@@ -1,0 +1,113 @@
+//! Thread-sweep measurement of the block-parallel index build.
+//!
+//! Not an experiment of the paper: it validates this reproduction's parallel
+//! construction path. On a synthetic graph the RLC index is built (a)
+//! sequentially and (b) with the block-parallel build at increasing worker
+//! counts, reporting build time and the speed-up over the sequential build.
+//! Every parallel build is verified **byte-identical** to the sequential one
+//! (the determinism contract of the merge), so the sweep doubles as an
+//! end-to-end correctness check. On a single-CPU host the table demonstrates
+//! the sweep mechanics and the determinism guarantee; wall-clock scaling
+//! needs a multi-core host.
+
+use crate::CommonArgs;
+use rlc_core::engine::batch_threads;
+use rlc_core::{build_index, BuildConfig};
+use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+use rlc_workloads::{format_duration, Table};
+
+/// Default vertex count of the build-scaling graph.
+pub const DEFAULT_VERTICES: usize = 20_000;
+
+/// Runs the measurement with default sizes.
+pub fn run(args: &CommonArgs) -> String {
+    let vertices = if args.quick { 2_000 } else { DEFAULT_VERTICES };
+    run_with(args, vertices)
+}
+
+/// Runs the measurement on an ER graph with the given vertex count.
+pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
+    let graph = erdos_renyi(&SyntheticConfig::new(vertices, 4.0, 8, args.seed));
+
+    let available = batch_threads();
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t < available {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    if available > 1 {
+        thread_counts.push(available);
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut table = Table::new(
+        &format!(
+            "Index build scaling: ER graph, |V| = {vertices}, d = 4, |L| = 8, k = 2 \
+             ({cpus} CPUs, sweeping up to {available} rayon workers)"
+        ),
+        &[
+            "mode",
+            "threads",
+            "build time",
+            "entries",
+            "speed-up vs sequential",
+            "identical to sequential",
+        ],
+    );
+
+    // Untimed warm-up, then the timed sequential baseline.
+    let _ = build_index(&graph, &BuildConfig::new(2));
+    let (baseline, baseline_stats) = build_index(&graph, &BuildConfig::new(2));
+    let baseline_bytes = baseline.to_bytes();
+    let baseline_secs = baseline_stats.duration.as_secs_f64();
+    table.add_row(vec![
+        "sequential".into(),
+        "1".into(),
+        format_duration(baseline_stats.duration),
+        baseline.entry_count().to_string(),
+        "1.0x".into(),
+        "-".into(),
+    ]);
+
+    for &threads in &thread_counts {
+        let config = BuildConfig::new(2).with_threads(threads);
+        let (index, stats) = build_index(&graph, &config);
+        let identical = index.to_bytes() == baseline_bytes;
+        assert!(
+            identical,
+            "parallel build at {threads} threads diverged from the sequential build"
+        );
+        table.add_row(vec![
+            "parallel".into(),
+            threads.to_string(),
+            format_duration(stats.duration),
+            index.entry_count().to_string(),
+            format!(
+                "{:.1}x",
+                baseline_secs / stats.duration.as_secs_f64().max(1e-9)
+            ),
+            "yes".into(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_verifies_determinism_per_row() {
+        let args = CommonArgs {
+            scale: 1.0,
+            seed: 4,
+            queries: 5,
+            quick: true,
+        };
+        let report = run_with(&args, 400);
+        assert!(report.contains("sequential"));
+        assert!(report.contains("parallel"));
+        assert!(report.contains("yes"));
+    }
+}

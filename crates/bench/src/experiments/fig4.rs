@@ -67,7 +67,7 @@ pub fn run_subset(args: &CommonArgs, codes: &[&str], ks: &[usize]) -> String {
                 spec.code.to_string(),
                 k.to_string(),
                 format_duration(stats.duration),
-                format_bytes(index.memory_bytes()),
+                format_bytes(index.csr_memory_bytes()),
                 index.entry_count().to_string(),
                 format_duration(timing.true_total),
                 format_duration(timing.false_total),

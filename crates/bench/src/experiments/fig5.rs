@@ -71,7 +71,7 @@ pub fn run_with(
                     d.to_string(),
                     labels.to_string(),
                     format_duration(stats.duration),
-                    format_bytes(index.memory_bytes()),
+                    format_bytes(index.csr_memory_bytes()),
                     index.entry_count().to_string(),
                     format_duration(timing.true_total),
                     format_duration(timing.false_total),

@@ -60,7 +60,7 @@ pub fn run_with(args: &CommonArgs, sizes: &[usize]) -> String {
                 n.to_string(),
                 graph.edge_count().to_string(),
                 format_duration(stats.duration),
-                format_bytes(index.memory_bytes()),
+                format_bytes(index.csr_memory_bytes()),
                 index.entry_count().to_string(),
                 format_duration(timing.true_total),
                 format_duration(timing.false_total),

@@ -72,7 +72,7 @@ pub fn run_with(args: &CommonArgs, vertices: usize, ks: &[usize]) -> String {
             table.add_row(vec![
                 k.to_string(),
                 format_duration(stats.duration),
-                format_bytes(index.memory_bytes()),
+                format_bytes(index.csr_memory_bytes()),
                 index.entry_count().to_string(),
                 format_duration(timing.true_total),
                 format_duration(timing.false_total),

@@ -17,9 +17,11 @@
 //! | [`table5`] | Table V — speed-ups and break-even points vs graph engines |
 //! | [`ablation`] | pruning-rule / strategy / ordering ablations |
 //! | [`batch`] | parallel batch-query throughput (not from the paper) |
+//! | [`build_scaling`] | parallel index-build thread sweep (not from the paper) |
 
 pub mod ablation;
 pub mod batch;
+pub mod build_scaling;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -86,6 +88,7 @@ mod tests {
             ablation::run_pruning(&args, 400),
             ablation::run_strategy(&args, 400),
             batch::run_with(&args, 400),
+            build_scaling::run_with(&args, 400),
         ] {
             assert!(!report.is_empty());
             assert!(

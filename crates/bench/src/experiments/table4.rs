@@ -77,7 +77,7 @@ pub fn run_subset(args: &CommonArgs, codes: &[&str]) -> String {
         } else {
             (
                 format_duration(stats.duration),
-                format_bytes(index.memory_bytes()),
+                format_bytes(index.csr_memory_bytes()),
                 index.entry_count().to_string(),
             )
         };

@@ -18,6 +18,7 @@
 //!   closure;
 //! * the three simulated mainstream engines in `rlc-engine-sim`.
 
+use crate::build::BuildConfig;
 use crate::hybrid::{evaluate_hybrid, ConcatQuery};
 use crate::index::RlcIndex;
 use crate::query::RlcQuery;
@@ -74,6 +75,17 @@ pub trait ReachabilityEngine: Sync {
 /// count: `RAYON_NUM_THREADS` when set, available CPUs otherwise).
 pub fn batch_threads() -> usize {
     rayon::current_num_threads()
+}
+
+/// Number of worker threads a parallel index build under `config` fans out
+/// to: the explicit [`BuildConfig::num_threads`] when set, otherwise the
+/// rayon thread count (`RAYON_NUM_THREADS` when set, available CPUs
+/// otherwise). Always at least 1; a sequential build ignores it.
+pub fn build_threads(config: &BuildConfig) -> usize {
+    config
+        .num_threads
+        .unwrap_or_else(rayon::current_num_threads)
+        .max(1)
 }
 
 /// The RLC index as a [`ReachabilityEngine`]: plain queries are answered by

@@ -40,8 +40,13 @@ pub struct IndexStats {
     pub lout_entries: usize,
     /// Number of distinct minimum repeats appearing in entries.
     pub distinct_mrs: usize,
-    /// Estimated memory footprint in bytes (see [`RlcIndex::memory_bytes`]).
+    /// Actual resident memory footprint in bytes (see
+    /// [`RlcIndex::memory_bytes`]).
     pub memory_bytes: usize,
+    /// Estimated footprint of a CSR-packed deployment in bytes (see
+    /// [`RlcIndex::csr_memory_bytes`]); the figure the paper's Table IV
+    /// reports, kept separate so table reproductions stay comparable.
+    pub csr_memory_bytes: usize,
     /// Largest `|Lin(v)| + |Lout(v)|` over all vertices.
     pub max_entries_per_vertex: usize,
 }
@@ -52,9 +57,14 @@ impl IndexStats {
         self.lin_entries + self.lout_entries
     }
 
-    /// Memory footprint in mebibytes, as reported in Table IV.
+    /// Actual resident memory footprint in mebibytes.
     pub fn memory_megabytes(&self) -> f64 {
         self.memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// CSR-packed footprint estimate in mebibytes, as reported in Table IV.
+    pub fn csr_memory_megabytes(&self) -> f64 {
+        self.csr_memory_bytes as f64 / (1024.0 * 1024.0)
     }
 }
 
@@ -198,15 +208,61 @@ impl RlcIndex {
         false
     }
 
+    /// Whether `(s, t, mr+)` is already answerable from this index — the
+    /// pruning-rule-1 probe. Parallel build workers call this against a
+    /// frozen snapshot of the index (a plain shared borrow: the index is
+    /// `Sync` and the block-parallel build never mutates it while workers
+    /// hold the borrow), the sequential builder against the live index.
+    pub(crate) fn answerable(&self, s: VertexId, t: VertexId, mr: &[Label]) -> bool {
+        match self.catalog.resolve(mr) {
+            None => false,
+            Some(id) => self.query_interned(s, t, id),
+        }
+    }
+
+    /// Appends an entry to `Lin(v)`. The builder appends in access-id order
+    /// of the hub, which keeps the list sorted as Algorithm 1 requires.
+    pub(crate) fn push_lin(&mut self, v: VertexId, entry: IndexEntry) {
+        self.lin[v as usize].push(entry);
+    }
+
+    /// Appends an entry to `Lout(v)` (same ordering contract as
+    /// [`RlcIndex::push_lin`]).
+    pub(crate) fn push_lout(&mut self, v: VertexId, entry: IndexEntry) {
+        self.lout[v as usize].push(entry);
+    }
+
     /// Total number of entries.
     pub fn entry_count(&self) -> usize {
         self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
     }
 
-    /// Estimated memory footprint in bytes: 8 bytes per entry, 16 bytes of
-    /// per-vertex bookkeeping (two offset entries, as a CSR-packed production
-    /// deployment would store), the access-id array, and the MR catalog.
+    /// Actual resident heap footprint in bytes of the `Vec<Vec<IndexEntry>>`
+    /// layout in use today: per-list capacity (including slack), the two
+    /// outer vectors' per-vertex `Vec` headers, the vertex-order arrays, and
+    /// the MR catalog.
     pub fn memory_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<IndexEntry>();
+        let vec_header = std::mem::size_of::<Vec<IndexEntry>>();
+        let mut bytes = 0usize;
+        for side in [&self.lin, &self.lout] {
+            bytes += side.capacity() * vec_header;
+            bytes += side
+                .iter()
+                .map(|list| list.capacity() * entry)
+                .sum::<usize>();
+        }
+        bytes += self.order.sequence.capacity() * std::mem::size_of::<VertexId>();
+        bytes += self.order.aid.capacity() * std::mem::size_of::<u32>();
+        bytes + self.catalog.memory_bytes()
+    }
+
+    /// Estimated footprint of a CSR-packed deployment in bytes: 8 bytes per
+    /// entry, 16 bytes of per-vertex bookkeeping (two offset entries per
+    /// side), the access-id array, and the MR catalog. This is the figure
+    /// Table IV-style reproductions report; the actual resident footprint of
+    /// the current pointer-based layout is [`RlcIndex::memory_bytes`].
+    pub fn csr_memory_bytes(&self) -> usize {
         self.entry_count() * std::mem::size_of::<IndexEntry>()
             + self.vertex_count() * 16
             + self.order.aid.len() * std::mem::size_of::<u32>()
@@ -228,6 +284,7 @@ impl RlcIndex {
             lout_entries,
             distinct_mrs: self.catalog.len(),
             memory_bytes: self.memory_bytes(),
+            csr_memory_bytes: self.csr_memory_bytes(),
             max_entries_per_vertex,
         }
     }
@@ -312,20 +369,36 @@ impl RlcIndex {
         false
     }
 
-    /// Serializes the index to a compact binary representation.
+    /// Serializes the index to a compact binary representation (format
+    /// version 2, magic `"RLC2"`).
     ///
-    /// Layout: header (`k`, vertex count, catalog size), the catalog
-    /// sequences, the access-id permutation, then per-vertex entry lists.
+    /// Layout: header (`k` as `u32`, vertex count as `u64`, catalog size as
+    /// `u64`), the catalog sequences (each a `u16` length followed by `u16`
+    /// labels), the access-id permutation (`u32` per vertex), then per-vertex
+    /// entry lists (`u32` length, then `u32` hub + `u32` MR id per entry).
     /// All integers are little-endian.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// Returns an explicit error instead of silently truncating when a field
+    /// exceeds its on-disk width (a catalog sequence longer than `u16::MAX`
+    /// labels, or a per-vertex entry list longer than `u32::MAX`).
+    pub fn try_to_bytes(&self) -> Result<Vec<u8>, String> {
         use bytes::BufMut;
-        let mut buf = Vec::with_capacity(self.memory_bytes());
+        let mut buf = Vec::with_capacity(self.csr_memory_bytes());
         buf.put_u32_le(MAGIC);
-        buf.put_u32_le(self.k as u32);
+        buf.put_u32_le(
+            u32::try_from(self.k).map_err(|_| format!("recursive k {} exceeds u32", self.k))?,
+        );
         buf.put_u64_le(self.vertex_count() as u64);
-        buf.put_u32_le(self.catalog.len() as u32);
-        for (_, seq) in self.catalog.iter() {
-            buf.put_u8(seq.len() as u8);
+        buf.put_u64_le(self.catalog.len() as u64);
+        for (id, seq) in self.catalog.iter() {
+            let len = u16::try_from(seq.len()).map_err(|_| {
+                format!(
+                    "catalog sequence {} has {} labels, exceeding the u16 length field",
+                    id.0,
+                    seq.len()
+                )
+            })?;
+            buf.put_u16_le(len);
             for label in seq {
                 buf.put_u16_le(label.0);
             }
@@ -334,18 +407,38 @@ impl RlcIndex {
             buf.put_u32_le(v);
         }
         for side in [&self.lout, &self.lin] {
-            for entries in side {
-                buf.put_u32_le(entries.len() as u32);
+            for (v, entries) in side.iter().enumerate() {
+                let len = u32::try_from(entries.len()).map_err(|_| {
+                    format!(
+                        "vertex {v} has {} entries, exceeding the u32 length field",
+                        entries.len()
+                    )
+                })?;
+                buf.put_u32_le(len);
                 for e in entries {
                     buf.put_u32_le(e.hub);
                     buf.put_u32_le(e.mr.0);
                 }
             }
         }
-        buf
+        Ok(buf)
+    }
+
+    /// Serializes the index, panicking on field overflow (see
+    /// [`RlcIndex::try_to_bytes`] for the fallible variant; overflow needs an
+    /// index beyond 2^32 entries on one vertex, so the panic is theoretical).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.try_to_bytes()
+            .expect("index exceeds binary format field widths")
     }
 
     /// Deserializes an index produced by [`RlcIndex::to_bytes`].
+    ///
+    /// Every structural invariant is validated: magic/version, catalog
+    /// sequences must be distinct minimum repeats, the vertex order must be a
+    /// bijection over the vertex ids, and every entry must reference an
+    /// in-range hub and a known minimum repeat. Corrupt or truncated blobs
+    /// yield a descriptive error, never a silently wrong index.
     pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
         use bytes::Buf;
         let mut buf = data;
@@ -358,59 +451,104 @@ impl RlcIndex {
                 ))
             }
         };
-        check(buf.remaining() >= 20, "header")?;
+        check(buf.remaining() >= 24, "header")?;
         let magic = buf.get_u32_le();
+        if magic == MAGIC_V1 {
+            return Err(
+                "unsupported RLC index format version 1; rebuild and re-serialize the index"
+                    .to_owned(),
+            );
+        }
         if magic != MAGIC {
             return Err(format!("bad magic {magic:#x}, not an RLC index blob"));
         }
         let k = buf.get_u32_le() as usize;
-        let n = buf.get_u64_le() as usize;
-        let catalog_len = buf.get_u32_le() as usize;
+        if k == 0 {
+            return Err("corrupt index data: recursive k must be at least 1".to_owned());
+        }
+        let n = usize::try_from(buf.get_u64_le())
+            .map_err(|_| "corrupt index data: vertex count exceeds usize".to_owned())?;
+        let catalog_len = usize::try_from(buf.get_u64_le())
+            .map_err(|_| "corrupt index data: catalog size exceeds usize".to_owned())?;
+        // Size fields come from untrusted data: bound them by the bytes
+        // actually present (division form, immune to multiplication
+        // overflow) before any loop or allocation sized by them.
+        check(catalog_len <= buf.remaining() / 2, "catalog")?;
         let mut catalog = MrCatalog::new();
-        for _ in 0..catalog_len {
-            check(buf.remaining() >= 1, "catalog entry length")?;
-            let len = buf.get_u8() as usize;
+        for i in 0..catalog_len {
+            check(buf.remaining() >= 2, "catalog entry length")?;
+            let len = buf.get_u16_le() as usize;
             check(buf.remaining() >= 2 * len, "catalog entry")?;
             let seq: Vec<Label> = (0..len).map(|_| Label(buf.get_u16_le())).collect();
+            if !crate::repeats::is_minimum_repeat(&seq) {
+                return Err(format!(
+                    "corrupt index data: catalog sequence {i} is not a minimum repeat"
+                ));
+            }
+            if catalog.resolve(&seq).is_some() {
+                return Err(format!(
+                    "corrupt index data: catalog sequence {i} duplicates an earlier sequence"
+                ));
+            }
             catalog.intern(&seq);
         }
-        check(buf.remaining() >= 4 * n, "vertex order")?;
+        check(n <= buf.remaining() / 4, "vertex order")?;
         let sequence: Vec<VertexId> = (0..n).map(|_| buf.get_u32_le()).collect();
-        let mut aid = vec![0u32; n];
+        // The order must be a bijection between positions and vertex ids:
+        // every id in range and none repeated (with exactly n positions this
+        // also rules out missing ids, which would otherwise silently keep the
+        // default access id 0 and corrupt every PR2 comparison downstream).
+        let mut aid = vec![u32::MAX; n];
         for (pos, &v) in sequence.iter().enumerate() {
             check((v as usize) < n, "vertex order entry")?;
+            if aid[v as usize] != u32::MAX {
+                return Err(format!(
+                    "corrupt index data: vertex {v} appears twice in the vertex order \
+                     (positions {} and {pos}), so the order is not a permutation",
+                    aid[v as usize]
+                ));
+            }
             aid[v as usize] = pos as u32;
         }
         let order = VertexOrder { sequence, aid };
-        let read_side = |buf: &mut &[u8]| -> Result<Vec<Vec<IndexEntry>>, String> {
-            let mut side = Vec::with_capacity(n);
-            for _ in 0..n {
-                check(buf.remaining() >= 4, "entry list length")?;
-                let len = buf.get_u32_le() as usize;
-                check(buf.remaining() >= 8 * len, "entry list")?;
-                let mut entries = Vec::with_capacity(len);
-                for _ in 0..len {
-                    let hub = buf.get_u32_le();
-                    let mr = MrId(buf.get_u32_le());
-                    if hub as usize >= n {
-                        return Err(format!(
-                            "corrupt index data: entry hub {hub} out of range for {n} vertices"
-                        ));
+        let read_side =
+            |buf: &mut &[u8], side_name: &str| -> Result<Vec<Vec<IndexEntry>>, String> {
+                let mut side = Vec::with_capacity(n);
+                for _ in 0..n {
+                    check(buf.remaining() >= 4, "entry list length")?;
+                    let len = buf.get_u32_le() as usize;
+                    check(len <= buf.remaining() / 8, "entry list")?;
+                    let mut entries = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let hub = buf.get_u32_le();
+                        let mr = MrId(buf.get_u32_le());
+                        if hub as usize >= n {
+                            return Err(format!(
+                                "corrupt index data: {side_name} entry hub {hub} out of range \
+                             for {n} vertices"
+                            ));
+                        }
+                        if mr.index() >= catalog_len {
+                            return Err(format!(
+                                "corrupt index data: {side_name} entry references unknown \
+                             minimum repeat {}",
+                                mr.0
+                            ));
+                        }
+                        entries.push(IndexEntry { hub, mr });
                     }
-                    if mr.index() >= catalog_len {
-                        return Err(format!(
-                            "corrupt index data: entry references unknown minimum repeat {}",
-                            mr.0
-                        ));
-                    }
-                    entries.push(IndexEntry { hub, mr });
+                    side.push(entries);
                 }
-                side.push(entries);
-            }
-            Ok(side)
-        };
-        let lout = read_side(&mut buf)?;
-        let lin = read_side(&mut buf)?;
+                Ok(side)
+            };
+        let lout = read_side(&mut buf, "Lout")?;
+        let lin = read_side(&mut buf, "Lin")?;
+        if buf.remaining() > 0 {
+            return Err(format!(
+                "corrupt index data: {} trailing bytes after the last entry list",
+                buf.remaining()
+            ));
+        }
         Ok(RlcIndex {
             k,
             order,
@@ -463,7 +601,12 @@ impl RlcIndex {
     }
 }
 
-const MAGIC: u32 = 0x524C_4331; // "RLC1"
+/// Current binary format magic ("RLC2"): version 2 widened the catalog
+/// sequence length from `u8` to `u16` and the catalog count from `u32` to
+/// `u64` after version 1 was found to silently truncate on narrow casts.
+const MAGIC: u32 = 0x524C_4332; // "RLC2"
+/// Format version 1 magic, recognized only to produce a version error.
+const MAGIC_V1: u32 = 0x524C_4331; // "RLC1"
 
 #[cfg(test)]
 mod tests {
@@ -567,6 +710,114 @@ mod tests {
         assert!(RlcIndex::from_bytes(&blob[..blob.len() - 3]).is_err());
     }
 
+    /// Byte offset of the vertex-order section in a `tiny_index` blob:
+    /// 24-byte header, then one catalog sequence (2-byte length + one
+    /// 2-byte label).
+    const TINY_ORDER_OFFSET: usize = 24 + 4;
+
+    #[test]
+    fn from_bytes_rejects_duplicate_vertex_in_order() {
+        let mut blob = tiny_index().to_bytes();
+        // Overwrite the second order entry with a copy of the first, so one
+        // vertex id appears twice and the other never.
+        let (first, rest) = blob.split_at_mut(TINY_ORDER_OFFSET + 4);
+        rest[..4].copy_from_slice(&first[TINY_ORDER_OFFSET..]);
+        let err = RlcIndex::from_bytes(&blob).unwrap_err();
+        assert!(
+            err.contains("not a permutation"),
+            "error should name the broken invariant: {err}"
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_out_of_range_vertex_in_order() {
+        let mut blob = tiny_index().to_bytes();
+        blob[TINY_ORDER_OFFSET..TINY_ORDER_OFFSET + 4].copy_from_slice(&99u32.to_le_bytes());
+        let err = RlcIndex::from_bytes(&blob).unwrap_err();
+        assert!(err.contains("vertex order"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn from_bytes_rejects_version_1_blobs() {
+        let mut blob = tiny_index().to_bytes();
+        blob[..4].copy_from_slice(&0x524C_4331u32.to_le_bytes());
+        let err = RlcIndex::from_bytes(&blob).unwrap_err();
+        assert!(err.contains("version 1"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn from_bytes_rejects_absurd_size_fields_without_allocating() {
+        // A crafted header claiming 2^62 vertices must yield a descriptive
+        // error: the old `4 * n` length check wrapped to 0 and the loader
+        // went on to attempt a multi-exbibyte allocation.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&0x524C_4332u32.to_le_bytes());
+        blob.extend_from_slice(&2u32.to_le_bytes());
+        blob.extend_from_slice(&(1u64 << 62).to_le_bytes());
+        blob.extend_from_slice(&0u64.to_le_bytes());
+        let err = RlcIndex::from_bytes(&blob).unwrap_err();
+        assert!(err.contains("vertex order"), "unexpected error: {err}");
+        // Same for an absurd catalog count.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&0x524C_4332u32.to_le_bytes());
+        blob.extend_from_slice(&2u32.to_le_bytes());
+        blob.extend_from_slice(&0u64.to_le_bytes());
+        blob.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = RlcIndex::from_bytes(&blob).unwrap_err();
+        assert!(err.contains("catalog"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_garbage() {
+        let mut blob = tiny_index().to_bytes();
+        blob.push(0);
+        let err = RlcIndex::from_bytes(&blob).unwrap_err();
+        assert!(err.contains("trailing"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn from_bytes_rejects_duplicate_catalog_sequence() {
+        let mut blob = tiny_index().to_bytes();
+        // Bump the catalog count to 2 and splice in a copy of the first
+        // (and only) catalog sequence record.
+        blob[16..24].copy_from_slice(&2u64.to_le_bytes());
+        let record: Vec<u8> = blob[24..28].to_vec();
+        blob.splice(28..28, record);
+        let err = RlcIndex::from_bytes(&blob).unwrap_err();
+        assert!(err.contains("duplicates"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn from_bytes_rejects_reducible_catalog_sequence() {
+        let mut blob = tiny_index().to_bytes();
+        // Rewrite the only catalog sequence as (x, x), which is not its own
+        // minimum repeat.
+        let label: Vec<u8> = blob[26..28].to_vec();
+        blob[24..26].copy_from_slice(&2u16.to_le_bytes());
+        blob.splice(28..28, label);
+        let err = RlcIndex::from_bytes(&blob).unwrap_err();
+        assert!(err.contains("minimum repeat"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn long_catalog_sequences_round_trip() {
+        // 300 distinct labels form their own minimum repeat; the format-1
+        // u8 length field would have wrapped to 44 and produced a blob that
+        // round-trips to a different index.
+        let mut b = rlc_graph::GraphBuilder::new();
+        b.add_edge_named("a", "x", "b");
+        let g = b.build();
+        let order = compute_order(&g, OrderingStrategy::InOutDegree);
+        let mut index = RlcIndex::empty(300, order);
+        let long: Vec<Label> = (0..300u16).map(Label).collect();
+        let mr = index.catalog.intern(&long);
+        index.lin[1].push(IndexEntry { hub: 0, mr });
+        let back = RlcIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back.catalog().sequence(mr), &long[..]);
+        assert_eq!(back.entry_count(), 1);
+        assert!(back.query_interned(0, 1, mr));
+    }
+
     #[test]
     fn stats_reflect_entries() {
         let index = tiny_index();
@@ -577,7 +828,26 @@ mod tests {
         assert_eq!(stats.distinct_mrs, 1);
         assert!(stats.memory_bytes > 0);
         assert!(stats.memory_megabytes() > 0.0);
+        assert!(stats.csr_memory_bytes > 0);
+        assert!(stats.csr_memory_megabytes() > 0.0);
         assert_eq!(stats.max_entries_per_vertex, 1);
+    }
+
+    #[test]
+    fn memory_bytes_prices_the_actual_layout_not_the_csr_one() {
+        let g = fig2_graph();
+        let (index, _) = crate::build::build_index(&g, &crate::build::BuildConfig::new(2));
+        let actual = index.memory_bytes();
+        let csr = index.csr_memory_bytes();
+        // The Vec-of-Vecs layout carries ≈48 bytes of Vec headers per vertex
+        // (two sides), so actual residency must exceed the CSR estimate's
+        // 16 bytes of per-vertex bookkeeping.
+        let headers = 2 * index.vertex_count() * std::mem::size_of::<Vec<IndexEntry>>();
+        assert!(
+            actual >= index.entry_count() * std::mem::size_of::<IndexEntry>() + headers,
+            "actual residency must cover entries plus Vec headers"
+        );
+        assert!(actual > csr, "pointer layout outweighs the CSR estimate");
     }
 
     #[test]

@@ -21,15 +21,19 @@ fn main() {
         graph.label_count()
     );
 
-    let (index, stats) = build_index(&graph, &BuildConfig::new(2));
+    // The parallel build produces the same bytes as the sequential one, so
+    // persisted blobs are reproducible no matter how the index was built.
+    let (index, stats) = build_index(&graph, &BuildConfig::new(2).with_parallel());
     println!(
         "built index in {:.2?} with {} entries",
         stats.duration,
         index.entry_count()
     );
 
-    // Serialize to a compact binary blob and write it to a temporary file.
-    let blob = index.to_bytes();
+    // Serialize to a compact binary blob (format v2, magic "RLC2") and write
+    // it to a temporary file; `try_to_bytes` reports field overflow instead
+    // of silently truncating.
+    let blob = index.try_to_bytes().expect("index fits the binary format");
     let path = std::env::temp_dir().join("wn-standin.rlc");
     std::fs::write(&path, &blob).expect("write index blob");
     println!("wrote {} bytes to {}", blob.len(), path.display());

@@ -1,0 +1,111 @@
+//! Determinism differential test for the block-parallel index build.
+//!
+//! The parallel build promises a result **byte-identical** to the sequential
+//! build: the merge replays every pruning decision (PR1/PR2/duplicate, and
+//! the PR3 cuts they drive) in access-id order against the live index, so
+//! thread count, block size, and worker scheduling must never leak into the
+//! produced index. This test pins that promise on seeded random graphs
+//! across ordering strategies, thread counts, block sizes, and kernel-search
+//! strategies — comparing serialized bytes and build counters exactly.
+
+use rlc::graph::generate::{barabasi_albert, erdos_renyi, SyntheticConfig};
+use rlc::index::{build_index, BuildConfig, BuildStats, KbsStrategy, OrderingStrategy};
+use rlc::prelude::*;
+use std::time::Duration;
+
+/// Serialized index plus stats with the timing field zeroed.
+fn fingerprint(graph: &LabeledGraph, config: &BuildConfig) -> (Vec<u8>, BuildStats) {
+    let (index, stats) = build_index(graph, config);
+    (
+        index.to_bytes(),
+        BuildStats {
+            duration: Duration::ZERO,
+            ..stats
+        },
+    )
+}
+
+/// Asserts byte-identical indexes and identical counters for the parallel
+/// build at 1, 2 and 8 threads against the sequential baseline.
+fn assert_deterministic(graph: &LabeledGraph, base: BuildConfig) {
+    let sequential = fingerprint(graph, &base);
+    for threads in [1usize, 2, 8] {
+        let parallel = fingerprint(graph, &base.with_threads(threads));
+        assert_eq!(
+            parallel.0, sequential.0,
+            "serialized index diverges at {threads} threads ({base:?})"
+        );
+        assert_eq!(
+            parallel.1, sequential.1,
+            "build stats diverge at {threads} threads ({base:?})"
+        );
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_across_ordering_strategies() {
+    let graph = erdos_renyi(&SyntheticConfig::new(600, 3.0, 4, 11));
+    for ordering in [
+        OrderingStrategy::InOutDegree,
+        OrderingStrategy::VertexId,
+        OrderingStrategy::Random(0xF00D),
+    ] {
+        assert_deterministic(&graph, BuildConfig::new(2).with_ordering(ordering));
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_across_seeds() {
+    for seed in [1u64, 7, 23] {
+        let graph = erdos_renyi(&SyntheticConfig::new(400, 4.0, 3, seed));
+        assert_deterministic(&graph, BuildConfig::new(2));
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_on_scale_free_graph_with_k3() {
+    // Hub-heavy degree distribution plus k = 3: deeper phase-1 enumeration
+    // and more kernel-BFS phases per root.
+    let graph = barabasi_albert(&SyntheticConfig::new(300, 3.0, 3, 5));
+    assert_deterministic(&graph, BuildConfig::new(3));
+}
+
+#[test]
+fn parallel_build_matches_sequential_under_lazy_strategy() {
+    let graph = erdos_renyi(&SyntheticConfig::new(300, 3.0, 4, 9));
+    assert_deterministic(&graph, BuildConfig::new(2).with_strategy(KbsStrategy::Lazy));
+}
+
+#[test]
+fn parallel_build_matches_sequential_without_pruning() {
+    // With PR1–PR3 disabled the speculative exploration is exact, but the
+    // merge must still reproduce duplicate suppression and intern order.
+    let graph = erdos_renyi(&SyntheticConfig::new(150, 2.5, 3, 13));
+    assert_deterministic(&graph, BuildConfig::new(2).without_pruning());
+}
+
+#[test]
+fn block_size_never_changes_the_result() {
+    let graph = erdos_renyi(&SyntheticConfig::new(300, 3.0, 4, 17));
+    let sequential = fingerprint(&graph, &BuildConfig::new(2));
+    for block_size in [1usize, 5, 64, 100_000] {
+        let config = BuildConfig::new(2)
+            .with_threads(2)
+            .with_block_size(block_size);
+        assert_eq!(
+            fingerprint(&graph, &config),
+            sequential,
+            "block size {block_size} changed the result"
+        );
+    }
+}
+
+#[test]
+fn parallel_build_produces_condensed_verified_index() {
+    // Beyond equality with the sequential build, the parallel result must
+    // satisfy the paper's own invariant (Theorem 2: no redundant entries).
+    let graph = erdos_renyi(&SyntheticConfig::new(200, 3.0, 4, 29));
+    let (index, stats) = build_index(&graph, &BuildConfig::new(2).with_threads(4));
+    assert!(stats.inserted > 0);
+    assert!(index.is_condensed());
+}

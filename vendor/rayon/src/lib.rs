@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -30,11 +31,100 @@ pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
 }
 
-/// Number of worker threads a parallel operation will use: the process
+thread_local! {
+    /// Per-thread worker-count override installed by [`ThreadPool::install`]
+    /// (0 = none). Scoped to the calling thread so concurrent pools — e.g.
+    /// two tests sweeping different thread counts — do not race on a global.
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Builds a [`ThreadPool`] with an explicit worker count, mirroring the
+/// upstream `rayon::ThreadPoolBuilder` API surface the workspace uses.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]. The offline stand-in
+/// cannot actually fail to build a pool; the type exists for API parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-detected) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = auto-detect).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Never fails in the stand-in; the `Result` mirrors
+    /// upstream rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that pins the worker count of parallel operations run inside
+/// [`ThreadPool::install`]. Unlike upstream rayon there are no persistent
+/// worker threads: the stand-in spawns scoped threads per operation, so the
+/// pool only carries the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count installed for every parallel
+    /// operation started on the current thread, restoring the previous
+    /// setting afterwards (also on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                LOCAL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(LOCAL_THREADS.with(|c| c.get()));
+        LOCAL_THREADS.with(|c| c.set(self.num_threads));
+        op()
+    }
+
+    /// The worker count parallel operations inside [`ThreadPool::install`]
+    /// will use.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+/// Number of worker threads a parallel operation will use: the calling
+/// thread's [`ThreadPool::install`] scope when inside one, else the process
 /// override from [`set_thread_override`] when set, else the
 /// `RAYON_NUM_THREADS` environment variable when set to a positive integer,
 /// otherwise the number of available CPUs.
 pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(|c| c.get());
+    if local > 0 {
+        return local;
+    }
     let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if overridden > 0 {
         return overridden;
@@ -61,6 +151,10 @@ fn thread_plan(items: usize) -> usize {
     if items <= 1 {
         return 1;
     }
+    let local = LOCAL_THREADS.with(|c| c.get());
+    if local > 0 {
+        return local.min(items);
+    }
     let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if overridden > 0 {
         return overridden.min(items);
@@ -79,21 +173,44 @@ fn thread_plan(items: usize) -> usize {
 }
 
 /// Maps `f` over `items` on up to [`current_num_threads`] scoped threads,
-/// preserving input order in the result.
+/// preserving input order in the result. Stateless special case of
+/// [`parallel_map_init`], so the scope/chunk/join machinery lives once.
 fn parallel_map<'data, T: Sync, U: Send, F>(items: &'data [T], f: F) -> Vec<U>
 where
     F: Fn(&'data T) -> U + Sync,
 {
+    parallel_map_init(items, || (), |(), item| f(item))
+}
+
+/// Maps `f` over `items` like [`parallel_map`], but gives every worker thread
+/// a mutable state value created by `init` — the stand-in for rayon's
+/// `map_init`. The sequential fallback creates the state once.
+fn parallel_map_init<'data, T, S, U, INIT, F>(items: &'data [T], init: INIT, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> U + Sync,
+{
     let threads = thread_plan(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let chunk_len = items.len().div_ceil(threads);
     let mut chunk_results: Vec<Vec<U>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .map(|chunk| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    chunk
+                        .iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<U>>()
+                })
+            })
             .collect();
         for handle in handles {
             chunk_results.push(handle.join().expect("parallel map worker panicked"));
@@ -108,7 +225,7 @@ where
 
 /// Parallel iterator machinery (the subset of `rayon::iter` in use).
 pub mod iter {
-    use super::parallel_map;
+    use super::{parallel_map, parallel_map_init};
 
     /// Conversion into a borrowing parallel iterator, mirroring
     /// `rayon::iter::IntoParallelRefIterator`.
@@ -153,6 +270,22 @@ pub mod iter {
                 f,
             }
         }
+
+        /// Maps every item through `f` in parallel, giving each worker thread
+        /// a mutable state created by `init` (rayon's `map_init`): reusable
+        /// per-thread scratch without per-item allocation.
+        pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'data, T, INIT, F>
+        where
+            U: Send,
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, &'data T) -> U + Sync,
+        {
+            ParMapInit {
+                items: self.items,
+                init,
+                f,
+            }
+        }
     }
 
     /// A mapped parallel iterator, ready to collect.
@@ -171,6 +304,29 @@ pub mod iter {
             C: FromIterator<U>,
         {
             parallel_map(self.items, self.f).into_iter().collect()
+        }
+    }
+
+    /// A mapped parallel iterator with per-thread state, ready to collect.
+    pub struct ParMapInit<'data, T, INIT, F> {
+        items: &'data [T],
+        init: INIT,
+        f: F,
+    }
+
+    impl<'data, T: Sync, INIT, F> ParMapInit<'data, T, INIT, F> {
+        /// Executes the map in parallel and collects the results in input
+        /// order.
+        pub fn collect<C, S, U>(self) -> C
+        where
+            U: Send,
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, &'data T) -> U + Sync,
+            C: FromIterator<U>,
+        {
+            parallel_map_init(self.items, self.init, self.f)
+                .into_iter()
+                .collect()
         }
     }
 }
@@ -216,6 +372,57 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_init_reuses_per_thread_state_and_preserves_order() {
+        let items: Vec<u32> = (0..1_000).collect();
+        let out: Vec<u32> = items
+            .par_iter()
+            .map_init(
+                || 0u32,
+                |state, &x| {
+                    *state += 1;
+                    x * 2
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..1_000).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn thread_pool_install_pins_count_and_restores() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let before = super::current_num_threads();
+        let (inside, out) = pool.install(|| {
+            let items: Vec<u32> = (0..100).collect();
+            let out: Vec<u32> = items.par_iter().map(|&x| x + 1).collect();
+            (super::current_num_threads(), out)
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(out, (1..101).collect::<Vec<u32>>());
+        assert_eq!(super::current_num_threads(), before);
+    }
+
+    #[test]
+    fn nested_installs_restore_outer_scope() {
+        let outer = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let inner = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(super::current_num_threads(), 4);
+            inner.install(|| assert_eq!(super::current_num_threads(), 2));
+            assert_eq!(super::current_num_threads(), 4);
+        });
     }
 
     #[test]
