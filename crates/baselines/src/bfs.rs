@@ -10,7 +10,7 @@ use crate::nfa::Nfa;
 use crate::scratch::{with_scratch, ProductScratch};
 use rlc_core::{ConcatQuery, RlcQuery};
 use rlc_graph::{LabeledGraph, VertexId};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Answers an RLC query by breadth-first search over `(vertex, NFA state)`
 /// pairs, starting from `(source, start)` and succeeding when any
@@ -63,6 +63,85 @@ fn bfs_product_scratch(
         }
     }
     false
+}
+
+/// Answers many targets with **one** product BFS from `source`: returns, in
+/// target order, whether each target is reachable under the constraint the
+/// automaton encodes.
+///
+/// This is the grouped multi-source search behind
+/// `ReachabilityEngine::evaluate_prepared_group` for the traversal engines:
+/// a constraint-grouped batch planner hands every same-source pair of a
+/// group to one traversal instead of one per pair. The search stops early
+/// once every distinct target has been answered.
+pub fn bfs_product_multi(
+    graph: &LabeledGraph,
+    nfa: &Nfa,
+    source: VertexId,
+    targets: &[VertexId],
+) -> Vec<bool> {
+    with_scratch(|scratch| bfs_product_multi_scratch(graph, nfa, source, targets, scratch))
+}
+
+/// Multi-target product BFS over explicit scratch state.
+fn bfs_product_multi_scratch(
+    graph: &LabeledGraph,
+    nfa: &Nfa,
+    source: VertexId,
+    targets: &[VertexId],
+    scratch: &mut ProductScratch,
+) -> Vec<bool> {
+    let mut answers = vec![false; targets.len()];
+    if targets.is_empty() {
+        return answers;
+    }
+    // Duplicate targets share one entry; `remaining` counts distinct
+    // unanswered targets so the search can stop as soon as all are hit.
+    let mut slots_by_target: HashMap<VertexId, Vec<usize>> = HashMap::new();
+    for (i, &t) in targets.iter().enumerate() {
+        slots_by_target.entry(t).or_default().push(i);
+    }
+    let mut remaining = slots_by_target.len();
+
+    let states = nfa.state_count();
+    scratch.begin(graph.vertex_count() * states);
+    let slot = |v: VertexId, q: usize| v as usize * states + q;
+    let settle = |answers: &mut Vec<bool>, remaining: &mut usize, vertex: VertexId| {
+        if let Some(slots) = slots_by_target.get(&vertex) {
+            if !answers[slots[0]] {
+                for &i in slots {
+                    answers[i] = true;
+                }
+                *remaining -= 1;
+            }
+        }
+    };
+
+    scratch.mark_forward(slot(source, nfa.start));
+    if nfa.accepting[nfa.start] {
+        settle(&mut answers, &mut remaining, source);
+        if remaining == 0 {
+            return answers;
+        }
+    }
+    scratch.queue.push_back((source, nfa.start as u32));
+    'search: while let Some((v, q)) = scratch.queue.pop_front() {
+        for (w, label) in graph.out_edges(v) {
+            for q_next in nfa.next(q as usize, label) {
+                if scratch.mark_forward(slot(w, q_next)) {
+                    continue;
+                }
+                if nfa.accepting[q_next] {
+                    settle(&mut answers, &mut remaining, w);
+                    if remaining == 0 {
+                        break 'search;
+                    }
+                }
+                scratch.queue.push_back((w, q_next as u32));
+            }
+        }
+    }
+    answers
 }
 
 /// Counts the number of product states a BFS evaluation visits; used by the
@@ -133,13 +212,15 @@ mod tests {
             g.vertex_id("P10").unwrap(),
             g.vertex_id("A19").unwrap(),
             vec![vec![knows], vec![holds]],
-        );
+        )
+        .unwrap();
         assert!(bfs_concat_query(&g, &q));
         let q_false = ConcatQuery::new(
             g.vertex_id("A14").unwrap(),
             g.vertex_id("P10").unwrap(),
             vec![vec![knows], vec![holds]],
-        );
+        )
+        .unwrap();
         assert!(!bfs_concat_query(&g, &q_false));
     }
 
@@ -166,6 +247,26 @@ mod tests {
             assert!(bfs_query(&g, &q_true));
             assert!(!bfs_query(&g, &q_false));
         }
+    }
+
+    #[test]
+    fn multi_target_search_matches_single_target() {
+        let g = fig2_graph();
+        let q = RlcQuery::from_names(&g, "v1", "v1", &["l2", "l1"]).unwrap();
+        let nfa = Nfa::kleene_plus(&q.constraint);
+        let targets: Vec<_> = g.vertices().collect();
+        for s in g.vertices() {
+            let answers = bfs_product_multi(&g, &nfa, s, &targets);
+            for (&t, &answer) in targets.iter().zip(&answers) {
+                assert_eq!(answer, bfs_product(&g, &nfa, s, t), "({s},{t})");
+            }
+        }
+        // Duplicate targets are answered consistently; empty target lists
+        // are a no-op.
+        let duplicated = vec![0, 0, 5];
+        let answers = bfs_product_multi(&g, &nfa, 0, &duplicated);
+        assert_eq!(answers[0], answers[1]);
+        assert!(bfs_product_multi(&g, &nfa, 0, &[]).is_empty());
     }
 
     #[test]

@@ -171,7 +171,7 @@ mod tests {
         let holds = g.labels().resolve("holds").unwrap();
         for s in g.vertices() {
             for t in g.vertices() {
-                let q = ConcatQuery::new(s, t, vec![vec![knows], vec![holds]]);
+                let q = ConcatQuery::new(s, t, vec![vec![knows], vec![holds]]).unwrap();
                 assert_eq!(
                     crate::bfs::bfs_concat_query(&g, &q),
                     bibfs_concat_query(&g, &q)

@@ -1,18 +1,74 @@
 //! [`ReachabilityEngine`] adapters for the baseline evaluators.
 //!
-//! Each adapter is a thin struct borrowing the graph (and, for ETC, the
-//! closure) and routing the trait methods through the scratch-backed
-//! traversal functions, so batch evaluation via
-//! [`ReachabilityEngine::evaluate_batch`] reuses per-thread buffers instead
-//! of allocating per query.
+//! Each adapter borrows the graph (and, for ETC, the closure) and routes the
+//! prepare/execute surface through the scratch-backed traversal functions.
+//! The prepared artifact of the traversal engines is the constraint's
+//! [`Nfa`], compiled once per [`ReachabilityEngine::prepare`] instead of once
+//! per query; their [`ReachabilityEngine::evaluate_prepared_group`] override
+//! answers every pair of a constraint group that shares a source with one
+//! multi-target product search ([`bfs_product_multi`]).
 
-use crate::bfs::{bfs_concat_query, bfs_query};
-use crate::bibfs::{bibfs_concat_query, bibfs_query};
-use crate::dfs::{dfs_concat_query, dfs_query};
+use crate::bfs::{bfs_product, bfs_product_multi};
+use crate::bibfs::bibfs_product;
+use crate::dfs::dfs_product;
 use crate::etc::EtcIndex;
-use rlc_core::engine::ReachabilityEngine;
-use rlc_core::{repetition_closure, ConcatQuery, RlcQuery};
+use crate::nfa::Nfa;
+use rlc_core::catalog::MrId;
+use rlc_core::engine::{check_vertex_range, ArtifactTag, Prepared, ReachabilityEngine};
+use rlc_core::{evaluate_blocks_with, Constraint, Query, QueryError};
 use rlc_graph::{LabeledGraph, VertexId};
+use std::collections::HashMap;
+
+/// Compiles the NFA artifact shared by the traversal engines.
+fn prepare_nfa(engine_name: &str, constraint: &Constraint) -> Prepared {
+    Prepared::new(
+        constraint.clone(),
+        engine_name,
+        Nfa::concatenation(constraint.blocks()),
+    )
+}
+
+/// Runs `eval` with the prepared NFA, re-compiling from the constraint when
+/// the preparation came from an engine with a different artifact type — the
+/// shared foreign-`Prepared` fallback of every NFA-driven engine (the
+/// traversal baselines here and the simulated engines in `rlc-engine-sim`).
+pub fn with_prepared_nfa<R>(prepared: &Prepared, eval: impl FnOnce(&Nfa) -> R) -> R {
+    match prepared.artifact::<Nfa>() {
+        Some(nfa) => eval(nfa),
+        None => eval(&Nfa::concatenation(prepared.constraint().blocks())),
+    }
+}
+
+/// Grouped evaluation shared by the forward traversal engines: pairs are
+/// bucketed by source and each bucket is answered by one multi-target
+/// product search.
+fn grouped_forward_search(
+    graph: &LabeledGraph,
+    prepared: &Prepared,
+    pairs: &[(VertexId, VertexId)],
+) -> Vec<Result<bool, QueryError>> {
+    with_prepared_nfa(prepared, |nfa| {
+        let mut by_source: HashMap<VertexId, Vec<usize>> = HashMap::new();
+        let mut answers: Vec<Result<bool, QueryError>> = Vec::with_capacity(pairs.len());
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            match check_vertex_range(s, t, graph.vertex_count()) {
+                Ok(()) => {
+                    answers.push(Ok(false));
+                    by_source.entry(s).or_default().push(i);
+                }
+                Err(error) => answers.push(Err(error)),
+            }
+        }
+        for (source, indices) in by_source {
+            let targets: Vec<VertexId> = indices.iter().map(|&i| pairs[i].1).collect();
+            let hits = bfs_product_multi(graph, nfa, source, &targets);
+            for (&i, hit) in indices.iter().zip(hits) {
+                answers[i] = Ok(hit);
+            }
+        }
+        answers
+    })
+}
 
 /// The online breadth-first baseline as a [`ReachabilityEngine`].
 pub struct BfsEngine<'g> {
@@ -31,12 +87,37 @@ impl ReachabilityEngine for BfsEngine<'_> {
         "BFS"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        bfs_query(self.graph, query)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        Ok(prepare_nfa(self.name(), constraint))
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
-        bfs_concat_query(self.graph, query)
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        check_vertex_range(source, target, self.graph.vertex_count())?;
+        Ok(with_prepared_nfa(prepared, |nfa| {
+            bfs_product(self.graph, nfa, source, target)
+        }))
+    }
+
+    fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
+        // One-shot fast path: compile the automaton on the spot without
+        // boxing a `Prepared` (same result order as prepare-then-execute;
+        // preparation never fails for a traversal engine).
+        check_vertex_range(query.source, query.target, self.graph.vertex_count())?;
+        let nfa = Nfa::concatenation(query.constraint().blocks());
+        Ok(bfs_product(self.graph, &nfa, query.source, query.target))
+    }
+
+    fn evaluate_prepared_group(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        prepared: &Prepared,
+    ) -> Vec<Result<bool, QueryError>> {
+        grouped_forward_search(self.graph, prepared, pairs)
     }
 }
 
@@ -57,13 +138,37 @@ impl ReachabilityEngine for BiBfsEngine<'_> {
         "BiBFS"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        bibfs_query(self.graph, query)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        Ok(prepare_nfa(self.name(), constraint))
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
-        bibfs_concat_query(self.graph, query)
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        check_vertex_range(source, target, self.graph.vertex_count())?;
+        Ok(with_prepared_nfa(prepared, |nfa| {
+            bibfs_product(self.graph, nfa, source, target)
+        }))
     }
+
+    fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
+        // One-shot fast path: compile the automaton on the spot without
+        // boxing a `Prepared` (same result order as prepare-then-execute;
+        // preparation never fails for a traversal engine).
+        check_vertex_range(query.source, query.target, self.graph.vertex_count())?;
+        let nfa = Nfa::concatenation(query.constraint().blocks());
+        Ok(bibfs_product(self.graph, &nfa, query.source, query.target))
+    }
+
+    // No grouped override: measured on ER graphs, one bidirectional search
+    // per pair (meeting in the middle, early exit) beats a shared forward
+    // multi-target exploration even when dozens of pairs share a source —
+    // the full accepting-reachable set costs more than many tiny meets.
+    // BiBFS still gains the planner's one-prepare-per-group amortization
+    // through the default per-pair implementation.
 }
 
 /// The depth-first baseline as a [`ReachabilityEngine`].
@@ -83,18 +188,65 @@ impl ReachabilityEngine for DfsEngine<'_> {
         "DFS"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        dfs_query(self.graph, query)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        Ok(prepare_nfa(self.name(), constraint))
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
-        dfs_concat_query(self.graph, query)
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        check_vertex_range(source, target, self.graph.vertex_count())?;
+        Ok(with_prepared_nfa(prepared, |nfa| {
+            dfs_product(self.graph, nfa, source, target)
+        }))
     }
+
+    fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
+        // One-shot fast path: compile the automaton on the spot without
+        // boxing a `Prepared` (same result order as prepare-then-execute;
+        // preparation never fails for a traversal engine).
+        check_vertex_range(query.source, query.target, self.graph.vertex_count())?;
+        let nfa = Nfa::concatenation(query.constraint().blocks());
+        Ok(dfs_product(self.graph, &nfa, query.source, query.target))
+    }
+
+    fn evaluate_prepared_group(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        prepared: &Prepared,
+    ) -> Vec<Result<bool, QueryError>> {
+        // Reachability is order-independent, so the grouped path shares the
+        // breadth-first multi-target search.
+        grouped_forward_search(self.graph, prepared, pairs)
+    }
+}
+
+/// Prepared artifact of [`EtcEngine`]: the final block's minimum repeat
+/// resolved against the closure's catalog (`None` when absent — the
+/// constraint then holds for no pair), tagged with the identity of the
+/// closure it was resolved against ([`ArtifactTag`], the same guard the
+/// core index engines use) so a same-kind engine over a different closure
+/// re-prepares instead of misreading the bare `MrId`.
+struct PreparedEtc {
+    last_mr: Option<MrId>,
+    etc: ArtifactTag,
+}
+
+/// The identity tag of a closure, for [`PreparedEtc`].
+fn etc_tag(etc: &EtcIndex) -> ArtifactTag {
+    ArtifactTag::from_raw(
+        etc as *const EtcIndex as usize,
+        etc.k(),
+        etc.catalog().len(),
+    )
 }
 
 /// The extended transitive closure as a [`ReachabilityEngine`].
 ///
-/// Plain RLC queries are answered by the closure's hash lookup alone.
+/// Single-block constraints are answered by the closure's hash lookup alone.
 /// Concatenated constraints are answered the same way the hybrid evaluator
 /// works: an online repetition closure for every block except the last, and
 /// one ETC lookup per frontier vertex for the final block.
@@ -108,6 +260,21 @@ impl<'g> EtcEngine<'g> {
     pub fn new(graph: &'g LabeledGraph, etc: &'g EtcIndex) -> Self {
         EtcEngine { graph, etc }
     }
+
+    fn evaluate_resolved(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        blocks: &[Vec<rlc_graph::Label>],
+        last_mr: Option<MrId>,
+    ) -> bool {
+        let Some(mr) = last_mr else {
+            return false;
+        };
+        evaluate_blocks_with(self.graph, source, blocks, |v| {
+            self.etc.query_mr(v, target, mr)
+        })
+    }
 }
 
 impl ReachabilityEngine for EtcEngine<'_> {
@@ -115,32 +282,58 @@ impl ReachabilityEngine for EtcEngine<'_> {
         "ETC"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        self.etc.query(query)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        constraint.check_block_len(self.etc.k())?;
+        let last_mr = self.etc.catalog().resolve(constraint.last_block());
+        Ok(Prepared::new(
+            constraint.clone(),
+            self.name(),
+            PreparedEtc {
+                last_mr,
+                etc: etc_tag(self.etc),
+            },
+        ))
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
-        if let Err(error) = query.validate(self.etc.k()) {
-            panic!("invalid concatenation query: {error}");
-        }
-        let mut frontier: Vec<VertexId> = vec![query.source];
-        for (i, block) in query.blocks.iter().enumerate() {
-            let is_last = i + 1 == query.blocks.len();
-            if is_last {
-                return frontier.iter().any(|&v| {
-                    self.etc.query(&RlcQuery {
-                        source: v,
-                        target: query.target,
-                        constraint: block.clone(),
-                    })
-                });
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        check_vertex_range(source, target, self.graph.vertex_count())?;
+        match prepared.artifact::<PreparedEtc>() {
+            Some(artifact) if artifact.etc == etc_tag(self.etc) => Ok(self.evaluate_resolved(
+                source,
+                target,
+                prepared.constraint().blocks(),
+                artifact.last_mr,
+            )),
+            // Wrong artifact type or a preparation from another closure:
+            // re-prepare (re-running the k check) and retry.
+            _ => {
+                let own = self.prepare(prepared.constraint())?;
+                let artifact = own
+                    .artifact::<PreparedEtc>()
+                    .expect("EtcEngine::prepare produces a PreparedEtc artifact");
+                Ok(self.evaluate_resolved(
+                    source,
+                    target,
+                    own.constraint().blocks(),
+                    artifact.last_mr,
+                ))
             }
-            frontier = repetition_closure(self.graph, &frontier, block);
-            if frontier.is_empty() {
-                return false;
-            }
         }
-        unreachable!("the last block returns from the loop");
+    }
+
+    fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
+        // One-shot fast path mirroring prepare-then-execute's validation
+        // order (k check, then vertex range) without boxing a `Prepared`.
+        let constraint = query.constraint();
+        constraint.check_block_len(self.etc.k())?;
+        check_vertex_range(query.source, query.target, self.graph.vertex_count())?;
+        let last_mr = self.etc.catalog().resolve(constraint.last_block());
+        Ok(self.evaluate_resolved(query.source, query.target, constraint.blocks(), last_mr))
     }
 }
 
@@ -158,6 +351,7 @@ pub fn online_engines(graph: &LabeledGraph) -> Vec<Box<dyn ReachabilityEngine + 
 mod tests {
     use super::*;
     use crate::etc::EtcBuildConfig;
+    use rlc_core::{Query, RlcQuery};
     use rlc_graph::examples::fig1_graph;
     use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
     use rlc_graph::Label;
@@ -177,11 +371,58 @@ mod tests {
         for s in (0..g.vertex_count() as u32).step_by(7) {
             for t in (0..g.vertex_count() as u32).step_by(9) {
                 for constraint in [vec![Label(0)], vec![Label(0), Label(1)]] {
-                    let q = RlcQuery::new(s, t, constraint).unwrap();
-                    let answers: Vec<bool> = engines.iter().map(|e| e.evaluate(&q)).collect();
+                    let q = Query::rlc(s, t, constraint).unwrap();
+                    let answers: Vec<bool> =
+                        engines.iter().map(|e| e.evaluate(&q).unwrap()).collect();
                     assert_eq!(answers[0], answers[1], "BFS vs BiBFS on ({s},{t})");
                     assert_eq!(answers[0], answers[2], "BFS vs DFS on ({s},{t})");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_evaluation_matches_one_shot_for_all_adapters() {
+        let g = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 31));
+        let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
+        let mut engines = online_engines(&g);
+        engines.push(Box::new(EtcEngine::new(&g, &etc)));
+        let constraint = Constraint::new(vec![vec![Label(1)], vec![Label(0), Label(1)]]).unwrap();
+        for engine in &engines {
+            let prepared = engine.prepare(&constraint).unwrap();
+            for s in (0..g.vertex_count() as u32).step_by(5) {
+                for t in (0..g.vertex_count() as u32).step_by(7) {
+                    let q = Query::new(s, t, constraint.clone());
+                    assert_eq!(
+                        engine.evaluate_prepared(s, t, &prepared),
+                        engine.evaluate(&q),
+                        "{} on ({s},{t})",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_evaluation_matches_per_pair_evaluation() {
+        let g = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 3));
+        let engines = online_engines(&g);
+        let constraint = Constraint::single(vec![Label(0), Label(1)]).unwrap();
+        // A pair mix heavy on repeated sources (the case the multi-target
+        // search accelerates), plus unique-source pairs.
+        let mut pairs: Vec<(u32, u32)> = (0..40u32).map(|t| (7, (t * 3) % 50)).collect();
+        pairs.extend((0..10u32).map(|s| (s, (s * 11 + 1) % 50)));
+        for engine in &engines {
+            let prepared = engine.prepare(&constraint).unwrap();
+            let grouped = engine.evaluate_prepared_group(&pairs, &prepared);
+            for (&(s, t), grouped_answer) in pairs.iter().zip(&grouped) {
+                assert_eq!(
+                    *grouped_answer,
+                    engine.evaluate_prepared(s, t, &prepared),
+                    "{} on ({s},{t})",
+                    engine.name()
+                );
             }
         }
     }
@@ -192,20 +433,21 @@ mod tests {
         let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
         let engine = EtcEngine::new(&g, &etc);
         assert_eq!(engine.name(), "ETC");
-        let q = RlcQuery::from_names(&g, "A14", "A19", &["debits", "credits"]).unwrap();
-        assert!(engine.evaluate(&q));
+        let rlc = RlcQuery::from_names(&g, "A14", "A19", &["debits", "credits"]).unwrap();
+        assert_eq!(engine.evaluate(&Query::from(&rlc)), Ok(true));
 
         let knows = g.labels().resolve("knows").unwrap();
         let holds = g.labels().resolve("holds").unwrap();
-        let concat = ConcatQuery::new(
+        let concat = Query::concat(
             g.vertex_id("P10").unwrap(),
             g.vertex_id("A19").unwrap(),
             vec![vec![knows], vec![holds]],
-        );
-        assert!(engine.evaluate_concat(&concat));
+        )
+        .unwrap();
+        assert_eq!(engine.evaluate(&concat), Ok(true));
         assert_eq!(
-            engine.evaluate_concat(&concat),
-            bfs_concat_query(&g, &concat)
+            engine.evaluate(&concat),
+            BfsEngine::new(&g).evaluate(&concat)
         );
     }
 
@@ -214,6 +456,7 @@ mod tests {
         let g = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 31));
         let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
         let engine = EtcEngine::new(&g, &etc);
+        let bfs = BfsEngine::new(&g);
         let l0 = Label(0);
         let l1 = Label(1);
         for s in (0..g.vertex_count() as u32).step_by(5) {
@@ -224,12 +467,8 @@ mod tests {
                     vec![vec![l0], vec![l1]],
                     vec![vec![l1], vec![l0, l1]],
                 ] {
-                    let q = ConcatQuery::new(s, t, blocks);
-                    assert_eq!(
-                        engine.evaluate_concat(&q),
-                        bfs_concat_query(&g, &q),
-                        "({s},{t})"
-                    );
+                    let q = Query::concat(s, t, blocks).unwrap();
+                    assert_eq!(engine.evaluate(&q), bfs.evaluate(&q), "({s},{t})");
                 }
             }
         }
@@ -239,11 +478,11 @@ mod tests {
     fn batch_evaluation_matches_single_for_all_adapters() {
         let g = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 3));
         let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
-        let queries: Vec<RlcQuery> = (0..g.vertex_count() as u32)
+        let queries: Vec<Query> = (0..g.vertex_count() as u32)
             .flat_map(|s| {
                 [vec![Label(0)], vec![Label(1), Label(0)]]
                     .into_iter()
-                    .map(move |c| RlcQuery::new(s, (s * 7 + 3) % 50, c).unwrap())
+                    .map(move |c| Query::rlc(s, (s * 7 + 3) % 50, c).unwrap())
             })
             .collect();
         let mut engines = online_engines(&g);
@@ -257,12 +496,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid concatenation query")]
-    fn etc_engine_rejects_overlong_blocks() {
+    fn etc_engine_rejects_overlong_blocks_with_an_error() {
         let g = fig1_graph();
         let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
         let engine = EtcEngine::new(&g, &etc);
-        let q = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(1), Label(2)]]);
-        engine.evaluate_concat(&q);
+        let q = Query::rlc(0, 1, vec![Label(0), Label(1), Label(2)]).unwrap();
+        assert_eq!(
+            engine.evaluate(&q),
+            Err(QueryError::BlockTooLong {
+                block: 0,
+                len: 3,
+                k: 2
+            })
+        );
+        // Traversal engines have no k and accept the same constraint.
+        assert!(BfsEngine::new(&g).evaluate(&q).is_ok());
     }
 }

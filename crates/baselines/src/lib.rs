@@ -29,7 +29,7 @@ pub mod etc;
 pub mod nfa;
 pub mod scratch;
 
-pub use bfs::bfs_query;
+pub use bfs::{bfs_product_multi, bfs_query};
 pub use bibfs::bibfs_query;
 pub use dfs::dfs_query;
 pub use engine::{online_engines, BfsEngine, BiBfsEngine, DfsEngine, EtcEngine};

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rlc_baselines::{BfsEngine, BiBfsEngine, DfsEngine};
 use rlc_core::engine::{IndexEngine, ReachabilityEngine};
-use rlc_core::{build_index, BuildConfig};
+use rlc_core::{build_index, BuildConfig, Query};
 use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
 use rlc_workloads::{generate_query_set, QueryGenConfig};
 use std::hint::black_box;
@@ -13,6 +13,7 @@ fn bench_baselines(c: &mut Criterion) {
     let graph = barabasi_albert(&SyntheticConfig::new(5_000, 4.0, 8, 21));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let queries = generate_query_set(&graph, &QueryGenConfig::small(20, 20, 2, 7));
+    let unified: Vec<Query> = queries.iter().map(|(q, _)| Query::from(q)).collect();
 
     let mut group = c.benchmark_group("fig3_micro");
     group.sample_size(20);
@@ -32,8 +33,8 @@ fn bench_baselines(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut hits = 0usize;
-                for (q, _) in queries.iter() {
-                    if engine.evaluate(black_box(q)) {
+                for q in &unified {
+                    if engine.evaluate(black_box(q)) == Ok(true) {
                         hits += 1;
                     }
                 }

@@ -2,6 +2,7 @@
 //! and the hybrid evaluation of extended constraints.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rlc_core::engine::{IndexEngine, ReachabilityEngine};
 use rlc_core::{build_index, evaluate_hybrid, BuildConfig, ConcatQuery};
 use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
 use rlc_graph::Label;
@@ -49,6 +50,12 @@ fn bench_hybrid_queries(c: &mut Criterion) {
     let pairs: Vec<(u32, u32)> = (0..100)
         .map(|i| (i * 37 % 5_000, i * 101 % 5_000))
         .collect();
+    let queries: Vec<ConcatQuery> = pairs
+        .iter()
+        .map(|&(s, t)| ConcatQuery::new(s, t, vec![vec![a], vec![b_label]]).unwrap())
+        .collect();
+    let engine = IndexEngine::new(&graph, &index);
+    let constraint = rlc_core::Constraint::new(vec![vec![a], vec![b_label]]).unwrap();
 
     let mut group = c.benchmark_group("hybrid_query");
     group.warm_up_time(std::time::Duration::from_secs(1));
@@ -56,9 +63,22 @@ fn bench_hybrid_queries(c: &mut Criterion) {
     group.bench_function("a_plus_b_plus", |b| {
         b.iter(|| {
             let mut hits = 0usize;
+            for q in &queries {
+                if evaluate_hybrid(&graph, &index, black_box(q)).unwrap() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    // The prepare/execute split amortizes validation and catalog resolution
+    // across the pair set.
+    group.bench_function("a_plus_b_plus_prepared", |b| {
+        b.iter(|| {
+            let prepared = engine.prepare(black_box(&constraint)).unwrap();
+            let mut hits = 0usize;
             for &(s, t) in &pairs {
-                let q = ConcatQuery::new(s, t, vec![vec![a], vec![b_label]]);
-                if evaluate_hybrid(&graph, &index, black_box(&q)).unwrap() {
+                if engine.evaluate_prepared(s, t, &prepared).unwrap() {
                     hits += 1;
                 }
             }

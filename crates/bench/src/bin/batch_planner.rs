@@ -1,0 +1,14 @@
+//! Experiment binary: planned vs naive batch evaluation under skewed
+//! constraint reuse, with prepare-count instrumentation proving the
+//! one-prepare-per-group contract of `BatchPlan`.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::batch_planner;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", batch_planner::run(&args));
+}

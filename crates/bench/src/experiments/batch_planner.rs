@@ -1,0 +1,188 @@
+//! Planned vs naive batch evaluation under skewed constraint reuse.
+//!
+//! Not an experiment of the paper: it validates this reproduction's
+//! constraint-grouping [`BatchPlan`]. A mixed workload over a ≥ 10K-vertex
+//! synthetic graph draws each query's constraint from a small pool with a
+//! strongly skewed (power-law-like) reuse distribution — the shape of a
+//! multi-user production mix, where a handful of constraints dominate. Every
+//! engine then answers the same batch twice:
+//!
+//! * **naive** — [`ReachabilityEngine::evaluate_batch`]: rayon-parallel, but
+//!   one `prepare` per query (per-query NFA construction / validation);
+//! * **planned** — [`BatchPlan::execute`]: one `prepare` per distinct
+//!   constraint, with same-source pairs of a group sharing one product
+//!   search on the traversal engines.
+//!
+//! Prepare counts are instrumented via [`PrepareCounting`] and the report
+//! asserts the planner's one-prepare-per-group contract; both paths must
+//! return identical answers.
+
+use crate::CommonArgs;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlc_baselines::{BfsEngine, BiBfsEngine};
+use rlc_core::engine::{IndexEngine, PrepareCounting, ReachabilityEngine};
+use rlc_core::{build_index, BatchPlan, BuildConfig, Query};
+use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+use rlc_graph::Label;
+use rlc_workloads::{format_duration, Table};
+use std::time::Instant;
+
+/// Default vertex count (the acceptance bar for the planner is a ≥ 10K
+/// vertex graph).
+pub const DEFAULT_VERTICES: usize = 12_000;
+
+/// Runs the measurement with default sizes.
+pub fn run(args: &CommonArgs) -> String {
+    let vertices = if args.quick { 2_000 } else { DEFAULT_VERTICES };
+    run_with(args, vertices)
+}
+
+/// Runs the measurement on an ER graph with the given vertex count.
+pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
+    let graph = erdos_renyi(&SyntheticConfig::new(vertices, 4.0, 8, args.seed));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+
+    // The constraint pool: single blocks and concatenations, all within the
+    // index's k = 2. Constraint `i` is drawn with weight 2^(pool - 1 - i),
+    // so the first few constraints dominate the batch (skewed reuse).
+    let l = |i: u16| Label(i);
+    let pool: Vec<Vec<Vec<Label>>> = vec![
+        vec![vec![l(0)]],
+        vec![vec![l(0), l(1)]],
+        vec![vec![l(1)]],
+        vec![vec![l(0)], vec![l(1)]],
+        vec![vec![l(2), l(3)]],
+        vec![vec![l(2)], vec![l(0), l(1)]],
+        vec![vec![l(4)]],
+        vec![vec![l(5), l(6)]],
+    ];
+    let weights: Vec<u32> = (0..pool.len())
+        .map(|i| 1u32 << (pool.len() - 1 - i))
+        .collect();
+    let total_weight: u32 = weights.iter().sum();
+
+    let batch_size = (args.queries * 2).max(64);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xB1A7);
+    let n = graph.vertex_count() as u32;
+    // Skewed sources too: half the batch comes from a few hot sources, the
+    // case the grouped multi-target search accelerates.
+    let hot_sources: Vec<u32> = (0..8).map(|_| rng.gen_range(0..n)).collect();
+    let queries: Vec<Query> = (0..batch_size)
+        .map(|_| {
+            let mut draw = rng.gen_range(0..total_weight);
+            let mut which = 0usize;
+            while draw >= weights[which] {
+                draw -= weights[which];
+                which += 1;
+            }
+            let source = if rng.gen_range(0..2u32) == 0 {
+                hot_sources[rng.gen_range(0..hot_sources.len())]
+            } else {
+                rng.gen_range(0..n)
+            };
+            let target = rng.gen_range(0..n);
+            Query::concat(source, target, pool[which].clone()).expect("pool constraints are valid")
+        })
+        .collect();
+
+    let plan = BatchPlan::new(&queries);
+    let mut table = Table::new(
+        &format!(
+            "Batch planner: ER graph, |V| = {vertices}, d = 4, |L| = 8, k = 2, \
+             {batch_size} queries over {} distinct constraints (skewed reuse)",
+            plan.group_count(),
+        ),
+        &[
+            "engine",
+            "mode",
+            "total time",
+            "prepares",
+            "groups",
+            "speed-up vs naive",
+        ],
+    );
+
+    let bfs = BfsEngine::new(&graph);
+    let bibfs = BiBfsEngine::new(&graph);
+    let rlc = IndexEngine::new(&graph, &index);
+    let engines: [&dyn ReachabilityEngine; 3] = [&bfs, &bibfs, &rlc];
+    for engine in engines {
+        let counting = PrepareCounting::new(engine);
+
+        // Untimed warm-up so neither mode pays first-touch scratch growth.
+        let _ = counting.evaluate_batch(&queries);
+        counting.reset();
+
+        let start = Instant::now();
+        let naive_answers = counting.evaluate_batch(&queries);
+        let naive_time = start.elapsed();
+        let naive_prepares = counting.prepare_count();
+        assert_eq!(
+            naive_prepares,
+            queries.len(),
+            "the naive path prepares once per query"
+        );
+
+        counting.reset();
+        let start = Instant::now();
+        let planned_answers = plan.execute(&counting);
+        let planned_time = start.elapsed();
+        let planned_prepares = counting.prepare_count();
+        // The planner's core contract: one prepare per distinct constraint.
+        assert_eq!(
+            planned_prepares,
+            plan.group_count(),
+            "BatchPlan must prepare each distinct constraint exactly once"
+        );
+        assert_eq!(
+            planned_answers,
+            naive_answers,
+            "{}: planned answers must equal naive answers",
+            engine.name()
+        );
+
+        table.add_row(vec![
+            engine.name().to_string(),
+            "naive".into(),
+            format_duration(naive_time),
+            naive_prepares.to_string(),
+            "-".into(),
+            "1.0x".into(),
+        ]);
+        table.add_row(vec![
+            engine.name().to_string(),
+            "planned".into(),
+            format_duration(planned_time),
+            planned_prepares.to_string(),
+            plan.group_count().to_string(),
+            format!(
+                "{:.1}x",
+                naive_time.as_secs_f64() / planned_time.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_both_modes_and_prepare_counts() {
+        let args = CommonArgs {
+            scale: 1.0,
+            seed: 13,
+            queries: 40,
+            quick: true,
+        };
+        let report = run_with(&args, 300);
+        assert!(report.contains("BFS"));
+        assert!(report.contains("BiBFS"));
+        assert!(report.contains("RLC"));
+        assert!(report.contains("naive"));
+        assert!(report.contains("planned"));
+        assert!(report.contains("prepares"));
+    }
+}

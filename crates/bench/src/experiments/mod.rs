@@ -17,10 +17,12 @@
 //! | [`table5`] | Table V — speed-ups and break-even points vs graph engines |
 //! | [`ablation`] | pruning-rule / strategy / ordering ablations |
 //! | [`batch`] | parallel batch-query throughput (not from the paper) |
+//! | [`batch_planner`] | planned vs naive batch evaluation under constraint reuse (not from the paper) |
 //! | [`build_scaling`] | parallel index-build thread sweep (not from the paper) |
 
 pub mod ablation;
 pub mod batch;
+pub mod batch_planner;
 pub mod build_scaling;
 pub mod fig3;
 pub mod fig4;
@@ -88,6 +90,7 @@ mod tests {
             ablation::run_pruning(&args, 400),
             ablation::run_strategy(&args, 400),
             batch::run_with(&args, 400),
+            batch_planner::run_with(&args, 400),
             build_scaling::run_with(&args, 400),
         ] {
             assert!(!report.is_empty());

@@ -6,7 +6,7 @@
 //! closures.
 
 use rlc_core::engine::ReachabilityEngine;
-use rlc_core::RlcQuery;
+use rlc_core::{Query, RlcQuery};
 use rlc_workloads::QuerySet;
 use std::time::{Duration, Instant};
 
@@ -41,21 +41,27 @@ impl QuerySetTiming {
 
 /// Runs `engine` over every query of `set` one at a time, checking answers
 /// and timing the true and false subsets separately (as Fig. 3 reports them
-/// separately).
+/// separately). Evaluation errors count as wrong answers (workload queries
+/// are always valid, so a correct engine reports zero).
+///
+/// The conversion into the unified [`Query`] model happens before the timer
+/// starts, so the measured loop is pure evaluation.
 pub fn evaluate_query_set(set: &QuerySet, engine: &dyn ReachabilityEngine) -> QuerySetTiming {
     let mut wrong_answers = 0;
+    let true_queries: Vec<Query> = set.true_queries.iter().map(Query::from).collect();
+    let false_queries: Vec<Query> = set.false_queries.iter().map(Query::from).collect();
 
     let start = Instant::now();
-    for q in &set.true_queries {
-        if !engine.evaluate(q) {
+    for q in &true_queries {
+        if engine.evaluate(q) != Ok(true) {
             wrong_answers += 1;
         }
     }
     let true_total = start.elapsed();
 
     let start = Instant::now();
-    for q in &set.false_queries {
-        if engine.evaluate(q) {
+    for q in &false_queries {
+        if engine.evaluate(q) != Ok(false) {
             wrong_answers += 1;
         }
     }
@@ -74,16 +80,18 @@ pub fn evaluate_query_set(set: &QuerySet, engine: &dyn ReachabilityEngine) -> Qu
 /// the batch speed-up.
 pub fn evaluate_query_set_batch(set: &QuerySet, engine: &dyn ReachabilityEngine) -> QuerySetTiming {
     let mut wrong_answers = 0;
+    let true_queries: Vec<Query> = set.true_queries.iter().map(Query::from).collect();
+    let false_queries: Vec<Query> = set.false_queries.iter().map(Query::from).collect();
 
     let start = Instant::now();
-    let answers = engine.evaluate_batch(&set.true_queries);
+    let answers = engine.evaluate_batch(&true_queries);
     let true_total = start.elapsed();
-    wrong_answers += answers.iter().filter(|&&a| !a).count();
+    wrong_answers += answers.iter().filter(|&a| *a != Ok(true)).count();
 
     let start = Instant::now();
-    let answers = engine.evaluate_batch(&set.false_queries);
+    let answers = engine.evaluate_batch(&false_queries);
     let false_total = start.elapsed();
-    wrong_answers += answers.iter().filter(|&&a| a).count();
+    wrong_answers += answers.iter().filter(|&a| *a != Ok(false)).count();
 
     QuerySetTiming {
         true_total,
@@ -127,21 +135,23 @@ impl CappedTiming {
 }
 
 /// Evaluates `queries` (all sharing the same expected answer) under a
-/// wall-clock cap, stopping once `budget` is exceeded.
+/// wall-clock cap, stopping once `budget` is exceeded. Evaluation errors
+/// count as wrong answers.
 pub fn evaluate_capped(
     queries: &[RlcQuery],
     expected: bool,
     budget: Duration,
     engine: &dyn ReachabilityEngine,
 ) -> CappedTiming {
+    let unified: Vec<Query> = queries.iter().map(Query::from).collect();
     let start = Instant::now();
     let mut evaluated = 0usize;
     let mut wrong_answers = 0usize;
-    for q in queries {
+    for q in &unified {
         if start.elapsed() > budget {
             break;
         }
-        if engine.evaluate(q) != expected {
+        if engine.evaluate(q) != Ok(expected) {
             wrong_answers += 1;
         }
         evaluated += 1;
@@ -171,7 +181,7 @@ pub fn median_duration(mut samples: Vec<Duration>) -> Duration {
 mod tests {
     use super::*;
     use rlc_core::engine::IndexEngine;
-    use rlc_core::{build_index, BuildConfig, ConcatQuery};
+    use rlc_core::{build_index, BuildConfig};
     use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
     use rlc_workloads::{generate_query_set, QueryGenConfig};
 
@@ -184,12 +194,20 @@ mod tests {
             "const"
         }
 
-        fn evaluate(&self, _query: &RlcQuery) -> bool {
-            self.0
+        fn prepare(
+            &self,
+            constraint: &rlc_core::Constraint,
+        ) -> Result<rlc_core::Prepared, rlc_core::QueryError> {
+            Ok(rlc_core::Prepared::new(constraint.clone(), self.name(), ()))
         }
 
-        fn evaluate_concat(&self, _query: &ConcatQuery) -> bool {
-            self.0
+        fn evaluate_prepared(
+            &self,
+            _source: u32,
+            _target: u32,
+            _prepared: &rlc_core::Prepared,
+        ) -> Result<bool, rlc_core::QueryError> {
+            Ok(self.0)
         }
     }
 

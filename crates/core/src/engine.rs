@@ -4,10 +4,23 @@
 //! incompatible evaluator APIs: [`RlcIndex::query`], the `bfs_query` /
 //! `bibfs_query` / `dfs_query` free functions of `rlc-baselines`, the
 //! `EtcIndex`, and a `GraphEngine` trait private to `rlc-engine-sim`. This
-//! module unifies them: everything that can answer an RLC query implements
-//! [`ReachabilityEngine`], and batch evaluation fans out across CPU cores
-//! with rayon through the provided [`ReachabilityEngine::evaluate_batch`]
-//! default.
+//! module unifies them behind [`ReachabilityEngine`], now organized around a
+//! **prepare/execute split**:
+//!
+//! * [`ReachabilityEngine::prepare`] compiles the engine-specific artifact
+//!   for a [`Constraint`] once — an NFA for the traversal engines, the
+//!   validated block structure with a resolved catalog id for the index-
+//!   backed engines — and returns it as a [`Prepared`];
+//! * [`ReachabilityEngine::evaluate_prepared`] answers one `(source, target)`
+//!   pair under a prepared constraint, reusing the artifact;
+//! * [`ReachabilityEngine::evaluate`] is the one-shot convenience
+//!   (prepare + execute), and [`ReachabilityEngine::evaluate_batch`] the
+//!   rayon-parallel naive batch path (one prepare per query).
+//!
+//! Every evaluation path is fallible: invalid constraints surface as
+//! [`QueryError`] values instead of panics. Batches that share constraints
+//! should go through [`crate::plan::BatchPlan`], which groups by constraint
+//! and prepares each distinct constraint exactly once.
 //!
 //! Implementations live next to the evaluators they wrap:
 //!
@@ -19,15 +32,72 @@
 //! * the three simulated mainstream engines in `rlc-engine-sim`.
 
 use crate::build::BuildConfig;
-use crate::hybrid::{evaluate_hybrid, ConcatQuery};
+use crate::catalog::MrId;
+use crate::hybrid::{evaluate_hybrid_prepared, ConcatQuery};
 use crate::index::RlcIndex;
-use crate::query::RlcQuery;
+use crate::query::{Constraint, Query, QueryError, RlcQuery};
 use rayon::prelude::*;
-use rlc_graph::LabeledGraph;
+use rlc_graph::{LabeledGraph, VertexId};
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A compiled constraint, produced by [`ReachabilityEngine::prepare`] and
+/// consumed by [`ReachabilityEngine::evaluate_prepared`].
+///
+/// The artifact is engine-specific (an NFA, a resolved catalog id, …) and
+/// type-erased so the trait stays object safe across crates. A `Prepared` is
+/// portable across engines without ever causing a panic or a wrong answer:
+/// engines of a different kind detect the foreign artifact type, and the
+/// index-backed engines additionally tag their artifacts with the identity
+/// of the index they resolved against — on any mismatch the receiving
+/// engine transparently re-prepares (re-running its own validation), at the
+/// cost of one redundant compilation.
+pub struct Prepared {
+    constraint: Constraint,
+    engine: String,
+    artifact: Box<dyn Any + Send + Sync>,
+}
+
+impl Prepared {
+    /// Wraps an engine-specific artifact together with the constraint it was
+    /// compiled from.
+    pub fn new(constraint: Constraint, engine: &str, artifact: impl Any + Send + Sync) -> Self {
+        Prepared {
+            constraint,
+            engine: engine.to_owned(),
+            artifact: Box::new(artifact),
+        }
+    }
+
+    /// The constraint this preparation was compiled from.
+    pub fn constraint(&self) -> &Constraint {
+        &self.constraint
+    }
+
+    /// Name of the engine that produced the preparation.
+    pub fn engine(&self) -> &str {
+        &self.engine
+    }
+
+    /// Downcasts the artifact, `None` when the preparation came from an
+    /// engine with a different artifact type.
+    pub fn artifact<T: Any>(&self) -> Option<&T> {
+        self.artifact.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("engine", &self.engine)
+            .field("constraint", &self.constraint)
+            .finish_non_exhaustive()
+    }
+}
 
 /// An evaluator able to answer recursive label-concatenated reachability
-/// queries: plain RLC queries `(s, t, L+)` and extended concatenations
-/// `(s, t, B1+ ∘ … ∘ Bm+)`.
+/// queries under the unified [`Constraint`] model: plain RLC constraints
+/// `(s, t, L+)` and extended concatenations `(s, t, B1+ ∘ … ∘ Bm+)`.
 ///
 /// The `Sync` supertrait is what makes the batch path work: a batch borrows
 /// the engine from every worker thread simultaneously.
@@ -35,39 +105,88 @@ pub trait ReachabilityEngine: Sync {
     /// Human-readable engine name, used in experiment reports.
     fn name(&self) -> &str;
 
-    /// Evaluates one RLC query `(s, t, L+)`.
-    fn evaluate(&self, query: &RlcQuery) -> bool;
-
-    /// Evaluates one extended query whose constraint is a concatenation of
-    /// Kleene-plus blocks.
+    /// Compiles the engine-specific evaluation artifact for `constraint`.
     ///
-    /// # Panics
-    ///
-    /// Index-backed engines panic when the query is structurally invalid for
-    /// their configuration (e.g. a block longer than the index's recursive
-    /// `k`); purely online engines accept any well-formed query.
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool;
+    /// This is where per-constraint work that a naive evaluator pays on
+    /// every query happens exactly once: NFA construction for the traversal
+    /// engines, block validation against the recursive `k` and catalog
+    /// resolution for the index-backed engines. The only error a
+    /// structurally valid constraint can produce is
+    /// [`QueryError::BlockTooLong`] against an engine with a bounded `k`.
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError>;
 
-    /// Evaluates a batch of RLC queries, fanning out across CPU cores with
+    /// Evaluates one `(source, target)` pair under a prepared constraint.
+    ///
+    /// Implementations accept preparations from other engine kinds by
+    /// re-preparing the embedded constraint, so a `Prepared` can never make
+    /// an engine panic — at worst it costs one redundant compilation. Vertex
+    /// ids are validated against the evaluated graph here (queries are
+    /// constructed without a graph), so an unknown vertex surfaces as
+    /// [`QueryError::VertexOutOfRange`] rather than a panic.
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError>;
+
+    /// One-shot evaluation: prepare, then execute once.
+    fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
+        let prepared = self.prepare(query.constraint())?;
+        self.evaluate_prepared(query.source, query.target, &prepared)
+    }
+
+    /// Evaluates many `(source, target)` pairs under one prepared
+    /// constraint, in pair order.
+    ///
+    /// The default delegates to [`Self::evaluate_prepared`] per pair; the
+    /// traversal engines override it with a multi-target product search so
+    /// one traversal answers every pair sharing a source (the grouped path
+    /// [`crate::plan::BatchPlan`] fans out to).
+    fn evaluate_prepared_group(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        prepared: &Prepared,
+    ) -> Vec<Result<bool, QueryError>> {
+        pairs
+            .iter()
+            .map(|&(s, t)| self.evaluate_prepared(s, t, prepared))
+            .collect()
+    }
+
+    /// Evaluates a batch of queries, fanning out across CPU cores with
     /// rayon. Answers are returned in query order.
     ///
-    /// The default implementation parallelizes [`Self::evaluate`]; engines
-    /// with per-thread scratch state (the online traversals) reuse their
-    /// buffers within each worker, so steady-state batch evaluation performs
-    /// no per-query allocation.
-    fn evaluate_batch(&self, queries: &[RlcQuery]) -> Vec<bool> {
+    /// This is the *naive* batch path: every query is prepared
+    /// independently. Use [`crate::plan::BatchPlan`] to share one
+    /// preparation (and, for traversal engines, one product search per
+    /// source) across queries with equal constraints.
+    fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<bool, QueryError>> {
         queries
             .par_iter()
             .map(|query| self.evaluate(query))
             .collect()
     }
 
-    /// Evaluates a batch of extended queries in parallel, in query order.
-    fn evaluate_concat_batch(&self, queries: &[ConcatQuery]) -> Vec<bool> {
-        queries
-            .par_iter()
-            .map(|query| self.evaluate_concat(query))
-            .collect()
+    /// Transitional shim for the pre-prepare API: evaluates a single-block
+    /// [`RlcQuery`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "convert to the unified model with `Query::from` and call `evaluate`"
+    )]
+    fn evaluate_rlc(&self, query: &RlcQuery) -> Result<bool, QueryError> {
+        self.evaluate(&Query::from(query))
+    }
+
+    /// Transitional shim for the pre-prepare API: evaluates a legacy
+    /// [`ConcatQuery`], returning the structural error instead of panicking
+    /// on invalid input.
+    #[deprecated(
+        since = "0.2.0",
+        note = "convert to the unified model with `Query::try_from` and call `evaluate`"
+    )]
+    fn evaluate_concat(&self, query: &ConcatQuery) -> Result<bool, QueryError> {
+        self.evaluate(&Query::try_from(query)?)
     }
 }
 
@@ -88,9 +207,215 @@ pub fn build_threads(config: &BuildConfig) -> usize {
         .max(1)
 }
 
-/// The RLC index as a [`ReachabilityEngine`]: plain queries are answered by
-/// the index alone (Algorithm 1), concatenated constraints by the hybrid
-/// index + traversal strategy of §VI-C.
+/// Counts [`ReachabilityEngine::prepare`] calls on a wrapped engine.
+///
+/// Used by tests and the `batch_planner` bench to assert the one-prepare-
+/// per-distinct-constraint contract of [`crate::plan::BatchPlan`]. The
+/// counter is atomic because batch execution prepares from rayon workers.
+pub struct PrepareCounting<'e> {
+    inner: &'e dyn ReachabilityEngine,
+    prepares: AtomicUsize,
+}
+
+impl<'e> PrepareCounting<'e> {
+    /// Wraps an engine.
+    pub fn new(inner: &'e dyn ReachabilityEngine) -> Self {
+        PrepareCounting {
+            inner,
+            prepares: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of `prepare` calls observed so far.
+    pub fn prepare_count(&self) -> usize {
+        self.prepares.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter (between measurement phases).
+    pub fn reset(&self) {
+        self.prepares.store(0, Ordering::Relaxed);
+    }
+}
+
+impl ReachabilityEngine for PrepareCounting<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        self.prepares.fetch_add(1, Ordering::Relaxed);
+        self.inner.prepare(constraint)
+    }
+
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        self.inner.evaluate_prepared(source, target, prepared)
+    }
+
+    fn evaluate_prepared_group(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        prepared: &Prepared,
+    ) -> Vec<Result<bool, QueryError>> {
+        self.inner.evaluate_prepared_group(pairs, prepared)
+    }
+}
+
+/// Checks a query's vertex ids against the evaluated graph's vertex count.
+///
+/// Every engine implementation calls this at the top of `evaluate_prepared`
+/// so an out-of-range id surfaces as [`QueryError::VertexOutOfRange`]
+/// instead of an index-out-of-bounds panic — queries are constructed
+/// without a graph, so this is the first point the ids can be validated.
+pub fn check_vertex_range(
+    source: VertexId,
+    target: VertexId,
+    vertices: usize,
+) -> Result<(), QueryError> {
+    for vertex in [source, target] {
+        if vertex as usize >= vertices {
+            return Err(QueryError::VertexOutOfRange { vertex, vertices });
+        }
+    }
+    Ok(())
+}
+
+/// Identity of the index structure an artifact was resolved against.
+///
+/// A resolved [`MrId`] is a bare offset into one specific catalog, so a
+/// `Prepared` from an `IndexEngine` over index A must never be evaluated
+/// against index B — the same id would name a different minimum repeat, and
+/// B's recursive `k` was never checked. Artifact-type downcasting cannot
+/// tell two same-kind engines apart, so artifacts carry this tag and
+/// evaluation re-prepares on any mismatch. The tag combines the index
+/// structure's address with its `k` and catalog size; address reuse after a
+/// drop paired with identical `k` and catalog size is the (accepted)
+/// residual blind spot. `EtcIndex`'s engine adapter in `rlc-baselines` uses
+/// the same tag via [`ArtifactTag::from_raw`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArtifactTag {
+    ptr: usize,
+    k: usize,
+    catalog_len: usize,
+}
+
+impl ArtifactTag {
+    /// Tags an artifact with the identity of an arbitrary index structure:
+    /// its address, recursive `k`, and catalog size.
+    pub fn from_raw(ptr: usize, k: usize, catalog_len: usize) -> Self {
+        ArtifactTag {
+            ptr,
+            k,
+            catalog_len,
+        }
+    }
+
+    fn of(index: &RlcIndex) -> Self {
+        ArtifactTag::from_raw(
+            index as *const RlcIndex as usize,
+            index.k(),
+            index.catalog().len(),
+        )
+    }
+}
+
+/// Prepared artifact of the index-backed engines: the blocks validated
+/// against the recursive `k`, with the final block's minimum repeat resolved
+/// against the index catalog (`None` when absent — the constraint is then
+/// unsatisfiable and evaluation is `false` without touching the graph).
+struct PreparedHybrid {
+    last_mr: Option<MrId>,
+    index: ArtifactTag,
+}
+
+/// Shared prepare implementation of [`IndexEngine`] and [`HybridEngine`].
+fn prepare_hybrid(
+    index: &RlcIndex,
+    engine_name: &str,
+    constraint: &Constraint,
+) -> Result<Prepared, QueryError> {
+    constraint.check_block_len(index.k())?;
+    let last_mr = index.catalog().resolve(constraint.last_block());
+    Ok(Prepared::new(
+        constraint.clone(),
+        engine_name,
+        PreparedHybrid {
+            last_mr,
+            index: ArtifactTag::of(index),
+        },
+    ))
+}
+
+/// Shared one-shot implementation of [`IndexEngine`] and [`HybridEngine`]:
+/// the same validation order as prepare-then-execute (`k` check, then vertex
+/// range), but without constructing a [`Prepared`] — one-shot and naive
+/// batch evaluation stay free of per-query boxing and cloning.
+fn evaluate_hybrid_one_shot(
+    graph: &LabeledGraph,
+    index: &RlcIndex,
+    query: &Query,
+) -> Result<bool, QueryError> {
+    let constraint = query.constraint();
+    constraint.check_block_len(index.k())?;
+    check_vertex_range(query.source, query.target, graph.vertex_count())?;
+    let last_mr = index.catalog().resolve(constraint.last_block());
+    Ok(evaluate_hybrid_prepared(
+        graph,
+        index,
+        query.source,
+        query.target,
+        constraint.blocks(),
+        last_mr,
+    ))
+}
+
+/// Shared execute implementation of [`IndexEngine`] and [`HybridEngine`].
+fn evaluate_hybrid_engine(
+    engine: &dyn ReachabilityEngine,
+    graph: &LabeledGraph,
+    index: &RlcIndex,
+    source: VertexId,
+    target: VertexId,
+    prepared: &Prepared,
+) -> Result<bool, QueryError> {
+    check_vertex_range(source, target, graph.vertex_count())?;
+    match prepared.artifact::<PreparedHybrid>() {
+        Some(artifact) if artifact.index == ArtifactTag::of(index) => Ok(evaluate_hybrid_prepared(
+            graph,
+            index,
+            source,
+            target,
+            prepared.constraint().blocks(),
+            artifact.last_mr,
+        )),
+        // Foreign preparation — wrong artifact type, or a same-kind engine
+        // over a different index: re-compile for this engine and retry
+        // (re-running the k validation, so a constraint invalid here still
+        // errors instead of silently evaluating).
+        _ => {
+            let own = engine.prepare(prepared.constraint())?;
+            let artifact = own
+                .artifact::<PreparedHybrid>()
+                .expect("prepare_hybrid produces a PreparedHybrid artifact");
+            Ok(evaluate_hybrid_prepared(
+                graph,
+                index,
+                source,
+                target,
+                own.constraint().blocks(),
+                artifact.last_mr,
+            ))
+        }
+    }
+}
+
+/// The RLC index as a [`ReachabilityEngine`]: single-block constraints are
+/// answered by the index alone (Algorithm 1), concatenated constraints by
+/// the hybrid index + traversal strategy of §VI-C.
 pub struct IndexEngine<'g> {
     graph: &'g LabeledGraph,
     index: &'g RlcIndex,
@@ -118,13 +443,21 @@ impl ReachabilityEngine for IndexEngine<'_> {
         "RLC"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        self.index.query(query)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        prepare_hybrid(self.index, self.name(), constraint)
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
-        evaluate_hybrid(self.graph, self.index, query)
-            .unwrap_or_else(|error| panic!("invalid concatenation query: {error}"))
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        evaluate_hybrid_engine(self, self.graph, self.index, source, target, prepared)
+    }
+
+    fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
+        evaluate_hybrid_one_shot(self.graph, self.index, query)
     }
 }
 
@@ -149,14 +482,21 @@ impl ReachabilityEngine for HybridEngine<'_> {
         "RLC hybrid"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        let concat = ConcatQuery::new(query.source, query.target, vec![query.constraint.clone()]);
-        self.evaluate_concat(&concat)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        prepare_hybrid(self.index, self.name(), constraint)
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
-        evaluate_hybrid(self.graph, self.index, query)
-            .unwrap_or_else(|error| panic!("invalid concatenation query: {error}"))
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        evaluate_hybrid_engine(self, self.graph, self.index, source, target, prepared)
+    }
+
+    fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
+        evaluate_hybrid_one_shot(self.graph, self.index, query)
     }
 }
 
@@ -176,9 +516,30 @@ mod tests {
         for source in graph.vertices() {
             for target in graph.vertices() {
                 for constraint in [vec![Label(0)], vec![Label(0), Label(1)]] {
-                    let q = RlcQuery::new(source, target, constraint).unwrap();
-                    assert_eq!(engine.evaluate(&q), index.query(&q));
+                    let rlc = RlcQuery::new(source, target, constraint).unwrap();
+                    let q = Query::from(&rlc);
+                    assert_eq!(engine.evaluate(&q), Ok(index.query(&rlc)));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_evaluation_matches_one_shot() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let constraint = Constraint::single(vec![Label(0), Label(1)]).unwrap();
+        let prepared = engine.prepare(&constraint).unwrap();
+        assert_eq!(prepared.engine(), "RLC");
+        assert_eq!(prepared.constraint(), &constraint);
+        for source in graph.vertices() {
+            for target in graph.vertices() {
+                let q = Query::new(source, target, constraint.clone());
+                assert_eq!(
+                    engine.evaluate_prepared(source, target, &prepared),
+                    engine.evaluate(&q)
+                );
             }
         }
     }
@@ -188,12 +549,12 @@ mod tests {
         let graph = fig2_graph();
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
         let engine = IndexEngine::new(&graph, &index);
-        let queries: Vec<RlcQuery> = graph
+        let queries: Vec<Query> = graph
             .vertices()
             .flat_map(|s| {
                 graph
                     .vertices()
-                    .map(move |t| RlcQuery::new(s, t, vec![Label(0), Label(1)]).unwrap())
+                    .map(move |t| Query::rlc(s, t, vec![Label(0), Label(1)]).unwrap())
             })
             .collect();
         let batch = engine.evaluate_batch(&queries);
@@ -212,7 +573,7 @@ mod tests {
         assert_eq!(hybrid.name(), "RLC hybrid");
         for source in graph.vertices() {
             for target in graph.vertices() {
-                let q = RlcQuery::new(source, target, vec![Label(1)]).unwrap();
+                let q = Query::rlc(source, target, vec![Label(1)]).unwrap();
                 assert_eq!(hybrid.evaluate(&q), index_engine.evaluate(&q));
             }
         }
@@ -223,28 +584,147 @@ mod tests {
         let graph = fig2_graph();
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
         let engine = IndexEngine::new(&graph, &index);
-        let queries: Vec<ConcatQuery> = graph
+        let queries: Vec<Query> = graph
             .vertices()
             .flat_map(|s| {
-                graph
-                    .vertices()
-                    .map(move |t| ConcatQuery::new(s, t, vec![vec![Label(0)], vec![Label(1)]]))
+                graph.vertices().map(move |t| {
+                    Query::concat(s, t, vec![vec![Label(0)], vec![Label(1)]]).unwrap()
+                })
             })
             .collect();
-        let batch = engine.evaluate_concat_batch(&queries);
+        let batch = engine.evaluate_batch(&queries);
         for (query, answer) in queries.iter().zip(&batch) {
-            assert_eq!(*answer, engine.evaluate_concat(query));
+            assert_eq!(*answer, engine.evaluate(query));
         }
     }
 
     #[test]
-    #[should_panic(expected = "invalid concatenation query")]
-    fn invalid_concat_query_panics() {
+    fn invalid_queries_surface_errors_instead_of_panicking() {
         let graph = fig2_graph();
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
         let engine = IndexEngine::new(&graph, &index);
-        let bad = ConcatQuery::new(0, 1, vec![]);
-        engine.evaluate_concat(&bad);
+        // Structurally invalid constraints are unconstructible.
+        assert_eq!(
+            Query::concat(0, 1, vec![]).unwrap_err(),
+            QueryError::EmptyConstraint
+        );
+        // A well-formed constraint that exceeds the index's recursive k
+        // errors at prepare time (and therefore through every evaluate path).
+        let too_long = Query::rlc(0, 1, vec![Label(0), Label(1), Label(2)]).unwrap();
+        let expected = Err(QueryError::BlockTooLong {
+            block: 0,
+            len: 3,
+            k: 2,
+        });
+        assert_eq!(engine.evaluate(&too_long), expected);
+        assert_eq!(
+            engine.prepare(too_long.constraint()).err(),
+            expected.clone().err()
+        );
+        assert_eq!(
+            engine.evaluate_batch(std::slice::from_ref(&too_long)),
+            vec![expected]
+        );
+    }
+
+    #[test]
+    fn deprecated_shims_return_errors_not_panics() {
+        #![allow(deprecated)]
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let rlc = RlcQuery::new(0, 1, vec![Label(0)]).unwrap();
+        assert_eq!(
+            engine.evaluate_rlc(&rlc),
+            engine.evaluate(&Query::from(&rlc))
+        );
+        let concat = ConcatQuery::new(0, 1, vec![vec![Label(0)], vec![Label(1)]]).unwrap();
+        assert_eq!(
+            engine.evaluate_concat(&concat),
+            engine.evaluate(&Query::try_from(&concat).unwrap())
+        );
+        let invalid = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(0)]]).unwrap();
+        assert_eq!(
+            engine.evaluate_concat(&invalid),
+            Err(QueryError::BlockNotMinimumRepeat(0))
+        );
+    }
+
+    #[test]
+    fn foreign_preparations_are_recompiled() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let constraint = Constraint::single(vec![Label(0), Label(1)]).unwrap();
+        // A preparation with an artifact this engine does not understand.
+        let foreign = Prepared::new(constraint.clone(), "other", 42u32);
+        for source in graph.vertices() {
+            for target in graph.vertices() {
+                assert_eq!(
+                    engine.evaluate_prepared(source, target, &foreign),
+                    engine.evaluate(&Query::new(source, target, constraint.clone()))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preparations_from_another_index_are_recompiled_not_misread() {
+        // A resolved MrId is only meaningful against the catalog that
+        // produced it: handing engine B a preparation from engine A (same
+        // kind, different index) must re-prepare, re-running B's k check
+        // and catalog resolution.
+        let graph = fig2_graph();
+        let (index_k2, _) = build_index(&graph, &BuildConfig::new(2));
+        let (index_k3, _) = build_index(&graph, &BuildConfig::new(3));
+        let engine_k2 = IndexEngine::new(&graph, &index_k2);
+        let engine_k3 = IndexEngine::new(&graph, &index_k3);
+
+        // Valid for k = 3, too long for k = 2: the k = 2 engine must error
+        // even though the artifact type matches.
+        let long = Constraint::single(vec![Label(0), Label(1), Label(2)]).unwrap();
+        let prepared_k3 = engine_k3.prepare(&long).unwrap();
+        assert_eq!(
+            engine_k2.evaluate_prepared(0, 1, &prepared_k3),
+            Err(QueryError::BlockTooLong {
+                block: 0,
+                len: 3,
+                k: 2
+            })
+        );
+
+        // For a constraint both support, cross-index preparations must give
+        // exactly the engine's own answers.
+        let shared = Constraint::single(vec![Label(0), Label(1)]).unwrap();
+        let prepared_k3 = engine_k3.prepare(&shared).unwrap();
+        for source in graph.vertices() {
+            for target in graph.vertices() {
+                assert_eq!(
+                    engine_k2.evaluate_prepared(source, target, &prepared_k3),
+                    engine_k2.evaluate(&Query::new(source, target, shared.clone()))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_counting_counts_prepares() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let counting = PrepareCounting::new(&engine);
+        assert_eq!(counting.name(), "RLC");
+        let q = Query::rlc(0, 1, vec![Label(0)]).unwrap();
+        assert_eq!(counting.evaluate(&q), engine.evaluate(&q));
+        assert_eq!(counting.prepare_count(), 1);
+        let prepared = counting.prepare(q.constraint()).unwrap();
+        assert_eq!(counting.prepare_count(), 2);
+        // Prepared evaluation does not re-prepare.
+        let _ = counting.evaluate_prepared(0, 1, &prepared);
+        let _ = counting.evaluate_prepared_group(&[(0, 1), (1, 0)], &prepared);
+        assert_eq!(counting.prepare_count(), 2);
+        counting.reset();
+        assert_eq!(counting.prepare_count(), 0);
     }
 
     #[test]
@@ -255,7 +735,7 @@ mod tests {
             Box::new(IndexEngine::new(&graph, &index)),
             Box::new(HybridEngine::new(&graph, &index)),
         ];
-        let q = RlcQuery::new(0, 1, vec![Label(0)]).unwrap();
+        let q = Query::rlc(0, 1, vec![Label(0)]).unwrap();
         for engine in &engines {
             let single = engine.evaluate(&q);
             let batch = engine.evaluate_batch(std::slice::from_ref(&q));

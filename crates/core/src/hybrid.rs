@@ -7,13 +7,21 @@
 //! lookup for the last block, can. This module implements that strategy for
 //! an arbitrary number of blocks.
 
+use crate::catalog::MrId;
 use crate::index::RlcIndex;
+use crate::query::{Query, QueryError};
 use crate::repeats::is_minimum_repeat;
 use rlc_graph::{Label, LabeledGraph, VertexId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
 /// A reachability query whose constraint is `B1+ ∘ B2+ ∘ … ∘ Bm+`.
+///
+/// Transitional type: the engine layer now evaluates the unified
+/// [`Query`]/[`crate::query::Constraint`] model, which validates blocks at
+/// construction. `ConcatQuery` remains as the input of the deprecated
+/// [`crate::engine::ReachabilityEngine::evaluate_concat`] shim and of the
+/// lower-level [`evaluate_hybrid`] entry point.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConcatQuery {
     /// Source vertex.
@@ -64,15 +72,40 @@ impl std::fmt::Display for ConcatQueryError {
 
 impl std::error::Error for ConcatQueryError {}
 
+impl From<ConcatQueryError> for QueryError {
+    fn from(error: ConcatQueryError) -> Self {
+        match error {
+            ConcatQueryError::NoBlocks => QueryError::EmptyConstraint,
+            ConcatQueryError::EmptyBlock(i) => QueryError::EmptyBlock(i),
+            ConcatQueryError::BlockNotMinimumRepeat(i) => QueryError::BlockNotMinimumRepeat(i),
+            ConcatQueryError::BlockTooLong { block, len, k } => {
+                QueryError::BlockTooLong { block, len, k }
+            }
+        }
+    }
+}
+
 impl ConcatQuery {
-    /// Creates a query, without validation (validated against an index at
-    /// evaluation time).
-    pub fn new(source: VertexId, target: VertexId, blocks: Vec<Vec<Label>>) -> Self {
-        ConcatQuery {
+    /// Creates a query, rejecting empty block lists and empty blocks at
+    /// construction. Minimum-repeat and block-length checks remain in
+    /// [`ConcatQuery::validate`] (the length limit depends on the evaluating
+    /// index).
+    pub fn new(
+        source: VertexId,
+        target: VertexId,
+        blocks: Vec<Vec<Label>>,
+    ) -> Result<Self, ConcatQueryError> {
+        if blocks.is_empty() {
+            return Err(ConcatQueryError::NoBlocks);
+        }
+        if let Some(i) = blocks.iter().position(Vec::is_empty) {
+            return Err(ConcatQueryError::EmptyBlock(i));
+        }
+        Ok(ConcatQuery {
             source,
             target,
             blocks,
-        }
+        })
     }
 
     /// Validates the blocks against an index built with some recursive `k`.
@@ -96,6 +129,16 @@ impl ConcatQuery {
             }
         }
         Ok(())
+    }
+}
+
+impl TryFrom<&ConcatQuery> for Query {
+    type Error = QueryError;
+
+    /// Converts a legacy concatenation query into the unified model,
+    /// re-running full structural validation.
+    fn try_from(query: &ConcatQuery) -> Result<Self, QueryError> {
+        Query::concat(query.source, query.target, query.blocks.clone())
     }
 }
 
@@ -131,6 +174,54 @@ pub fn evaluate_hybrid(
         }
     }
     unreachable!("the last block returns from the loop");
+}
+
+/// The shared skeleton of hybrid evaluation over pre-validated blocks: runs
+/// the online repetition closure for every block except the last, then
+/// reports whether `last_block_reaches` holds for any frontier vertex.
+///
+/// This is the one frontier loop behind both the RLC-index engines (last
+/// block answered by [`RlcIndex`] lookup) and the ETC engine in
+/// `rlc-baselines` (last block answered by a closure lookup) — the lookup
+/// is the only difference, so it is the parameter.
+pub fn evaluate_blocks_with(
+    graph: &LabeledGraph,
+    source: VertexId,
+    blocks: &[Vec<Label>],
+    last_block_reaches: impl Fn(VertexId) -> bool,
+) -> bool {
+    let mut frontier: Vec<VertexId> = vec![source];
+    for block in &blocks[..blocks.len() - 1] {
+        frontier = repetition_closure(graph, &frontier, block);
+        if frontier.is_empty() {
+            return false;
+        }
+    }
+    frontier.iter().any(|&v| last_block_reaches(v))
+}
+
+/// Hybrid evaluation over a pre-validated block structure with the final
+/// block's minimum repeat already resolved against the index catalog — the
+/// execute half of the prepare/execute split
+/// ([`crate::engine::ReachabilityEngine::evaluate_prepared`]).
+///
+/// `last_mr` is `None` when the final block's MR does not occur in the
+/// catalog, in which case no path can satisfy the constraint and the answer
+/// is `false` without touching the graph.
+pub(crate) fn evaluate_hybrid_prepared(
+    graph: &LabeledGraph,
+    index: &RlcIndex,
+    source: VertexId,
+    target: VertexId,
+    blocks: &[Vec<Label>],
+    last_mr: Option<MrId>,
+) -> bool {
+    let Some(mr_id) = last_mr else {
+        return false;
+    };
+    evaluate_blocks_with(graph, source, blocks, |v| {
+        index.query_interned(v, target, mr_id)
+    })
 }
 
 /// All vertices reachable from `sources` by a path whose label sequence is
@@ -194,7 +285,8 @@ mod tests {
             g.vertex_id("A14").unwrap(),
             g.vertex_id("A19").unwrap(),
             vec![vec![label(&g, "debits"), label(&g, "credits")]],
-        );
+        )
+        .unwrap();
         assert_eq!(evaluate_hybrid(&g, &index, &q), Ok(true));
     }
 
@@ -207,7 +299,8 @@ mod tests {
             g.vertex_id("P10").unwrap(),
             g.vertex_id("A19").unwrap(),
             vec![vec![label(&g, "knows")], vec![label(&g, "holds")]],
-        );
+        )
+        .unwrap();
         assert_eq!(evaluate_hybrid(&g, &index, &q), Ok(true));
         // There is no knows+ ∘ debits+ path from P10 (debits leaves accounts,
         // which knows+ never reaches).
@@ -215,7 +308,8 @@ mod tests {
             g.vertex_id("P10").unwrap(),
             g.vertex_id("E15").unwrap(),
             vec![vec![label(&g, "knows")], vec![label(&g, "debits")]],
-        );
+        )
+        .unwrap();
         assert_eq!(evaluate_hybrid(&g, &index, &q2), Ok(false));
     }
 
@@ -237,7 +331,8 @@ mod tests {
                 vec![label(&g, "y")],
                 vec![label(&g, "z")],
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(evaluate_hybrid(&g, &index, &q), Ok(true));
         // Wrong order of blocks must fail.
         let q_bad = ConcatQuery::new(
@@ -248,7 +343,8 @@ mod tests {
                 vec![label(&g, "x")],
                 vec![label(&g, "z")],
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(evaluate_hybrid(&g, &index, &q_bad), Ok(false));
     }
 
@@ -266,34 +362,77 @@ mod tests {
             g.vertex_id("a").unwrap(),
             g.vertex_id("c").unwrap(),
             vec![vec![label(&g, "x")], vec![label(&g, "y")]],
-        );
+        )
+        .unwrap();
         assert_eq!(evaluate_hybrid(&g, &index, &q), Ok(true));
+    }
+
+    #[test]
+    fn construction_rejects_empty_shapes() {
+        // Empty block lists and empty blocks now fail at construction rather
+        // than at evaluation.
+        assert_eq!(
+            ConcatQuery::new(0, 1, vec![]).unwrap_err(),
+            ConcatQueryError::NoBlocks
+        );
+        assert_eq!(
+            ConcatQuery::new(0, 1, vec![vec![Label(0)], vec![]]).unwrap_err(),
+            ConcatQueryError::EmptyBlock(1)
+        );
     }
 
     #[test]
     fn validation_errors() {
         let g = fig1_graph();
         let (index, _) = build_index(&g, &BuildConfig::new(2));
-        let no_blocks = ConcatQuery::new(0, 1, vec![]);
-        assert_eq!(
-            evaluate_hybrid(&g, &index, &no_blocks),
-            Err(ConcatQueryError::NoBlocks)
-        );
-        let empty_block = ConcatQuery::new(0, 1, vec![vec![]]);
-        assert_eq!(
-            evaluate_hybrid(&g, &index, &empty_block),
-            Err(ConcatQueryError::EmptyBlock(0))
-        );
-        let not_mr = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(0)]]);
+        let not_mr = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(0)]]).unwrap();
         assert_eq!(
             evaluate_hybrid(&g, &index, &not_mr),
             Err(ConcatQueryError::BlockNotMinimumRepeat(0))
         );
-        let too_long = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(1), Label(2)]]);
+        let too_long = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(1), Label(2)]]).unwrap();
         assert!(matches!(
             evaluate_hybrid(&g, &index, &too_long),
             Err(ConcatQueryError::BlockTooLong { .. })
         ));
+    }
+
+    #[test]
+    fn concat_query_errors_convert_to_query_errors() {
+        assert_eq!(
+            QueryError::from(ConcatQueryError::NoBlocks),
+            QueryError::EmptyConstraint
+        );
+        assert_eq!(
+            QueryError::from(ConcatQueryError::EmptyBlock(2)),
+            QueryError::EmptyBlock(2)
+        );
+        assert_eq!(
+            QueryError::from(ConcatQueryError::BlockNotMinimumRepeat(1)),
+            QueryError::BlockNotMinimumRepeat(1)
+        );
+        assert_eq!(
+            QueryError::from(ConcatQueryError::BlockTooLong {
+                block: 0,
+                len: 3,
+                k: 2
+            }),
+            QueryError::BlockTooLong {
+                block: 0,
+                len: 3,
+                k: 2
+            }
+        );
+        // And the lossless path into the unified model.
+        let q = ConcatQuery::new(4, 5, vec![vec![Label(0)], vec![Label(1)]]).unwrap();
+        let unified = Query::try_from(&q).unwrap();
+        assert_eq!(unified.source, 4);
+        assert_eq!(unified.constraint().block_count(), 2);
+        let bad = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(0)]]).unwrap();
+        assert_eq!(
+            Query::try_from(&bad).unwrap_err(),
+            QueryError::BlockNotMinimumRepeat(0)
+        );
     }
 
     #[test]

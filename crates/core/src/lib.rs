@@ -37,7 +37,8 @@
 //! | [`order`] | §V-B | vertex orderings (IN-OUT and ablation alternatives) |
 //! | [`catalog`] | §V-C | interning of minimum repeats |
 //! | [`hybrid`] | §VI-C | extended `a+ ∘ b+` queries (index + traversal) |
-//! | [`engine`] | — | the `ReachabilityEngine` evaluator abstraction |
+//! | [`engine`] | — | the `ReachabilityEngine` evaluator abstraction (prepare/execute) |
+//! | [`plan`] | — | the constraint-grouping `BatchPlan` for mixed query batches |
 //! | [`verify`] | Theorems 2 & 3 | operational soundness/completeness checking |
 
 #![warn(missing_docs)]
@@ -49,15 +50,19 @@ pub mod engine;
 pub mod hybrid;
 pub mod index;
 pub mod order;
+pub mod plan;
 pub mod query;
 pub mod repeats;
 pub mod verify;
 
 pub use build::{build_index, BuildConfig, BuildStats, KbsStrategy};
 pub use catalog::{MrCatalog, MrId};
-pub use engine::{HybridEngine, IndexEngine, ReachabilityEngine};
-pub use hybrid::{evaluate_hybrid, repetition_closure, ConcatQuery, ConcatQueryError};
+pub use engine::{HybridEngine, IndexEngine, PrepareCounting, Prepared, ReachabilityEngine};
+pub use hybrid::{
+    evaluate_blocks_with, evaluate_hybrid, repetition_closure, ConcatQuery, ConcatQueryError,
+};
 pub use index::{IndexEntry, IndexStats, RlcIndex};
 pub use order::{compute_order, OrderingStrategy, VertexOrder};
-pub use query::{QueryError, RlcQuery};
+pub use plan::BatchPlan;
+pub use query::{Constraint, Query, QueryError, RlcQuery};
 pub use verify::{verify_index, Mismatch, VerificationMode, VerificationReport};

@@ -8,9 +8,10 @@
 //! string comparisons. This reproduces the dominant costs a query interpreter
 //! pays when no reachability index is available.
 
+use rlc_baselines::engine::with_prepared_nfa;
 use rlc_baselines::nfa::Nfa;
-use rlc_core::engine::ReachabilityEngine;
-use rlc_core::{ConcatQuery, RlcQuery};
+use rlc_core::engine::{check_vertex_range, Prepared, ReachabilityEngine};
+use rlc_core::{Constraint, QueryError};
 use rlc_graph::{LabeledGraph, VertexId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -20,6 +21,8 @@ pub struct InterpretedEngine {
     label_names: Vec<String>,
     /// Adjacency keyed by `(source, label name)`.
     adjacency: HashMap<(VertexId, String), Vec<VertexId>>,
+    /// Number of vertices of the loaded graph, for query id validation.
+    vertices: usize,
 }
 
 impl InterpretedEngine {
@@ -44,6 +47,7 @@ impl InterpretedEngine {
         InterpretedEngine {
             label_names,
             adjacency,
+            vertices: graph.vertex_count(),
         }
     }
 
@@ -90,20 +94,34 @@ impl ReachabilityEngine for InterpretedEngine {
         "Sys1 (interpreted)"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        let nfa = Nfa::kleene_plus(&query.constraint);
-        self.evaluate_nfa(&nfa, query.source, query.target)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        // The interpreter compiles the query automaton once per prepared
+        // constraint; the per-tuple interpretation overhead it models stays
+        // in the execute phase.
+        Ok(Prepared::new(
+            constraint.clone(),
+            self.name(),
+            Nfa::concatenation(constraint.blocks()),
+        ))
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
-        let nfa = Nfa::concatenation(&query.blocks);
-        self.evaluate_nfa(&nfa, query.source, query.target)
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        check_vertex_range(source, target, self.vertices)?;
+        Ok(with_prepared_nfa(prepared, |nfa| {
+            self.evaluate_nfa(nfa, source, target)
+        }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rlc_core::Query;
     use rlc_graph::examples::fig1_graph;
 
     #[test]
@@ -112,18 +130,20 @@ mod tests {
         let engine = InterpretedEngine::load(&g);
         let debits = g.labels().resolve("debits").unwrap();
         let credits = g.labels().resolve("credits").unwrap();
-        let q = ConcatQuery::new(
+        let q = Query::rlc(
             g.vertex_id("A14").unwrap(),
             g.vertex_id("A19").unwrap(),
-            vec![vec![debits, credits]],
-        );
-        assert!(engine.evaluate_concat(&q));
-        let q_false = ConcatQuery::new(
+            vec![debits, credits],
+        )
+        .unwrap();
+        assert_eq!(engine.evaluate(&q), Ok(true));
+        let q_false = Query::rlc(
             g.vertex_id("A19").unwrap(),
             g.vertex_id("A14").unwrap(),
-            vec![vec![debits, credits]],
-        );
-        assert!(!engine.evaluate_concat(&q_false));
+            vec![debits, credits],
+        )
+        .unwrap();
+        assert_eq!(engine.evaluate(&q_false), Ok(false));
     }
 
     #[test]
@@ -132,11 +152,18 @@ mod tests {
         let engine = InterpretedEngine::load(&g);
         let knows = g.labels().resolve("knows").unwrap();
         let holds = g.labels().resolve("holds").unwrap();
-        let q = ConcatQuery::new(
+        let q = Query::concat(
             g.vertex_id("P10").unwrap(),
             g.vertex_id("A19").unwrap(),
             vec![vec![knows], vec![holds]],
+        )
+        .unwrap();
+        assert_eq!(engine.evaluate(&q), Ok(true));
+        // The prepared path reuses one automaton across pairs.
+        let prepared = engine.prepare(q.constraint()).unwrap();
+        assert_eq!(
+            engine.evaluate_prepared(q.source, q.target, &prepared),
+            Ok(true)
         );
-        assert!(engine.evaluate_concat(&q));
     }
 }

@@ -62,7 +62,7 @@ pub fn all_engines(graph: &LabeledGraph) -> Vec<Box<dyn ReachabilityEngine>> {
 mod tests {
     use super::*;
     use rlc_baselines::BfsEngine;
-    use rlc_core::{ConcatQuery, RlcQuery};
+    use rlc_core::Query;
     use rlc_graph::examples::fig1_graph;
     use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
 
@@ -75,11 +75,11 @@ mod tests {
         for s in (0..g.vertex_count() as u32).step_by(9) {
             for t in (0..g.vertex_count() as u32).step_by(11) {
                 for blocks in [vec![vec![l0]], vec![vec![l0, l1]], vec![vec![l0], vec![l1]]] {
-                    let q = ConcatQuery::new(s, t, blocks);
-                    let expected = BfsEngine::new(&g).evaluate_concat(&q);
+                    let q = Query::concat(s, t, blocks).unwrap();
+                    let expected = BfsEngine::new(&g).evaluate(&q);
                     for engine in &engines {
                         assert_eq!(
-                            engine.evaluate_concat(&q),
+                            engine.evaluate(&q),
                             expected,
                             "engine {} disagrees on ({s},{t})",
                             engine.name()
@@ -99,7 +99,7 @@ mod tests {
         for s in (0..g.vertex_count() as u32).step_by(7) {
             for t in (0..g.vertex_count() as u32).step_by(5) {
                 for constraint in [vec![l0], vec![l1, l0]] {
-                    let q = RlcQuery::new(s, t, constraint).unwrap();
+                    let q = Query::rlc(s, t, constraint).unwrap();
                     let expected = BfsEngine::new(&g).evaluate(&q);
                     for engine in &engines {
                         assert_eq!(
@@ -129,8 +129,8 @@ mod tests {
     fn batch_evaluation_matches_single() {
         let g = erdos_renyi(&SyntheticConfig::new(40, 3.0, 3, 23));
         let engines = all_engines(&g);
-        let queries: Vec<RlcQuery> = (0..40u32)
-            .map(|s| RlcQuery::new(s, (s + 13) % 40, vec![rlc_graph::Label(0)]).unwrap())
+        let queries: Vec<Query> = (0..40u32)
+            .map(|s| Query::rlc(s, (s + 13) % 40, vec![rlc_graph::Label(0)]).unwrap())
             .collect();
         for engine in &engines {
             let batch = engine.evaluate_batch(&queries);

@@ -9,9 +9,10 @@
 //! more expensive than the pointer-chasing online traversals — and both are
 //! orders of magnitude slower than one RLC-index lookup.
 
+use rlc_baselines::engine::with_prepared_nfa;
 use rlc_baselines::nfa::Nfa;
-use rlc_core::engine::ReachabilityEngine;
-use rlc_core::{ConcatQuery, RlcQuery};
+use rlc_core::engine::{check_vertex_range, Prepared, ReachabilityEngine};
+use rlc_core::{Constraint, QueryError};
 use rlc_graph::{Label, LabeledGraph, VertexId};
 use std::collections::HashMap;
 use std::collections::HashSet;
@@ -20,6 +21,8 @@ use std::collections::HashSet;
 pub struct MaterializingEngine {
     /// Edge relation partitioned by label: `label → Vec<(source, target)>`.
     edges_by_label: HashMap<Label, Vec<(VertexId, VertexId)>>,
+    /// Number of vertices of the loaded graph, for query id validation.
+    vertices: usize,
 }
 
 impl MaterializingEngine {
@@ -32,7 +35,10 @@ impl MaterializingEngine {
                 .or_default()
                 .push((e.source, e.target));
         }
-        MaterializingEngine { edges_by_label }
+        MaterializingEngine {
+            edges_by_label,
+            vertices: graph.vertex_count(),
+        }
     }
 
     /// Breadth-wise evaluation of the product automaton: join, materialize,
@@ -85,34 +91,46 @@ impl ReachabilityEngine for MaterializingEngine {
         "Sys2 (materializing)"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        let nfa = Nfa::kleene_plus(&query.constraint);
-        self.evaluate_nfa(&nfa, query.source, query.target)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        Ok(Prepared::new(
+            constraint.clone(),
+            self.name(),
+            Nfa::concatenation(constraint.blocks()),
+        ))
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
-        let nfa = Nfa::concatenation(&query.blocks);
-        self.evaluate_nfa(&nfa, query.source, query.target)
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        check_vertex_range(source, target, self.vertices)?;
+        Ok(with_prepared_nfa(prepared, |nfa| {
+            self.evaluate_nfa(nfa, source, target)
+        }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlc_baselines::bfs::bfs_concat_query;
+    use rlc_baselines::BfsEngine;
+    use rlc_core::Query;
     use rlc_graph::examples::{fig1_graph, fig2_graph};
 
     #[test]
     fn agrees_with_oracle_on_fig2() {
         let g = fig2_graph();
         let engine = MaterializingEngine::load(&g);
+        let oracle = BfsEngine::new(&g);
         let l1 = g.labels().resolve("l1").unwrap();
         let l2 = g.labels().resolve("l2").unwrap();
         for s in g.vertices() {
             for t in g.vertices() {
                 for blocks in [vec![vec![l1]], vec![vec![l2, l1]], vec![vec![l2], vec![l1]]] {
-                    let q = ConcatQuery::new(s, t, blocks);
-                    assert_eq!(engine.evaluate_concat(&q), bfs_concat_query(&g, &q));
+                    let q = Query::concat(s, t, blocks).unwrap();
+                    assert_eq!(engine.evaluate(&q), oracle.evaluate(&q));
                 }
             }
         }
@@ -123,13 +141,15 @@ mod tests {
         let g = fig1_graph();
         let engine = MaterializingEngine::load(&g);
         let knows = g.labels().resolve("knows").unwrap();
-        let q = ConcatQuery::new(
+        let q = Query::rlc(
             g.vertex_id("P11").unwrap(),
             g.vertex_id("P11").unwrap(),
-            vec![vec![knows]],
-        );
-        assert!(
-            engine.evaluate_concat(&q),
+            vec![knows],
+        )
+        .unwrap();
+        assert_eq!(
+            engine.evaluate(&q),
+            Ok(true),
             "P11 -knows-> P12 -knows-> P11 is a cycle"
         );
     }

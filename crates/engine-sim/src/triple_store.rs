@@ -8,8 +8,8 @@
 //! iteration over the frontier of reachable vertices, and binary-search range
 //! scans for every probe.
 
-use rlc_core::engine::ReachabilityEngine;
-use rlc_core::{ConcatQuery, RlcQuery};
+use rlc_core::engine::{check_vertex_range, Prepared, ReachabilityEngine};
+use rlc_core::{Constraint, QueryError};
 use rlc_graph::{Label, LabeledGraph, VertexId};
 use std::collections::HashSet;
 
@@ -18,6 +18,8 @@ pub struct TripleStoreEngine {
     /// Triples `(subject, predicate, object)` sorted lexicographically —
     /// the SPO index.
     spo: Vec<(VertexId, Label, VertexId)>,
+    /// Number of vertices of the loaded graph, for query id validation.
+    vertices: usize,
 }
 
 impl TripleStoreEngine {
@@ -28,7 +30,10 @@ impl TripleStoreEngine {
             .map(|e| (e.source, e.label, e.target))
             .collect();
         spo.sort_unstable();
-        TripleStoreEngine { spo }
+        TripleStoreEngine {
+            spo,
+            vertices: graph.vertex_count(),
+        }
     }
 
     /// Objects of triples `(subject, predicate, ?)` via binary-search range
@@ -85,30 +90,37 @@ impl ReachabilityEngine for TripleStoreEngine {
         "Virtuoso-like (triple store)"
     }
 
-    fn evaluate(&self, query: &RlcQuery) -> bool {
-        let mut frontier: HashSet<VertexId> = HashSet::new();
-        frontier.insert(query.source);
-        frontier = self.block_closure(&frontier, &query.constraint);
-        frontier.contains(&query.target)
+    fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        // The store evaluates path steps directly from the validated block
+        // structure carried by every `Prepared`; there is no engine-specific
+        // artifact to compile (per-block closures depend on the source).
+        Ok(Prepared::new(constraint.clone(), self.name(), ()))
     }
 
-    fn evaluate_concat(&self, query: &ConcatQuery) -> bool {
+    fn evaluate_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> Result<bool, QueryError> {
+        check_vertex_range(source, target, self.vertices)?;
         let mut frontier: HashSet<VertexId> = HashSet::new();
-        frontier.insert(query.source);
-        for block in &query.blocks {
+        frontier.insert(source);
+        for block in prepared.constraint().blocks() {
             frontier = self.block_closure(&frontier, block);
             if frontier.is_empty() {
-                return false;
+                return Ok(false);
             }
         }
-        frontier.contains(&query.target)
+        Ok(frontier.contains(&target))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlc_baselines::bfs::bfs_concat_query;
+    use rlc_baselines::BfsEngine;
+    use rlc_core::Query;
     use rlc_graph::examples::{fig1_graph, fig2_graph};
     use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
 
@@ -116,6 +128,7 @@ mod tests {
     fn agrees_with_oracle_on_fig2() {
         let g = fig2_graph();
         let engine = TripleStoreEngine::load(&g);
+        let oracle = BfsEngine::new(&g);
         let l1 = g.labels().resolve("l1").unwrap();
         let l2 = g.labels().resolve("l2").unwrap();
         let l3 = g.labels().resolve("l3").unwrap();
@@ -127,12 +140,8 @@ mod tests {
                     vec![vec![l1, l2]],
                     vec![vec![l2], vec![l3]],
                 ] {
-                    let q = ConcatQuery::new(s, t, blocks);
-                    assert_eq!(
-                        engine.evaluate_concat(&q),
-                        bfs_concat_query(&g, &q),
-                        "({s},{t})"
-                    );
+                    let q = Query::concat(s, t, blocks).unwrap();
+                    assert_eq!(engine.evaluate(&q), oracle.evaluate(&q), "({s},{t})");
                 }
             }
         }
@@ -142,12 +151,13 @@ mod tests {
     fn agrees_with_oracle_on_random_graph() {
         let g = barabasi_albert(&SyntheticConfig::new(60, 3.0, 3, 13));
         let engine = TripleStoreEngine::load(&g);
+        let oracle = BfsEngine::new(&g);
         let l0 = rlc_graph::Label(0);
         let l1 = rlc_graph::Label(1);
         for s in (0..g.vertex_count() as u32).step_by(7) {
             for t in (0..g.vertex_count() as u32).step_by(5) {
-                let q = ConcatQuery::new(s, t, vec![vec![l0, l1]]);
-                assert_eq!(engine.evaluate_concat(&q), bfs_concat_query(&g, &q));
+                let q = Query::rlc(s, t, vec![l0, l1]).unwrap();
+                assert_eq!(engine.evaluate(&q), oracle.evaluate(&q));
             }
         }
     }
@@ -157,11 +167,12 @@ mod tests {
         let g = fig1_graph();
         let engine = TripleStoreEngine::load(&g);
         let knows = g.labels().resolve("knows").unwrap();
-        let q = ConcatQuery::new(
+        let q = Query::rlc(
             g.vertex_id("P11").unwrap(),
             g.vertex_id("P11").unwrap(),
-            vec![vec![knows]],
-        );
-        assert!(engine.evaluate_concat(&q));
+            vec![knows],
+        )
+        .unwrap();
+        assert_eq!(engine.evaluate(&q), Ok(true));
     }
 }

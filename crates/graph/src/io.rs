@@ -1,12 +1,21 @@
-//! Plain-text edge-list persistence for labeled graphs.
+//! Edge-list persistence for labeled graphs: plain text and a hardened
+//! binary format.
 //!
-//! The format is one edge per line, `source<TAB>label<TAB>target`, with `#`
-//! comment lines. Vertex and label tokens are arbitrary whitespace-free
+//! The text format is one edge per line, `source<TAB>label<TAB>target`, with
+//! `#` comment lines. Vertex and label tokens are arbitrary whitespace-free
 //! strings; numeric tokens are kept as names too, so a round trip through the
 //! format is lossless up to vertex/label renumbering.
+//!
+//! The binary format (magic `"RLG1"`, see [`to_binary_edge_list`]) is the
+//! compact deployment form. Its loader treats the blob as untrusted input:
+//! every size field is bounded by the bytes actually present before any
+//! allocation, every vertex/label id is range-checked, names must be valid
+//! UTF-8 and duplicate-free, and trailing bytes are rejected — the same
+//! corruption-blob treatment as `RlcIndex::from_bytes`.
 
 use crate::builder::GraphBuilder;
-use crate::graph::LabeledGraph;
+use crate::graph::{Edge, LabeledGraph};
+use crate::label::{Label, LabelInterner};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -23,6 +32,8 @@ pub enum EdgeListError {
         /// The offending line content.
         content: String,
     },
+    /// A corrupt or truncated binary edge list.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for EdgeListError {
@@ -35,6 +46,9 @@ impl std::fmt::Display for EdgeListError {
                     "malformed edge list line {line}: {content:?} (expected `source label target`)"
                 )
             }
+            EdgeListError::Corrupt(what) => {
+                write!(f, "corrupt or truncated binary edge list: {what}")
+            }
         }
     }
 }
@@ -43,7 +57,7 @@ impl std::error::Error for EdgeListError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EdgeListError::Io(e) => Some(e),
-            EdgeListError::Malformed { .. } => None,
+            EdgeListError::Malformed { .. } | EdgeListError::Corrupt(_) => None,
         }
     }
 }
@@ -120,6 +134,200 @@ pub fn write_edge_list<P: AsRef<Path>>(graph: &LabeledGraph, path: P) -> Result<
     writer.write_all(to_edge_list(graph).as_bytes())?;
     writer.flush()?;
     Ok(())
+}
+
+/// Binary edge-list format magic ("RLG1").
+const BINARY_MAGIC: u32 = 0x524C_4731;
+
+/// How many *isolated, unnamed* vertices a binary blob may declare without
+/// any bytes backing them.
+///
+/// Building the CSR graph allocates O(vertex count) memory, and isolated
+/// unnamed vertices occupy zero bytes in the blob — so without a bound, a
+/// hostile 21-byte header declaring `u32::MAX` vertices would drive a
+/// multi-gigabyte allocation before any content is validated. Unnamed blobs
+/// may therefore declare at most `max(2 × edge count, this allowance)`
+/// vertices (beyond the allowance, every vertex must appear in an edge);
+/// named blobs are bounded by their name table instead. One million free
+/// isolated vertices (~20 MB of CSR bookkeeping) keeps every realistic
+/// sparse graph loadable while capping what a tiny blob can allocate.
+const ISOLATED_VERTEX_ALLOWANCE: usize = 1 << 20;
+
+/// Serializes a labeled graph to the binary edge-list format (magic
+/// `"RLG1"`).
+///
+/// Layout (all integers little-endian): `u32` magic, `u32` vertex count,
+/// `u32` label count, `u64` edge count, one has-vertex-names flag byte, the
+/// label names (`u32` length + UTF-8 bytes each), the vertex names when the
+/// flag is set (same encoding), then the edges (`u32` source, `u16` label,
+/// `u32` target each, in out-edge order).
+pub fn to_binary_edge_list(graph: &LabeledGraph) -> Vec<u8> {
+    use bytes::BufMut;
+    let mut buf = Vec::with_capacity(21 + graph.edge_count() * 10);
+    buf.put_u32_le(BINARY_MAGIC);
+    buf.put_u32_le(graph.vertex_count() as u32);
+    buf.put_u32_le(graph.label_count() as u32);
+    buf.put_u64_le(graph.edge_count() as u64);
+    let has_names = graph.vertex_count() > 0 && graph.vertex_name(0).is_some();
+    buf.put_u8(has_names as u8);
+    let put_name = |buf: &mut Vec<u8>, name: &str| {
+        buf.put_u32_le(name.len() as u32);
+        buf.extend_from_slice(name.as_bytes());
+    };
+    for i in 0..graph.label_count() {
+        let label = Label::from_index(i);
+        match graph.labels().name(label) {
+            Some(name) => put_name(&mut buf, name),
+            None => put_name(&mut buf, &format!("l{i}")),
+        }
+    }
+    if has_names {
+        for v in graph.vertices() {
+            let name = graph
+                .vertex_name(v)
+                .map(str::to_owned)
+                .unwrap_or_else(|| v.to_string());
+            put_name(&mut buf, &name);
+        }
+    }
+    for e in graph.edges() {
+        buf.put_u32_le(e.source);
+        buf.put_u16_le(e.label.0);
+        buf.put_u32_le(e.target);
+    }
+    buf
+}
+
+/// Deserializes a graph produced by [`to_binary_edge_list`], validating the
+/// blob as untrusted input (see the module documentation).
+pub fn from_binary_edge_list(data: &[u8]) -> Result<LabeledGraph, EdgeListError> {
+    use bytes::Buf;
+    let mut buf = data;
+    let corrupt = |what: &str| EdgeListError::Corrupt(what.to_owned());
+    let check = |ok: bool, what: &str| -> Result<(), EdgeListError> {
+        if ok {
+            Ok(())
+        } else {
+            Err(corrupt(what))
+        }
+    };
+    check(buf.remaining() >= 21, "header")?;
+    let magic = buf.get_u32_le();
+    if magic != BINARY_MAGIC {
+        return Err(EdgeListError::Corrupt(format!(
+            "bad magic {magic:#x}, not a binary edge list"
+        )));
+    }
+    let vertex_count = buf.get_u32_le() as usize;
+    let label_count = buf.get_u32_le() as usize;
+    if label_count > u16::MAX as usize + 1 {
+        return Err(EdgeListError::Corrupt(format!(
+            "label count {label_count} exceeds the u16 label id range"
+        )));
+    }
+    let edge_count =
+        usize::try_from(buf.get_u64_le()).map_err(|_| corrupt("edge count exceeds usize"))?;
+    let has_names = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(EdgeListError::Corrupt(format!(
+                "has-names flag must be 0 or 1, found {other}"
+            )))
+        }
+    };
+    // Untrusted size fields: bound them by the bytes actually present
+    // (division form, immune to multiplication overflow) before any loop or
+    // allocation sized by them. Named blobs bound the vertex count through
+    // the name table below; unnamed blobs must back vertices beyond the
+    // isolated-vertex allowance with edges (see ISOLATED_VERTEX_ALLOWANCE).
+    if !has_names && vertex_count > edge_count.saturating_mul(2).max(ISOLATED_VERTEX_ALLOWANCE) {
+        return Err(EdgeListError::Corrupt(format!(
+            "unnamed blob declares {vertex_count} vertices but only {edge_count} edges \
+             back them"
+        )));
+    }
+    let read_names =
+        |buf: &mut &[u8], count: usize, what: &str| -> Result<Vec<String>, EdgeListError> {
+            check(count <= buf.remaining() / 4, what)?;
+            let mut names = Vec::with_capacity(count);
+            let mut seen = std::collections::HashSet::with_capacity(count);
+            for i in 0..count {
+                check(buf.remaining() >= 4, "name length")?;
+                let len = buf.get_u32_le() as usize;
+                check(len <= buf.remaining(), "name bytes")?;
+                let name = std::str::from_utf8(&buf[..len])
+                    .map_err(|_| EdgeListError::Corrupt(format!("{what} {i} is not valid UTF-8")))?
+                    .to_owned();
+                *buf = &buf[len..];
+                if !seen.insert(name.clone()) {
+                    return Err(EdgeListError::Corrupt(format!(
+                        "{what} {i} duplicates the name {name:?}"
+                    )));
+                }
+                names.push(name);
+            }
+            Ok(names)
+        };
+    let label_names = read_names(&mut buf, label_count, "label name")?;
+    let vertex_names = if has_names {
+        Some(read_names(&mut buf, vertex_count, "vertex name")?)
+    } else {
+        None
+    };
+    check(edge_count <= buf.remaining() / 10, "edge table")?;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let source = buf.get_u32_le();
+        let label = buf.get_u16_le();
+        let target = buf.get_u32_le();
+        for id in [source, target] {
+            if id as usize >= vertex_count {
+                return Err(EdgeListError::Corrupt(format!(
+                    "vertex id {id} out of range for {vertex_count} vertices"
+                )));
+            }
+        }
+        if label as usize >= label_count {
+            return Err(EdgeListError::Corrupt(format!(
+                "label id {label} out of range for {label_count} labels"
+            )));
+        }
+        edges.push(Edge::new(source, Label(label), target));
+    }
+    if buf.remaining() > 0 {
+        return Err(EdgeListError::Corrupt(format!(
+            "{} trailing bytes after the last edge",
+            buf.remaining()
+        )));
+    }
+    let mut labels = LabelInterner::new();
+    for name in &label_names {
+        labels.intern(name);
+    }
+    Ok(LabeledGraph::from_edges(
+        vertex_count,
+        &edges,
+        labels,
+        vertex_names,
+    ))
+}
+
+/// Writes a labeled graph to a binary edge-list file.
+pub fn write_binary_edge_list<P: AsRef<Path>>(
+    graph: &LabeledGraph,
+    path: P,
+) -> Result<(), EdgeListError> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(&to_binary_edge_list(graph))?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a labeled graph from a binary edge-list file.
+pub fn read_binary_edge_list<P: AsRef<Path>>(path: P) -> Result<LabeledGraph, EdgeListError> {
+    from_binary_edge_list(&std::fs::read(path)?)
 }
 
 /// Reads an *unlabeled* edge list (`source target` per line), producing a
@@ -221,5 +429,150 @@ mod tests {
         let msg = format!("{err}");
         assert!(msg.contains("line 1"));
         assert!(msg.contains("oops"));
+        let corrupt = EdgeListError::Corrupt("header".into());
+        assert!(format!("{corrupt}").contains("header"));
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_structure_and_names() {
+        let g = fig2_graph();
+        let blob = to_binary_edge_list(&g);
+        let back = from_binary_edge_list(&blob).unwrap();
+        assert_eq!(back.vertex_count(), g.vertex_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.label_count(), g.label_count());
+        for e in g.edges() {
+            assert!(back.has_edge(e.source, e.label, e.target));
+        }
+        for v in g.vertices() {
+            assert_eq!(back.vertex_name(v), g.vertex_name(v));
+            assert_eq!(back.vertex_id(g.vertex_name(v).unwrap()), Some(v));
+        }
+        for l in g.labels().iter() {
+            assert_eq!(back.labels().name(l), g.labels().name(l));
+        }
+        // The binary form is canonical: re-serializing yields the same bytes.
+        assert_eq!(to_binary_edge_list(&back), blob);
+    }
+
+    #[test]
+    fn binary_round_trip_without_vertex_names() {
+        let mut b = GraphBuilder::with_capacity(4, 2);
+        b.add_edge(0, crate::label::Label(0), 1);
+        b.add_edge(1, crate::label::Label(1), 2);
+        b.add_edge(2, crate::label::Label(0), 3);
+        let g = b.build();
+        let back = from_binary_edge_list(&to_binary_edge_list(&g)).unwrap();
+        assert_eq!(back.vertex_count(), g.vertex_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for e in g.edges() {
+            assert!(back.has_edge(e.source, e.label, e.target));
+        }
+    }
+
+    #[test]
+    fn binary_file_round_trip() {
+        let g = fig2_graph();
+        let dir = std::env::temp_dir().join("rlc-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.rlg");
+        write_binary_edge_list(&g, &path).unwrap();
+        let back = read_binary_edge_list(&path).unwrap();
+        assert_eq!(back.edge_count(), g.edge_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_binary_blobs_are_rejected() {
+        let g = fig2_graph();
+        let blob = to_binary_edge_list(&g);
+
+        // Truncations at every prefix must error, never panic.
+        for len in 0..blob.len() {
+            assert!(from_binary_edge_list(&blob[..len]).is_err(), "prefix {len}");
+        }
+
+        // Bad magic.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            from_binary_edge_list(&bad),
+            Err(EdgeListError::Corrupt(m)) if m.contains("magic")
+        ));
+
+        // Oversized edge count must be caught by the division-form bound
+        // before any allocation.
+        let mut bad = blob.clone();
+        bad[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(from_binary_edge_list(&bad).is_err());
+
+        // Invalid has-names flag.
+        let mut bad = blob.clone();
+        bad[20] = 9;
+        assert!(matches!(
+            from_binary_edge_list(&bad),
+            Err(EdgeListError::Corrupt(m)) if m.contains("flag")
+        ));
+
+        // Out-of-range ids: shrink the declared vertex count.
+        let mut bad = blob.clone();
+        bad[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(from_binary_edge_list(&bad).is_err());
+
+        // Trailing bytes.
+        let mut bad = blob.clone();
+        bad.push(0);
+        assert!(matches!(
+            from_binary_edge_list(&bad),
+            Err(EdgeListError::Corrupt(m)) if m.contains("trailing")
+        ));
+
+        // Oversized label count (beyond the u16 id range).
+        let mut bad = blob;
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(from_binary_edge_list(&bad).is_err());
+    }
+
+    #[test]
+    fn tiny_blob_cannot_declare_billions_of_unnamed_vertices() {
+        // A hostile 21-byte header declaring u32::MAX isolated unnamed
+        // vertices must be rejected before any O(vertex_count) allocation.
+        use bytes::BufMut;
+        let mut buf = Vec::new();
+        buf.put_u32_le(super::BINARY_MAGIC);
+        buf.put_u32_le(u32::MAX); // vertices
+        buf.put_u32_le(0); // labels
+        buf.put_u64_le(0); // edges
+        buf.put_u8(0); // unnamed
+        assert!(matches!(
+            from_binary_edge_list(&buf),
+            Err(EdgeListError::Corrupt(m)) if m.contains("back them")
+        ));
+        // Isolated unnamed vertices below the allowance stay loadable.
+        let mut b = GraphBuilder::with_capacity(1000, 1);
+        b.add_edge(0, crate::label::Label(0), 1);
+        let g = b.build();
+        let back = from_binary_edge_list(&to_binary_edge_list(&g)).unwrap();
+        assert_eq!(back.vertex_count(), g.vertex_count());
+    }
+
+    #[test]
+    fn duplicate_names_in_binary_blobs_are_rejected() {
+        // Hand-build a blob with two vertices sharing a name.
+        use bytes::BufMut;
+        let mut buf = Vec::new();
+        buf.put_u32_le(super::BINARY_MAGIC);
+        buf.put_u32_le(2); // vertices
+        buf.put_u32_le(1); // labels
+        buf.put_u64_le(0); // edges
+        buf.put_u8(1); // named
+        for name in ["x", "dup", "dup"] {
+            buf.put_u32_le(name.len() as u32);
+            buf.extend_from_slice(name.as_bytes());
+        }
+        assert!(matches!(
+            from_binary_edge_list(&buf),
+            Err(EdgeListError::Corrupt(m)) if m.contains("duplicates")
+        ));
     }
 }

@@ -17,7 +17,8 @@
 //!   (self-loop count, directed triangle count, degree distribution);
 //! * [`scc`] — Tarjan's strongly connected components, used by statistics and
 //!   workload generation;
-//! * [`io`] — a plain-text edge-list format for persisting graphs;
+//! * [`io`] — edge-list persistence: a plain-text format and a hardened
+//!   binary format whose loader validates untrusted blobs;
 //! * [`examples`] — the two illustrative graphs of the paper (Fig. 1 and
 //!   Fig. 2), used throughout tests and examples.
 //!

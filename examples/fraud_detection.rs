@@ -20,17 +20,31 @@ fn main() {
     // What an engine without the index has to do: online traversal.
     let traversal = BfsEngine::new(&graph);
 
+    // One fraud pattern, many suspicious pairs: compile the constraint once
+    // with `prepare`, then execute it per pair — the batch-serving shape of
+    // the new engine API.
     println!("== money-flow checks: (debits, credits)+ ==");
+    let debits = graph.labels().resolve("debits").unwrap();
+    let credits = graph.labels().resolve("credits").unwrap();
+    let pattern = Constraint::single(vec![debits, credits]).unwrap();
+    let prepared = engine.prepare(&pattern).unwrap();
+    let prepared_traversal = traversal.prepare(&pattern).unwrap();
     for (source, target) in [
         ("A14", "A19"),
         ("A14", "A17"),
         ("A17", "A19"),
         ("A19", "A14"),
     ] {
-        let query = RlcQuery::from_names(&graph, source, target, &["debits", "credits"]).unwrap();
-        let index_answer = engine.evaluate(&query);
+        let s = graph.vertex_id(source).unwrap();
+        let t = graph.vertex_id(target).unwrap();
+        let index_answer = engine.evaluate_prepared(s, t, &prepared).unwrap();
         // Cross-check the index against the online traversal.
-        assert_eq!(index_answer, traversal.evaluate(&query));
+        assert_eq!(
+            index_answer,
+            traversal
+                .evaluate_prepared(s, t, &prepared_traversal)
+                .unwrap()
+        );
         println!(
             "  money can flow {source} -> {target} through debit/credit chains: {index_answer}"
         );
@@ -38,28 +52,30 @@ fn main() {
 
     println!("\n== social closeness checks: (knows)+ ==");
     for (source, target) in [("P10", "P16"), ("P16", "P10"), ("P12", "P13")] {
-        let query = RlcQuery::from_names(&graph, source, target, &["knows"]).unwrap();
+        let rlc = RlcQuery::from_names(&graph, source, target, &["knows"]).unwrap();
         println!(
             "  {source} reaches {target} through knows-chains: {}",
-            engine.evaluate(&query)
+            engine.evaluate(&Query::from(&rlc)).unwrap()
         );
     }
 
     // An extended constraint (the paper's Q4 shape): first follow knows-hops
     // to a person, then a holds-hop to one of their accounts. The index alone
-    // cannot answer the concatenation, but `evaluate_concat` combines an
-    // online knows+ traversal with index lookups for the final block.
+    // cannot answer the concatenation, but the unified `Query` model treats
+    // it as just another constraint: the engine combines an online knows+
+    // traversal with index lookups for the final block.
     println!("\n== extended constraint: knows+ . holds+ ==");
     let knows = graph.labels().resolve("knows").unwrap();
     let holds = graph.labels().resolve("holds").unwrap();
     for (source, target) in [("P10", "A19"), ("P10", "A14"), ("P13", "A14")] {
-        let query = ConcatQuery::new(
+        let query = Query::concat(
             graph.vertex_id(source).unwrap(),
             graph.vertex_id(target).unwrap(),
             vec![vec![knows], vec![holds]],
-        );
-        let answer = engine.evaluate_concat(&query);
-        assert_eq!(answer, traversal.evaluate_concat(&query));
+        )
+        .unwrap();
+        let answer = engine.evaluate(&query).unwrap();
+        assert_eq!(Ok(answer), traversal.evaluate(&query));
         println!("  {source} can reach account {target} via knows+ then holds: {answer}");
     }
 }

@@ -44,8 +44,8 @@ fn main() {
     let restored = rlc::index::RlcIndex::from_bytes(&std::fs::read(&path).expect("read blob"))
         .expect("valid index blob");
     let workload = generate_query_set(&graph, &QueryGenConfig::small(100, 100, 2, 3));
-    let queries: Vec<RlcQuery> = workload.iter().map(|(q, _)| q.clone()).collect();
-    let expected: Vec<bool> = workload.iter().map(|(_, e)| e).collect();
+    let queries: Vec<Query> = workload.iter().map(|(q, _)| Query::from(q)).collect();
+    let expected: Vec<Result<bool, QueryError>> = workload.iter().map(|(_, e)| Ok(e)).collect();
     let original_engine = IndexEngine::new(&graph, &index);
     let restored_engine = IndexEngine::new(&graph, &restored);
     let restored_answers = restored_engine.evaluate_batch(&queries);

@@ -42,10 +42,12 @@ fn main() {
 
     // Every evaluator in the workspace — the index, the online traversals,
     // the simulated engines — implements `ReachabilityEngine`, so the same
-    // code drives any of them, including rayon-parallel batches.
+    // code drives any of them, including rayon-parallel batches. The engine
+    // layer speaks the unified `Query` model (a plain RLC constraint is the
+    // one-block special case of a concatenation).
     let engine = IndexEngine::new(&graph, &index);
     let baseline = BfsEngine::new(&graph);
-    let batch = vec![q1, q2, q3];
+    let batch: Vec<Query> = [&q1, &q2, &q3].into_iter().map(Query::from).collect();
     let index_answers = engine.evaluate_batch(&batch);
     let baseline_answers = baseline.evaluate_batch(&batch);
     assert_eq!(index_answers, baseline_answers);
@@ -53,9 +55,22 @@ fn main() {
         "\nbatch of {} queries via {}: {:?} (matches {})",
         batch.len(),
         engine.name(),
-        index_answers,
+        index_answers
+            .iter()
+            .map(|a| a.as_ref().copied().unwrap_or(false))
+            .collect::<Vec<bool>>(),
         baseline.name()
     );
+
+    // Constraint reuse? Prepare once, execute per pair — and `BatchPlan`
+    // does the grouping automatically for mixed batches.
+    let plan = BatchPlan::new(&batch);
+    println!(
+        "batch planner groups {} queries into {} constraint groups",
+        plan.query_count(),
+        plan.group_count()
+    );
+    assert_eq!(plan.execute(&engine), index_answers);
 
     // The full index content, with vertex and label names resolved.
     println!("\nindex entries:\n{}", index.describe(&graph));

@@ -14,8 +14,10 @@
 //! * [`engines`] — the simulated graph engines used as Table V comparators.
 //!
 //! Every evaluator implements `ReachabilityEngine`, so the same code drives
-//! the index, the online baselines and the simulated engines — including
-//! rayon-parallel batch evaluation:
+//! the index, the online baselines and the simulated engines. The API is a
+//! prepare/execute split: `prepare` compiles a constraint once, and
+//! `evaluate_prepared` reuses the artifact across vertex pairs; one-shot
+//! `evaluate` and the constraint-grouping `BatchPlan` build on top:
 //!
 //! ```
 //! use rlc::prelude::*;
@@ -23,9 +25,19 @@
 //! let graph = rlc::graph::examples::fig1_graph();
 //! let index = RlcIndex::build(&graph, 2);
 //! let engine = IndexEngine::new(&graph, &index);
-//! let query = RlcQuery::from_names(&graph, "A14", "A19", &["debits", "credits"]).unwrap();
-//! assert!(engine.evaluate(&query));
-//! assert_eq!(engine.evaluate_batch(&[query]), vec![true]);
+//! let rlc_query = RlcQuery::from_names(&graph, "A14", "A19", &["debits", "credits"]).unwrap();
+//! let query = Query::from(&rlc_query);
+//! assert_eq!(engine.evaluate(&query), Ok(true));
+//!
+//! // Prepare once, execute for many pairs:
+//! let prepared = engine.prepare(query.constraint()).unwrap();
+//! assert_eq!(engine.evaluate_prepared(query.source, query.target, &prepared), Ok(true));
+//!
+//! // Batches group by constraint so each distinct constraint is prepared once:
+//! let batch = vec![query.clone(), query];
+//! let plan = BatchPlan::new(&batch);
+//! assert_eq!(plan.group_count(), 1);
+//! assert_eq!(plan.execute(&engine), vec![Ok(true), Ok(true)]);
 //! ```
 
 #![warn(missing_docs)]
@@ -51,8 +63,13 @@ pub mod prelude {
     pub use rlc_baselines::{
         BfsEngine, BiBfsEngine, DfsEngine, EtcBuildConfig, EtcEngine, EtcIndex,
     };
-    pub use rlc_core::engine::{HybridEngine, IndexEngine, ReachabilityEngine};
-    pub use rlc_core::{build_index, BuildConfig, ConcatQuery, RlcIndex, RlcQuery};
+    pub use rlc_core::engine::{
+        HybridEngine, IndexEngine, PrepareCounting, Prepared, ReachabilityEngine,
+    };
+    pub use rlc_core::{
+        build_index, BatchPlan, BuildConfig, ConcatQuery, Constraint, Query, QueryError, RlcIndex,
+        RlcQuery,
+    };
     pub use rlc_graph::{GraphBuilder, Label, LabeledGraph, VertexId};
     pub use rlc_workloads::{generate_query_set, QueryGenConfig};
 }

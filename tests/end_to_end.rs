@@ -32,10 +32,11 @@ fn dataset_standin_pipeline_all_evaluators_agree() {
         Box::new(EtcEngine::new(&graph, &etc)),
     ];
     for (q, expected) in queries.iter() {
+        let q = Query::from(q);
         for engine in &engines {
             assert_eq!(
-                engine.evaluate(q),
-                expected,
+                engine.evaluate(&q),
+                Ok(expected),
                 "{} wrong on {q:?}",
                 engine.name()
             );
@@ -51,11 +52,12 @@ fn simulated_engines_agree_with_index_on_standin() {
     let engines = all_engines(&graph);
     let queries = generate_query_set(&graph, &QueryGenConfig::small(15, 15, 2, 9));
     for (q, expected) in queries.iter() {
+        let unified = Query::from(q);
         for engine in &engines {
             assert_eq!(
-                engine.evaluate(q),
-                expected,
-                "{} wrong on {q:?}",
+                engine.evaluate(&unified),
+                Ok(expected),
+                "{} wrong on {unified:?}",
                 engine.name()
             );
         }
@@ -81,10 +83,10 @@ fn hybrid_evaluation_agrees_with_automaton_baseline() {
                 vec![vec![labels[0]], vec![labels[1]]],
                 vec![vec![labels[0], labels[1]], vec![labels[2]]],
             ] {
-                let q = ConcatQuery::new(s, t, blocks);
+                let q = Query::concat(s, t, blocks).unwrap();
                 assert_eq!(
-                    hybrid.evaluate_concat(&q),
-                    oracle.evaluate_concat(&q),
+                    hybrid.evaluate(&q),
+                    oracle.evaluate(&q),
                     "hybrid disagrees on ({s},{t})"
                 );
                 checked += 1;
@@ -133,11 +135,16 @@ fn batch_evaluation_agrees_with_single_across_the_facade() {
     ));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let set = generate_query_set(&graph, &QueryGenConfig::small(50, 50, 2, 13));
-    let queries: Vec<RlcQuery> = set.iter().map(|(q, _)| q.clone()).collect();
+    let queries: Vec<Query> = set.iter().map(|(q, _)| Query::from(q)).collect();
     let engine = IndexEngine::new(&graph, &index);
     let batch = engine.evaluate_batch(&queries);
-    let singles: Vec<bool> = queries.iter().map(|q| engine.evaluate(q)).collect();
+    let singles: Vec<Result<bool, QueryError>> =
+        queries.iter().map(|q| engine.evaluate(q)).collect();
     assert_eq!(batch, singles);
+    // The planned path agrees and groups the workload's few constraints.
+    let plan = BatchPlan::new(&queries);
+    assert!(plan.group_count() < queries.len());
+    assert_eq!(plan.execute(&engine), singles);
 }
 
 #[test]
@@ -153,8 +160,9 @@ fn facade_prelude_exposes_the_whole_pipeline() {
     let a: VertexId = graph.vertex_id("a").unwrap();
     let q = RlcQuery::new(a, a, vec![x, y]).unwrap();
     assert!(index.query(&q));
+    let unified = Query::from(&q);
     let bfs = BfsEngine::new(&graph);
     let bibfs = BiBfsEngine::new(&graph);
-    assert!(bfs.evaluate(&q));
-    assert!(bibfs.evaluate(&q));
+    assert_eq!(bfs.evaluate(&unified), Ok(true));
+    assert_eq!(bibfs.evaluate(&unified), Ok(true));
 }

@@ -2,9 +2,13 @@
 //! in the workspace — the RLC index, hybrid evaluation, the three online
 //! traversals, the extended transitive closure, and the three simulated
 //! mainstream engines — must return identical answers over seeded
-//! Erdős–Rényi graphs, on plain RLC queries, on concatenated constraints,
-//! and through the parallel batch path (batch answers must equal
-//! query-at-a-time answers for every engine).
+//! Erdős–Rényi graphs, on plain RLC constraints, on concatenated
+//! constraints, and through every evaluation mode the redesigned API
+//! offers: one-shot `evaluate`, the prepare/execute split, the naive
+//! parallel batch path, and the constraint-grouping `BatchPlan`. Invalid
+//! queries must produce identical *errors* across the modes of each engine
+//! (error parity), and the planner must prepare each distinct constraint
+//! exactly once while returning answers in submission order.
 
 use rlc::engines::all_engines;
 use rlc::graph::generate::{erdos_renyi, SyntheticConfig};
@@ -31,17 +35,52 @@ fn full_roster<'g>(
 
 /// A shared query set covering every vertex-pair sample and every minimum
 /// repeat of length at most `k`.
-fn shared_queries(graph: &LabeledGraph, k: usize, stride: usize) -> Vec<RlcQuery> {
+fn shared_queries(graph: &LabeledGraph, k: usize, stride: usize) -> Vec<Query> {
     let constraints = enumerate_minimum_repeats(graph.label_count(), k);
     let n = graph.vertex_count() as u32;
     let mut queries = Vec::new();
     for s in (0..n).step_by(stride) {
         for t in (0..n).step_by(stride + 2) {
             for constraint in &constraints {
-                queries.push(RlcQuery::new(s, t, constraint.clone()).unwrap());
+                queries.push(Query::rlc(s, t, constraint.clone()).unwrap());
             }
         }
     }
+    queries
+}
+
+/// A mixed batch: interleaved single-block and multi-block constraints with
+/// heavy reuse, repeated sources, plus one constraint that is valid for the
+/// traversal engines but exceeds the index-backed engines' k = 2.
+fn mixed_batch(graph: &LabeledGraph) -> Vec<Query> {
+    let n = graph.vertex_count() as u32;
+    let l0 = Label(0);
+    let l1 = Label(1);
+    let l2 = Label(2);
+    let mut queries = Vec::new();
+    for i in 0..n / 2 {
+        let s = i % n;
+        let t = (i * 7 + 3) % n;
+        match i % 5 {
+            0 => queries.push(Query::rlc(s, t, vec![l0]).unwrap()),
+            1 => queries.push(Query::rlc(s, t, vec![l0, l1]).unwrap()),
+            2 => queries.push(Query::concat(s, t, vec![vec![l0], vec![l1]]).unwrap()),
+            3 => queries.push(Query::concat(s, t, vec![vec![l2], vec![l0, l1]]).unwrap()),
+            // Valid MR of length 3: errors on k = 2 index/hybrid/ETC
+            // engines, succeeds on the traversals — error parity across
+            // evaluation modes is what matters.
+            _ => queries.push(Query::rlc(s, t, vec![l0, l1, l2]).unwrap()),
+        }
+    }
+    // Repeated sources stress the grouped multi-target search.
+    for t in 0..n / 4 {
+        queries.push(Query::rlc(1 % n, (t * 3 + 1) % n, vec![l0, l1]).unwrap());
+    }
+    // Out-of-range vertex ids: queries are constructed without a graph, so
+    // these are well-formed and must error (never panic) at evaluation,
+    // identically in every mode.
+    queries.push(Query::rlc(n + 7, 0, vec![l0]).unwrap());
+    queries.push(Query::concat(0, n + 9, vec![vec![l0], vec![l1]]).unwrap());
     queries
 }
 
@@ -58,6 +97,7 @@ fn all_nine_engines_agree_on_rlc_queries() {
         assert!(queries.len() > 100, "sample must be meaningful");
         for query in &queries {
             let reference = engines[0].evaluate(query);
+            assert!(reference.is_ok(), "valid query must evaluate");
             for engine in &engines[1..] {
                 assert_eq!(
                     engine.evaluate(query),
@@ -90,11 +130,11 @@ fn all_nine_engines_agree_on_concatenated_queries() {
                 vec![vec![l0], vec![l1]],
                 vec![vec![l2], vec![l0, l1]],
             ] {
-                let query = ConcatQuery::new(s, t, blocks);
-                let reference = engines[0].evaluate_concat(&query);
+                let query = Query::concat(s, t, blocks).unwrap();
+                let reference = engines[0].evaluate(&query);
                 for engine in &engines[1..] {
                     assert_eq!(
-                        engine.evaluate_concat(&query),
+                        engine.evaluate(&query),
                         reference,
                         "{} disagrees with {} on {query:?}",
                         engine.name(),
@@ -114,27 +154,125 @@ fn batch_answers_equal_single_answers_for_every_engine() {
     let engines = full_roster(&graph, &index, &etc);
 
     let queries = shared_queries(&graph, 2, 5);
-    let concat_queries: Vec<ConcatQuery> = queries
-        .iter()
-        .take(60)
-        .map(|q| ConcatQuery::new(q.source, q.target, vec![q.constraint.clone()]))
-        .collect();
     for engine in &engines {
         let batch = engine.evaluate_batch(&queries);
-        let singles: Vec<bool> = queries.iter().map(|q| engine.evaluate(q)).collect();
+        let singles: Vec<Result<bool, QueryError>> =
+            queries.iter().map(|q| engine.evaluate(q)).collect();
         assert_eq!(batch, singles, "{}: batch != single", engine.name());
+    }
+}
 
-        let concat_batch = engine.evaluate_concat_batch(&concat_queries);
-        let concat_singles: Vec<bool> = concat_queries
+#[test]
+fn prepared_and_planned_evaluation_match_one_shot_for_every_engine() {
+    // The central differential of the prepare/execute redesign: for all nine
+    // engines, a mixed batch (shared constraints, repeated sources, and a
+    // constraint invalid for the k-bounded engines) must produce identical
+    // results — including identical errors — through all four evaluation
+    // modes.
+    let graph = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 23));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let engines = full_roster(&graph, &index, &etc);
+
+    let queries = mixed_batch(&graph);
+    let plan = BatchPlan::new(&queries);
+    assert!(plan.group_count() >= 5, "the batch must be truly mixed");
+
+    for engine in &engines {
+        let one_shot: Vec<Result<bool, QueryError>> =
+            queries.iter().map(|q| engine.evaluate(q)).collect();
+        let prepared: Vec<Result<bool, QueryError>> = queries
             .iter()
-            .map(|q| engine.evaluate_concat(q))
+            .map(|q| {
+                engine
+                    .prepare(q.constraint())
+                    .and_then(|p| engine.evaluate_prepared(q.source, q.target, &p))
+            })
             .collect();
+        let naive_batch = engine.evaluate_batch(&queries);
+        let planned = plan.execute(engine.as_ref());
+
         assert_eq!(
-            concat_batch,
-            concat_singles,
-            "{}: concat batch != single",
+            prepared,
+            one_shot,
+            "{}: prepare/execute != one-shot",
             engine.name()
         );
+        assert_eq!(
+            naive_batch,
+            one_shot,
+            "{}: naive batch != one-shot",
+            engine.name()
+        );
+        assert_eq!(
+            planned,
+            one_shot,
+            "{}: planned batch != one-shot (submission order violated?)",
+            engine.name()
+        );
+    }
+
+    // Error parity is real, not vacuous: the k-bounded engines must have
+    // errored on the over-long constraint while the traversals answered it.
+    let index_engine = IndexEngine::new(&graph, &index);
+    let bfs = BfsEngine::new(&graph);
+    let too_long = queries
+        .iter()
+        .find(|q| q.constraint().max_block_len() > 2)
+        .expect("the mixed batch contains an over-long constraint");
+    assert_eq!(
+        index_engine.evaluate(too_long),
+        Err(QueryError::BlockTooLong {
+            block: 0,
+            len: 3,
+            k: 2
+        })
+    );
+    assert!(bfs.evaluate(too_long).is_ok());
+
+    // Out-of-range vertex ids error identically on every engine (the graph
+    // is shared, so the reported vertex count matches too).
+    let n = graph.vertex_count() as u32;
+    let out_of_range = queries
+        .iter()
+        .find(|q| q.source >= n || q.target >= n)
+        .expect("the mixed batch contains an out-of-range query");
+    let expected = Err(QueryError::VertexOutOfRange {
+        vertex: out_of_range.source.max(out_of_range.target),
+        vertices: graph.vertex_count(),
+    });
+    for engine in &engines {
+        assert_eq!(
+            engine.evaluate(out_of_range),
+            expected,
+            "{} must reject out-of-range ids with the shared error",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn batch_plan_prepares_each_constraint_once_for_every_engine() {
+    let graph = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 11));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let engines = full_roster(&graph, &index, &etc);
+
+    let queries = mixed_batch(&graph);
+    let plan = BatchPlan::new(&queries);
+    for engine in &engines {
+        let counting = PrepareCounting::new(engine.as_ref());
+        let _ = plan.execute(&counting);
+        assert_eq!(
+            counting.prepare_count(),
+            plan.group_count(),
+            "{}: BatchPlan must prepare each distinct constraint exactly once",
+            engine.name()
+        );
+        // The naive path, by contrast, prepares once per query.
+        counting.reset();
+        let _ = counting.evaluate_batch(&queries);
+        assert_eq!(counting.prepare_count(), queries.len());
     }
 }
 
@@ -145,13 +283,20 @@ fn batch_answers_match_the_verified_workload() {
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
     let workload = generate_query_set(&graph, &QueryGenConfig::small(30, 30, 2, 4));
-    let queries: Vec<RlcQuery> = workload.iter().map(|(q, _)| q.clone()).collect();
-    let expected: Vec<bool> = workload.iter().map(|(_, e)| e).collect();
+    let queries: Vec<Query> = workload.iter().map(|(q, _)| Query::from(q)).collect();
+    let expected: Vec<Result<bool, QueryError>> = workload.iter().map(|(_, e)| Ok(e)).collect();
+    let plan = BatchPlan::new(&queries);
     for engine in full_roster(&graph, &index, &etc) {
         assert_eq!(
             engine.evaluate_batch(&queries),
             expected,
-            "{} failed the verified workload",
+            "{} failed the verified workload (naive batch)",
+            engine.name()
+        );
+        assert_eq!(
+            plan.execute(engine.as_ref()),
+            expected,
+            "{} failed the verified workload (planned batch)",
             engine.name()
         );
     }

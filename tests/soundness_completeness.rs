@@ -57,11 +57,16 @@ fn assert_index_matches_oracle(graph: &LabeledGraph, k: usize, config: &BuildCon
     let (index, _) = build_index(graph, config);
     let oracle = rlc::baselines::engine::BfsEngine::new(graph);
     let constraints = enumerate_minimum_repeats(graph.label_count().max(1), k);
-    for s in graph.vertices() {
-        for t in graph.vertices() {
-            for constraint in &constraints {
+    for constraint in &constraints {
+        // Prepare the oracle's automaton once per constraint; the inner
+        // loops reuse it for every vertex pair.
+        let prepared = oracle
+            .prepare(&Constraint::single(constraint.clone()).unwrap())
+            .unwrap();
+        for s in graph.vertices() {
+            for t in graph.vertices() {
                 let query = RlcQuery::new(s, t, constraint.clone()).unwrap();
-                let expected = oracle.evaluate(&query);
+                let expected = oracle.evaluate_prepared(s, t, &prepared).unwrap();
                 let got = index.query(&query);
                 assert_eq!(
                     got, expected,
@@ -154,8 +159,9 @@ fn online_baselines_agree_with_each_other() {
         for s in graph.vertices() {
             for t in graph.vertices() {
                 for constraint in &constraints {
-                    let q = RlcQuery::new(s, t, constraint.clone()).unwrap();
-                    let answers: Vec<bool> = engines.iter().map(|e| e.evaluate(&q)).collect();
+                    let q = Query::rlc(s, t, constraint.clone()).unwrap();
+                    let answers: Vec<bool> =
+                        engines.iter().map(|e| e.evaluate(&q).unwrap()).collect();
                     assert!(
                         answers.windows(2).all(|w| w[0] == w[1]),
                         "case {case}: baselines disagree on ({s}, {t}, {constraint:?}): {answers:?}"
