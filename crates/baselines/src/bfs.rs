@@ -8,7 +8,7 @@
 
 use crate::nfa::Nfa;
 use crate::scratch::{with_scratch, ProductScratch};
-use rlc_core::{ConcatQuery, RlcQuery};
+use rlc_core::{Query, RlcQuery};
 use rlc_graph::{LabeledGraph, VertexId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -22,8 +22,8 @@ pub fn bfs_query(graph: &LabeledGraph, query: &RlcQuery) -> bool {
 
 /// Answers an extended concatenation query (`B1+ ∘ … ∘ Bm+`) by the same
 /// product BFS, with the automaton built for the whole concatenation.
-pub fn bfs_concat_query(graph: &LabeledGraph, query: &ConcatQuery) -> bool {
-    let nfa = Nfa::concatenation(&query.blocks);
+pub fn bfs_concat_query(graph: &LabeledGraph, query: &Query) -> bool {
+    let nfa = Nfa::concatenation(query.constraint().blocks());
     bfs_product(graph, &nfa, query.source, query.target)
 }
 
@@ -208,14 +208,14 @@ mod tests {
         let g = fig1_graph();
         let knows = g.labels().resolve("knows").unwrap();
         let holds = g.labels().resolve("holds").unwrap();
-        let q = ConcatQuery::new(
+        let q = Query::concat(
             g.vertex_id("P10").unwrap(),
             g.vertex_id("A19").unwrap(),
             vec![vec![knows], vec![holds]],
         )
         .unwrap();
         assert!(bfs_concat_query(&g, &q));
-        let q_false = ConcatQuery::new(
+        let q_false = Query::concat(
             g.vertex_id("A14").unwrap(),
             g.vertex_id("P10").unwrap(),
             vec![vec![knows], vec![holds]],

@@ -14,7 +14,7 @@
 
 use crate::nfa::Nfa;
 use crate::scratch::{with_scratch, ProductScratch};
-use rlc_core::{ConcatQuery, RlcQuery};
+use rlc_core::{Query, RlcQuery};
 use rlc_graph::{LabeledGraph, VertexId};
 
 /// Answers an RLC query by bidirectional product search.
@@ -24,8 +24,8 @@ pub fn bibfs_query(graph: &LabeledGraph, query: &RlcQuery) -> bool {
 }
 
 /// Answers an extended concatenation query by bidirectional product search.
-pub fn bibfs_concat_query(graph: &LabeledGraph, query: &ConcatQuery) -> bool {
-    let nfa = Nfa::concatenation(&query.blocks);
+pub fn bibfs_concat_query(graph: &LabeledGraph, query: &Query) -> bool {
+    let nfa = Nfa::concatenation(query.constraint().blocks());
     bibfs_product(graph, &nfa, query.source, query.target)
 }
 
@@ -171,7 +171,7 @@ mod tests {
         let holds = g.labels().resolve("holds").unwrap();
         for s in g.vertices() {
             for t in g.vertices() {
-                let q = ConcatQuery::new(s, t, vec![vec![knows], vec![holds]]).unwrap();
+                let q = Query::concat(s, t, vec![vec![knows], vec![holds]]).unwrap();
                 assert_eq!(
                     crate::bfs::bfs_concat_query(&g, &q),
                     bibfs_concat_query(&g, &q)

@@ -6,7 +6,7 @@
 
 use crate::nfa::Nfa;
 use crate::scratch::{with_scratch, ProductScratch};
-use rlc_core::{ConcatQuery, RlcQuery};
+use rlc_core::{Query, RlcQuery};
 use rlc_graph::{LabeledGraph, VertexId};
 
 /// Answers an RLC query by iterative depth-first search over the
@@ -18,8 +18,8 @@ pub fn dfs_query(graph: &LabeledGraph, query: &RlcQuery) -> bool {
 
 /// Answers an extended concatenation query (`B1+ ∘ … ∘ Bm+`) by product DFS
 /// with the automaton built for the whole concatenation.
-pub fn dfs_concat_query(graph: &LabeledGraph, query: &ConcatQuery) -> bool {
-    let nfa = Nfa::concatenation(&query.blocks);
+pub fn dfs_concat_query(graph: &LabeledGraph, query: &Query) -> bool {
+    let nfa = Nfa::concatenation(query.constraint().blocks());
     dfs_product(graph, &nfa, query.source, query.target)
 }
 
@@ -98,7 +98,7 @@ mod tests {
         let holds = g.labels().resolve("holds").unwrap();
         for s in g.vertices() {
             for t in g.vertices() {
-                let q = ConcatQuery::new(s, t, vec![vec![knows], vec![holds]]).unwrap();
+                let q = Query::concat(s, t, vec![vec![knows], vec![holds]]).unwrap();
                 assert_eq!(bfs_concat_query(&g, &q), dfs_concat_query(&g, &q));
             }
         }

@@ -14,7 +14,9 @@ use crate::dfs::dfs_product;
 use crate::etc::EtcIndex;
 use crate::nfa::Nfa;
 use rlc_core::catalog::MrId;
-use rlc_core::engine::{check_vertex_range, ArtifactTag, Prepared, ReachabilityEngine};
+use rlc_core::engine::{
+    check_vertex_range, ArtifactTag, PlanIdentity, Prepared, ReachabilityEngine,
+};
 use rlc_core::{evaluate_blocks_with, Constraint, Query, QueryError};
 use rlc_graph::{LabeledGraph, VertexId};
 use std::collections::HashMap;
@@ -235,12 +237,15 @@ struct PreparedEtc {
     etc: ArtifactTag,
 }
 
-/// The identity tag of a closure, for [`PreparedEtc`].
+/// The identity tag of a closure, for [`PreparedEtc`]: address, `k`,
+/// catalog size, and the construction generation — the stamp is what makes
+/// a rebuilt closure at a reused address distinguishable (the ABA fix).
 fn etc_tag(etc: &EtcIndex) -> ArtifactTag {
     ArtifactTag::from_raw(
         etc as *const EtcIndex as usize,
         etc.k(),
         etc.catalog().len(),
+        etc.generation(),
     )
 }
 
@@ -334,6 +339,13 @@ impl ReachabilityEngine for EtcEngine<'_> {
         check_vertex_range(query.source, query.target, self.graph.vertex_count())?;
         let last_mr = self.etc.catalog().resolve(constraint.last_block());
         Ok(self.evaluate_resolved(query.source, query.target, constraint.blocks(), last_mr))
+    }
+
+    fn plan_identity(&self) -> PlanIdentity {
+        // The artifact embeds an MrId resolved against this closure's
+        // catalog: plans are only shareable with engines over the exact
+        // same closure (same generation).
+        PlanIdentity::Index(etc_tag(self.etc))
     }
 }
 

@@ -8,6 +8,7 @@
 //! (Table IV), while answering queries by a single hash lookup.
 
 use rlc_core::catalog::{MrCatalog, MrId};
+use rlc_core::engine::Generation;
 use rlc_core::repeats::minimum_repeat_len;
 use rlc_core::RlcQuery;
 use rlc_graph::{Label, LabeledGraph, VertexId};
@@ -74,6 +75,12 @@ pub struct EtcIndex {
     closure: HashMap<(VertexId, VertexId), Vec<MrId>>,
     catalog: MrCatalog,
     stats: EtcStats,
+    /// Construction-time generation stamp (see [`Generation`]): minted fresh
+    /// by [`EtcIndex::build`] **and** [`EtcIndex::from_bytes`] — the `ETC1`
+    /// wire format never carries it — so a stale engine artifact can never
+    /// alias a rebuilt or reloaded closure. `Clone` copies the stamp (clones
+    /// share content).
+    generation: Generation,
 }
 
 impl EtcIndex {
@@ -184,7 +191,14 @@ impl EtcIndex {
                 pairs,
                 timed_out,
             },
+            generation: Generation::fresh(),
         }
+    }
+
+    /// The generation stamp minted when this closure was constructed (fresh
+    /// on every build **and** every deserialization).
+    pub fn generation(&self) -> Generation {
+        self.generation
     }
 
     /// The recursive `k` the closure supports.
@@ -434,6 +448,9 @@ impl EtcIndex {
                 pairs,
                 timed_out,
             },
+            // A deserialized closure is a new index structure: artifacts
+            // resolved against whatever produced the blob must re-prepare.
+            generation: Generation::fresh(),
         })
     }
 }
@@ -571,6 +588,23 @@ mod tests {
         // Serialization is canonical: re-serializing the restored closure
         // yields the same bytes.
         assert_eq!(restored.try_to_bytes().unwrap(), blob);
+    }
+
+    #[test]
+    fn deserialized_closures_get_fresh_generations() {
+        // The ETC1 wire format never carries the generation: every
+        // deserialization mints a fresh one, and the blob bytes are
+        // independent of the source's stamp.
+        let g = fig2_graph();
+        let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
+        let blob = etc.try_to_bytes().unwrap();
+        let once = EtcIndex::from_bytes(&blob).unwrap();
+        let twice = EtcIndex::from_bytes(&blob).unwrap();
+        assert_ne!(once.generation(), etc.generation());
+        assert_ne!(twice.generation(), etc.generation());
+        assert_ne!(once.generation(), twice.generation());
+        assert_eq!(once.try_to_bytes().unwrap(), blob);
+        assert_eq!(etc.clone().generation(), etc.generation());
     }
 
     #[test]

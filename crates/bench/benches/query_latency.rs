@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rlc_core::engine::{IndexEngine, ReachabilityEngine};
-use rlc_core::{build_index, evaluate_hybrid, BuildConfig, ConcatQuery};
+use rlc_core::{build_index, BuildConfig, Query};
 use rlc_graph::generate::{barabasi_albert, SyntheticConfig};
 use rlc_graph::Label;
 use rlc_workloads::{generate_query_set, QueryGenConfig};
@@ -50,9 +50,9 @@ fn bench_hybrid_queries(c: &mut Criterion) {
     let pairs: Vec<(u32, u32)> = (0..100)
         .map(|i| (i * 37 % 5_000, i * 101 % 5_000))
         .collect();
-    let queries: Vec<ConcatQuery> = pairs
+    let queries: Vec<Query> = pairs
         .iter()
-        .map(|&(s, t)| ConcatQuery::new(s, t, vec![vec![a], vec![b_label]]).unwrap())
+        .map(|&(s, t)| Query::concat(s, t, vec![vec![a], vec![b_label]]).unwrap())
         .collect();
     let engine = IndexEngine::new(&graph, &index);
     let constraint = rlc_core::Constraint::new(vec![vec![a], vec![b_label]]).unwrap();
@@ -64,7 +64,7 @@ fn bench_hybrid_queries(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0usize;
             for q in &queries {
-                if evaluate_hybrid(&graph, &index, black_box(q)).unwrap() {
+                if engine.evaluate(black_box(q)).unwrap() {
                     hits += 1;
                 }
             }

@@ -1,0 +1,14 @@
+//! Experiment binary: cross-batch plan caching over repeated mixed batches,
+//! with prepare-count instrumentation proving the once-per-process contract
+//! of `PlanCache` (vs once-per-batch without it).
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::plan_cache;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", plan_cache::run(&args));
+}

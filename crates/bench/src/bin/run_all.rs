@@ -3,8 +3,8 @@
 //! `--quick` for a smoke run.
 
 use rlc_bench::experiments::{
-    ablation, batch, batch_planner, build_scaling, fig3, fig4, fig5, fig6, fig7, table3, table4,
-    table5,
+    ablation, batch, batch_planner, build_scaling, fig3, fig4, fig5, fig6, fig7, plan_cache,
+    table3, table4, table5,
 };
 use rlc_bench::CommonArgs;
 
@@ -24,6 +24,7 @@ fn main() {
         ("Ablation A2", ablation::run_strategy_default),
         ("Batch throughput", batch::run),
         ("Batch planner", batch_planner::run),
+        ("Plan cache", plan_cache::run),
         ("Build scaling", build_scaling::run),
     ];
     for (name, run) in sections {

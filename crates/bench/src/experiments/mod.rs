@@ -18,6 +18,7 @@
 //! | [`ablation`] | pruning-rule / strategy / ordering ablations |
 //! | [`batch`] | parallel batch-query throughput (not from the paper) |
 //! | [`batch_planner`] | planned vs naive batch evaluation under constraint reuse (not from the paper) |
+//! | [`plan_cache`] | cross-batch plan caching over repeated mixed batches (not from the paper) |
 //! | [`build_scaling`] | parallel index-build thread sweep (not from the paper) |
 
 pub mod ablation;
@@ -29,6 +30,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod plan_cache;
 pub mod table3;
 pub mod table4;
 pub mod table5;
@@ -91,6 +93,7 @@ mod tests {
             ablation::run_strategy(&args, 400),
             batch::run_with(&args, 400),
             batch_planner::run_with(&args, 400),
+            plan_cache::run_with(&args, 400),
             build_scaling::run_with(&args, 400),
         ] {
             assert!(!report.is_empty());

@@ -1,0 +1,187 @@
+//! Cross-batch plan caching under repeated mixed batches.
+//!
+//! Not an experiment of the paper: it validates this reproduction's
+//! [`PlanCache`]. A server-shaped workload re-answers batch after batch
+//! drawn from the same small constraint pool (different vertex pairs each
+//! time — users change, constraints do not). Every engine answers the same
+//! sequence of batches twice:
+//!
+//! * **planned** — one [`BatchPlan::execute`] per batch: each distinct
+//!   constraint is prepared once *per batch*;
+//! * **cached** — [`BatchPlan::execute_cached`] over one shared
+//!   [`PlanCache`]: each distinct constraint is prepared once *per process*,
+//!   every later batch hits the resident plan.
+//!
+//! Prepare counts are instrumented via [`PrepareCounting`] and asserted
+//! (`batches × constraints` vs `constraints`); both modes must return
+//! identical answers for every batch. Cache hit/miss counters are reported
+//! from [`PlanCache::stats`].
+
+use crate::CommonArgs;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlc_baselines::{BfsEngine, BiBfsEngine};
+use rlc_core::engine::{IndexEngine, PrepareCounting, ReachabilityEngine};
+use rlc_core::{build_index, BatchPlan, BuildConfig, PlanCache, Query};
+use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+use rlc_graph::Label;
+use rlc_workloads::{format_duration, Table};
+use std::time::Instant;
+
+/// Default vertex count (same bar as the planner bench: ≥ 10K vertices).
+pub const DEFAULT_VERTICES: usize = 12_000;
+
+/// Number of repeated batches (the acceptance bar is ≥ 3).
+pub const BATCHES: usize = 4;
+
+/// Runs the measurement with default sizes.
+pub fn run(args: &CommonArgs) -> String {
+    let vertices = if args.quick { 2_000 } else { DEFAULT_VERTICES };
+    run_with(args, vertices)
+}
+
+/// Runs the measurement on an ER graph with the given vertex count.
+pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
+    let graph = erdos_renyi(&SyntheticConfig::new(vertices, 4.0, 8, args.seed));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+
+    // The constraint pool every batch draws from, all within k = 2.
+    let l = |i: u16| Label(i);
+    let pool: Vec<Vec<Vec<Label>>> = vec![
+        vec![vec![l(0)]],
+        vec![vec![l(0), l(1)]],
+        vec![vec![l(1)]],
+        vec![vec![l(0)], vec![l(1)]],
+        vec![vec![l(2), l(3)]],
+        vec![vec![l(2)], vec![l(0), l(1)]],
+    ];
+    let batch_size = (args.queries * 2).max(64);
+    let n = graph.vertex_count() as u32;
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xCAC4E);
+    let batches: Vec<Vec<Query>> = (0..BATCHES)
+        .map(|_| {
+            (0..batch_size)
+                .map(|_| {
+                    let which = rng.gen_range(0..pool.len());
+                    let source = rng.gen_range(0..n);
+                    let target = rng.gen_range(0..n);
+                    Query::concat(source, target, pool[which].clone())
+                        .expect("pool constraints are valid")
+                })
+                .collect()
+        })
+        .collect();
+    let plans: Vec<BatchPlan<'_>> = batches.iter().map(|b| BatchPlan::new(b)).collect();
+    let distinct = pool.len();
+    for plan in &plans {
+        assert_eq!(
+            plan.group_count(),
+            distinct,
+            "every batch draws all {distinct} constraints"
+        );
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "Plan cache: ER graph, |V| = {vertices}, d = 4, |L| = 8, k = 2, {BATCHES} repeated \
+             batches of {batch_size} queries over {distinct} constraints",
+        ),
+        &[
+            "engine",
+            "mode",
+            "total time",
+            "prepares",
+            "cache hits",
+            "speed-up vs planned",
+        ],
+    );
+
+    let bfs = BfsEngine::new(&graph);
+    let bibfs = BiBfsEngine::new(&graph);
+    let rlc = IndexEngine::new(&graph, &index);
+    let engines: [&dyn ReachabilityEngine; 3] = [&bfs, &bibfs, &rlc];
+    for engine in engines {
+        let counting = PrepareCounting::new(engine);
+
+        // Untimed warm-up so neither mode pays first-touch scratch growth.
+        let _ = plans[0].execute(&counting);
+        counting.reset();
+
+        let start = Instant::now();
+        let planned_answers: Vec<_> = plans.iter().map(|plan| plan.execute(&counting)).collect();
+        let planned_time = start.elapsed();
+        let planned_prepares = counting.prepare_count();
+        assert_eq!(
+            planned_prepares,
+            BATCHES * distinct,
+            "without a cache, every batch re-prepares every constraint"
+        );
+
+        counting.reset();
+        let cache = PlanCache::new();
+        let start = Instant::now();
+        let cached_answers: Vec<_> = plans
+            .iter()
+            .map(|plan| plan.execute_cached(&counting, &cache))
+            .collect();
+        let cached_time = start.elapsed();
+        let cached_prepares = counting.prepare_count();
+        // The cache's core contract: one prepare per distinct constraint
+        // across ALL batches, not per batch.
+        assert_eq!(
+            cached_prepares, distinct,
+            "with the cache, each distinct constraint is prepared exactly once per process"
+        );
+        assert_eq!(
+            cached_answers,
+            planned_answers,
+            "{}: cached answers must equal planned answers",
+            engine.name()
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses as usize, distinct);
+        assert_eq!(stats.hits as usize, (BATCHES - 1) * distinct);
+
+        table.add_row(vec![
+            engine.name().to_string(),
+            "planned".into(),
+            format_duration(planned_time),
+            planned_prepares.to_string(),
+            "-".into(),
+            "1.0x".into(),
+        ]);
+        table.add_row(vec![
+            engine.name().to_string(),
+            "cached".into(),
+            format_duration(cached_time),
+            cached_prepares.to_string(),
+            stats.hits.to_string(),
+            format!(
+                "{:.1}x",
+                planned_time.as_secs_f64() / cached_time.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_asserts_the_once_per_process_contract() {
+        let args = CommonArgs {
+            scale: 1.0,
+            seed: 23,
+            queries: 40,
+            quick: true,
+        };
+        let report = run_with(&args, 300);
+        assert!(report.contains("BFS"));
+        assert!(report.contains("RLC"));
+        assert!(report.contains("planned"));
+        assert!(report.contains("cached"));
+        assert!(report.contains("cache hits"));
+    }
+}

@@ -1,0 +1,553 @@
+//! Cross-batch prepared-plan caching.
+//!
+//! [`crate::plan::BatchPlan`] prepares each distinct constraint once **per
+//! execution**; a server answering many batches re-pays that preparation on
+//! every request. [`PlanCache`] amortizes it across batches the way
+//! production path-index systems keep compiled query plans resident: a
+//! sharded, `Send + Sync` LRU mapping *(engine identity, constraint)* to the
+//! [`Prepared`] artifact (or the [`QueryError`] preparation produced — an
+//! engine that rejects a constraint rejects it deterministically, so the
+//! rejection is as cacheable as a plan).
+//!
+//! ## Keying and the generation stamp
+//!
+//! Entries are keyed by engine kind ([`ReachabilityEngine::name`]) plus
+//! constraint, and validated on every hit against the engine's
+//! [`ReachabilityEngine::plan_identity`]:
+//!
+//! * engines whose artifacts depend only on the constraint (the NFA-driven
+//!   traversal and simulated engines) report [`PlanIdentity::Kind`], so any
+//!   instance of the kind shares cached plans;
+//! * index-backed engines report [`PlanIdentity::Index`] over their
+//!   [`ArtifactTag`](crate::engine::ArtifactTag), which embeds the
+//!   [`Generation`](crate::engine::Generation) stamped into the index at
+//!   construction. When an index is dropped and rebuilt — even at the same
+//!   address, with the same `k` and catalog size — the generation differs,
+//!   the identity check fails, and the **stale entry is dropped** (counted
+//!   in [`CacheStats::stale_drops`]) instead of being re-served.
+//!
+//! ## Eviction
+//!
+//! Each shard enforces an entry-count budget and an approximate byte budget
+//! (totals divided evenly across shards), evicting least-recently-used
+//! entries first. Byte accounting is an estimate ([`PlanCache::entry_bytes`])
+//! because artifacts are type-erased; it bounds the cache's footprint growth,
+//! not its exact size.
+
+use crate::engine::{PlanIdentity, Prepared, ReachabilityEngine};
+use crate::query::{Constraint, QueryError};
+use rlc_graph::Label;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fixed per-entry overhead charged by [`PlanCache::entry_bytes`]: the map
+/// bookkeeping, the `Prepared` box, and the type-erased artifact (an NFA or
+/// a resolved id — small by construction).
+const ENTRY_OVERHEAD_BYTES: usize = 256;
+
+/// Configuration of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheConfig {
+    /// Number of independently locked shards (clamped to `1..=1024`). More
+    /// shards means less lock contention between rayon workers; budgets are
+    /// split evenly across shards, so eviction precision drops as shard
+    /// count grows.
+    pub shards: usize,
+    /// Maximum number of resident entries across all shards (at least 1 per
+    /// shard is always allowed).
+    pub max_entries: usize,
+    /// Approximate maximum resident bytes across all shards, as priced by
+    /// [`PlanCache::entry_bytes`].
+    pub max_bytes: usize,
+}
+
+impl Default for PlanCacheConfig {
+    fn default() -> Self {
+        PlanCacheConfig {
+            shards: 16,
+            max_entries: 4096,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Counter snapshot of a [`PlanCache`] — the cache-side analogue of the
+/// [`crate::engine::PrepareCounting`] instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to call [`ReachabilityEngine::prepare`].
+    pub misses: u64,
+    /// Entries evicted by the entry-count or byte budget.
+    pub evictions: u64,
+    /// Entries dropped because their [`PlanIdentity`] no longer matched the
+    /// engine's — the generation-mismatch path (a dropped-and-rebuilt
+    /// index's stale plans land here, never back at a caller).
+    pub stale_drops: u64,
+    /// Resident entries at snapshot time.
+    pub entries: usize,
+    /// Approximate resident bytes at snapshot time.
+    pub bytes: usize,
+}
+
+/// Cache key: the engine kind bucketing interchangeable instances together,
+/// plus the constraint the plan was compiled from.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    kind: String,
+    constraint: Constraint,
+}
+
+/// One resident plan (or cached rejection) with its validation identity and
+/// LRU bookkeeping.
+struct CacheEntry {
+    identity: PlanIdentity,
+    plan: Result<Arc<Prepared>, QueryError>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// One independently locked shard.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, CacheEntry>,
+    bytes: usize,
+}
+
+/// A sharded, thread-safe LRU cache of prepared constraints, shared across
+/// batches (and across engines — entries are keyed per engine kind and
+/// validated per engine identity).
+///
+/// ```
+/// use rlc_core::{build_index, BatchPlan, BuildConfig, IndexEngine, PlanCache, Query};
+/// use rlc_graph::examples::fig2_graph;
+/// use rlc_graph::Label;
+///
+/// let graph = fig2_graph();
+/// let (index, _) = build_index(&graph, &BuildConfig::new(2));
+/// let engine = IndexEngine::new(&graph, &index);
+/// let cache = PlanCache::new();
+/// let batch = vec![Query::rlc(0, 5, vec![Label(1)]).unwrap()];
+/// // Repeated batches prepare each distinct constraint once per *process*,
+/// // not once per execution:
+/// for _ in 0..3 {
+///     let answers = BatchPlan::new(&batch).execute_cached(&engine, &cache);
+///     assert_eq!(answers.len(), 1);
+/// }
+/// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().hits, 2);
+/// ```
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry budget (total split evenly, at least 1).
+    shard_max_entries: usize,
+    /// Per-shard byte budget (total split evenly, at least one entry's
+    /// overhead so a shard can always hold something).
+    shard_max_bytes: usize,
+    /// Monotonic LRU clock; bumped on every touch.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    stale_drops: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache with [`PlanCacheConfig::default`] budgets.
+    pub fn new() -> Self {
+        PlanCache::with_config(PlanCacheConfig::default())
+    }
+
+    /// Creates a cache with explicit shard count and budgets.
+    pub fn with_config(config: PlanCacheConfig) -> Self {
+        let shards = config.shards.clamp(1, 1024);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_max_entries: config.max_entries.div_ceil(shards).max(1),
+            shard_max_bytes: config.max_bytes.div_ceil(shards).max(ENTRY_OVERHEAD_BYTES),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// The approximate resident footprint charged for one cached constraint:
+    /// two resident copies of the constraint's heap data (the key and the
+    /// copy embedded in the `Prepared`) plus a fixed overhead for the
+    /// type-erased artifact and map bookkeeping. Exposed so byte-budget
+    /// tests (and capacity planning) can price entries the same way the
+    /// cache does.
+    pub fn entry_bytes(constraint: &Constraint) -> usize {
+        let heap: usize = constraint
+            .blocks()
+            .iter()
+            .map(|block| {
+                block.len() * std::mem::size_of::<Label>() + std::mem::size_of::<Vec<Label>>()
+            })
+            .sum();
+        2 * heap + ENTRY_OVERHEAD_BYTES
+    }
+
+    /// Prepares `constraint` on `engine` through the cache: a hit returns
+    /// the resident plan (after validating the engine's identity), a miss
+    /// calls [`ReachabilityEngine::prepare`] — outside any lock — and caches
+    /// the outcome, successful or not. A hit whose stored identity no longer
+    /// matches the engine (a rebuilt index: new generation) is dropped and
+    /// treated as a miss.
+    pub fn prepare(
+        &self,
+        engine: &dyn ReachabilityEngine,
+        constraint: &Constraint,
+    ) -> Result<Arc<Prepared>, QueryError> {
+        let identity = engine.plan_identity();
+        let key = CacheKey {
+            kind: engine.name().to_owned(),
+            constraint: constraint.clone(),
+        };
+        let shard = &self.shards[self.shard_of(&key)];
+        {
+            let mut guard = shard.lock().expect("plan cache shard lock poisoned");
+            if let Some(entry) = guard.map.get_mut(&key) {
+                if entry.identity == identity {
+                    entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return entry.plan.clone();
+                }
+                // Generation mismatch: this plan was resolved against an
+                // index that no longer exists (or a different instance of
+                // the kind). Drop it so it can never be re-served.
+                let stale = guard.map.remove(&key).expect("entry was just found");
+                guard.bytes -= stale.bytes;
+                self.stale_drops.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = engine.prepare(constraint).map(Arc::new);
+        let bytes = PlanCache::entry_bytes(constraint);
+        let entry = CacheEntry {
+            identity,
+            plan: plan.clone(),
+            bytes,
+            last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut guard = shard.lock().expect("plan cache shard lock poisoned");
+        // Two workers can race to prepare the same constraint; the second
+        // insert replaces the first (the plans are interchangeable).
+        if let Some(old) = guard.map.insert(key, entry) {
+            guard.bytes -= old.bytes;
+        }
+        guard.bytes += bytes;
+        self.evict_over_budget(&mut guard);
+        plan
+    }
+
+    /// Evicts least-recently-used entries until the shard is within both
+    /// budgets: one scan per eviction to find the victim, removed by key.
+    fn evict_over_budget(&self, shard: &mut Shard) {
+        while shard.map.len() > self.shard_max_entries || shard.bytes > self.shard_max_bytes {
+            let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            let evicted = shard
+                .map
+                .remove(&victim)
+                .expect("victim key was just found");
+            shard.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard lock poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every resident entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("plan cache shard lock poisoned");
+            guard.map.clear();
+            guard.bytes = 0;
+        }
+    }
+
+    /// Snapshot of the hit/miss/eviction counters and resident footprint.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0usize;
+        let mut bytes = 0usize;
+        for shard in &self.shards {
+            let guard = shard.lock().expect("plan cache shard lock poisoned");
+            entries += guard.map.len();
+            bytes += guard.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_index, BuildConfig};
+    use crate::engine::{IndexEngine, PrepareCounting};
+    use crate::plan::BatchPlan;
+    use crate::query::Query;
+    use rayon::prelude::*;
+    use rlc_graph::examples::fig2_graph;
+
+    fn constraint(labels: &[u16]) -> Constraint {
+        Constraint::single(labels.iter().map(|&l| Label(l)).collect()).unwrap()
+    }
+
+    /// A one-shard cache so LRU order is deterministic in tests.
+    fn one_shard(max_entries: usize, max_bytes: usize) -> PlanCache {
+        PlanCache::with_config(PlanCacheConfig {
+            shards: 1,
+            max_entries,
+            max_bytes,
+        })
+    }
+
+    #[test]
+    fn repeated_prepares_hit_after_the_first() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let counting = PrepareCounting::new(&engine);
+        let cache = PlanCache::new();
+        let c = constraint(&[1]);
+        for _ in 0..5 {
+            let plan = cache.prepare(&counting, &c).unwrap();
+            assert_eq!(plan.constraint(), &c);
+        }
+        assert_eq!(counting.prepare_count(), 1, "one engine prepare, ever");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 4));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes >= PlanCache::entry_bytes(&c));
+    }
+
+    #[test]
+    fn rejections_are_cached_too() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let counting = PrepareCounting::new(&engine);
+        let cache = PlanCache::new();
+        let too_long = constraint(&[0, 1, 2]);
+        let expected = crate::query::QueryError::BlockTooLong {
+            block: 0,
+            len: 3,
+            k: 2,
+        };
+        for _ in 0..3 {
+            assert_eq!(
+                cache.prepare(&counting, &too_long).err(),
+                Some(expected.clone())
+            );
+        }
+        assert_eq!(counting.prepare_count(), 1, "the rejection is resident");
+    }
+
+    #[test]
+    fn lru_eviction_order_is_least_recently_used_first() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let cache = one_shard(2, usize::MAX);
+        let c1 = constraint(&[0]);
+        let c2 = constraint(&[1]);
+        let c3 = constraint(&[2]);
+        cache.prepare(&engine, &c1).unwrap();
+        cache.prepare(&engine, &c2).unwrap();
+        // Touch c1 so c2 becomes the least recently used…
+        cache.prepare(&engine, &c1).unwrap();
+        // …and inserting c3 must evict exactly c2.
+        cache.prepare(&engine, &c3).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        let hits_before = cache.stats().hits;
+        cache.prepare(&engine, &c1).unwrap();
+        cache.prepare(&engine, &c3).unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 2, "c1 and c3 survived");
+        cache.prepare(&engine, &c2).unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 2, "c2 was the victim");
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_resident_footprint() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let pool: Vec<Constraint> = (0..6u16).map(|l| constraint(&[l])).collect();
+        // Room for roughly two entries, far below the entry-count budget.
+        let budget = 2 * PlanCache::entry_bytes(&pool[0]) + 1;
+        let cache = one_shard(1024, budget);
+        for c in &pool {
+            cache.prepare(&engine, c).unwrap();
+            assert!(
+                cache.stats().bytes <= budget,
+                "resident bytes must stay within the budget after every insert"
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions >= 4, "the budget forced evictions");
+        assert!(stats.entries <= 2);
+    }
+
+    #[test]
+    fn stale_identities_are_dropped_not_reserved() {
+        // The cross-batch face of the ABA fix: a cache populated against
+        // index A must not serve A's plans to an engine over index B, even
+        // though both engines are named "RLC" — and the stale entry is
+        // removed, not left to shadow the fresh one.
+        let graph = fig2_graph();
+        let c = constraint(&[1]);
+        let cache = one_shard(16, usize::MAX);
+        let (index_a, _) = build_index(&graph, &BuildConfig::new(2));
+        let plan_a = {
+            let engine_a = IndexEngine::new(&graph, &index_a);
+            cache.prepare(&engine_a, &c).unwrap()
+        };
+        drop(index_a);
+        let (index_b, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine_b = IndexEngine::new(&graph, &index_b);
+        let counting = PrepareCounting::new(&engine_b);
+        let plan_b = cache.prepare(&counting, &c).unwrap();
+        assert_eq!(counting.prepare_count(), 1, "B re-prepared");
+        assert!(!Arc::ptr_eq(&plan_a, &plan_b), "A's plan was not re-served");
+        let stats = cache.stats();
+        assert_eq!(stats.stale_drops, 1);
+        assert_eq!(stats.entries, 1, "the stale entry is gone");
+        // B's plan is now resident.
+        cache.prepare(&counting, &c).unwrap();
+        assert_eq!(counting.prepare_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_rayon_workers_share_the_cache() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let counting = PrepareCounting::new(&engine);
+        let cache = PlanCache::new();
+        let pool: Vec<Constraint> = vec![
+            constraint(&[0]),
+            constraint(&[1]),
+            constraint(&[0, 1]),
+            Constraint::new(vec![vec![Label(0)], vec![Label(1)]]).unwrap(),
+        ];
+        let work: Vec<(u32, u32, usize)> = (0..200u32)
+            .map(|i| (i % 6, (i * 7 + 1) % 6, (i as usize) % pool.len()))
+            .collect();
+        let answers: Vec<Result<bool, crate::query::QueryError>> = work
+            .par_iter()
+            .map(|&(s, t, which)| {
+                let plan = cache.prepare(&counting, &pool[which])?;
+                counting.evaluate_prepared(s, t, &plan)
+            })
+            .collect();
+        for (&(s, t, which), answer) in work.iter().zip(&answers) {
+            assert_eq!(
+                *answer,
+                engine.evaluate(&Query::new(s, t, pool[which].clone()))
+            );
+        }
+        // Workers may race on first touch of a constraint (both miss, both
+        // prepare); the cache stays correct and the prepare count is bounded
+        // by the worker count per constraint, collapsing to hits after.
+        assert!(counting.prepare_count() >= pool.len());
+        assert!(
+            counting.prepare_count() <= pool.len() * crate::engine::batch_threads().max(1),
+            "prepares must not scale with the query count"
+        );
+        assert_eq!(cache.stats().hits + cache.stats().misses, work.len() as u64);
+    }
+
+    #[test]
+    fn clear_resets_residency_but_not_counters() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        cache.prepare(&engine, &constraint(&[0])).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().bytes, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn cached_and_uncached_plans_execute_identically() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let cache = PlanCache::new();
+        let queries: Vec<Query> = (0..24u32)
+            .map(|i| {
+                let c = match i % 3 {
+                    0 => constraint(&[1]),
+                    1 => constraint(&[0, 1]),
+                    _ => constraint(&[0, 1, 2]), // rejected by k = 2
+                };
+                Query::new(i % 6, (i * 5 + 2) % 6, c)
+            })
+            .collect();
+        let plan = BatchPlan::new(&queries);
+        let uncached = plan.execute(&engine);
+        for _ in 0..3 {
+            assert_eq!(plan.execute_cached(&engine, &cache), uncached);
+        }
+        // Three distinct constraints (one of them a cached rejection): three
+        // misses total across the three repeated executions.
+        assert_eq!(cache.stats().misses, 3);
+    }
+}

@@ -33,13 +33,14 @@
 
 use crate::build::BuildConfig;
 use crate::catalog::MrId;
-use crate::hybrid::{evaluate_hybrid_prepared, ConcatQuery};
+use crate::hybrid::{evaluate_hybrid_prepared, prefix_frontier};
 use crate::index::RlcIndex;
-use crate::query::{Constraint, Query, QueryError, RlcQuery};
+use crate::query::{Constraint, Query, QueryError};
 use rayon::prelude::*;
 use rlc_graph::{LabeledGraph, VertexId};
 use std::any::Any;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A compiled constraint, produced by [`ReachabilityEngine::prepare`] and
 /// consumed by [`ReachabilityEngine::evaluate_prepared`].
@@ -168,26 +169,35 @@ pub trait ReachabilityEngine: Sync {
             .collect()
     }
 
-    /// Transitional shim for the pre-prepare API: evaluates a single-block
-    /// [`RlcQuery`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "convert to the unified model with `Query::from` and call `evaluate`"
-    )]
-    fn evaluate_rlc(&self, query: &RlcQuery) -> Result<bool, QueryError> {
-        self.evaluate(&Query::from(query))
+    /// Identity of this engine instance for cross-batch plan caching
+    /// ([`crate::cache::PlanCache`]).
+    ///
+    /// Two engines reporting equal identities must produce interchangeable
+    /// [`Prepared`] artifacts for equal constraints. The default —
+    /// [`PlanIdentity::Kind`] over the engine name — is correct for every
+    /// engine whose artifact depends only on the constraint (the NFA-driven
+    /// traversal and simulated engines). Index-backed engines override it
+    /// with [`PlanIdentity::Index`] over their [`ArtifactTag`], because
+    /// their artifacts embed a catalog-resolved [`MrId`] that is only
+    /// meaningful against one specific index structure (and one generation
+    /// of it).
+    fn plan_identity(&self) -> PlanIdentity {
+        PlanIdentity::Kind(self.name().to_owned())
     }
+}
 
-    /// Transitional shim for the pre-prepare API: evaluates a legacy
-    /// [`ConcatQuery`], returning the structural error instead of panicking
-    /// on invalid input.
-    #[deprecated(
-        since = "0.2.0",
-        note = "convert to the unified model with `Query::try_from` and call `evaluate`"
-    )]
-    fn evaluate_concat(&self, query: &ConcatQuery) -> Result<bool, QueryError> {
-        self.evaluate(&Query::try_from(query)?)
-    }
+/// Identity of the preparation source of a cached plan — the cache key half
+/// that tells interchangeable [`Prepared`] artifacts apart. See
+/// [`ReachabilityEngine::plan_identity`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PlanIdentity {
+    /// Artifacts depend only on the constraint and the engine kind; any
+    /// instance of the kind can reuse them (traversal/simulated engines).
+    Kind(String),
+    /// Artifacts were resolved against one specific index structure and are
+    /// invalid for any other, including a rebuilt one at the same address
+    /// (the [`ArtifactTag`] embeds the index generation).
+    Index(ArtifactTag),
 }
 
 /// Number of worker threads batch evaluation fans out to (rayon's thread
@@ -263,6 +273,12 @@ impl ReachabilityEngine for PrepareCounting<'_> {
     ) -> Vec<Result<bool, QueryError>> {
         self.inner.evaluate_prepared_group(pairs, prepared)
     }
+
+    fn plan_identity(&self) -> PlanIdentity {
+        // Forwarded so a cache keyed through the counting wrapper still
+        // validates against the wrapped engine's real identity.
+        self.inner.plan_identity()
+    }
 }
 
 /// Checks a query's vertex ids against the evaluated graph's vertex count.
@@ -284,6 +300,49 @@ pub fn check_vertex_range(
     Ok(())
 }
 
+/// Process-wide monotonic generation counter backing [`Generation::fresh`].
+/// Starts at 1 so 0 can never be a valid stamp.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// A generation stamp minted when an index structure is constructed.
+///
+/// Every [`RlcIndex`] and `EtcIndex` gets a fresh stamp from a process-wide
+/// monotonic counter at construction, and [`ArtifactTag`] folds the stamp
+/// into the index identity. This closes the ABA blind spot of the previous
+/// address-based tag: if an index is dropped and a new one with identical
+/// `k` and catalog size is allocated at the same address, the generations
+/// still differ, so a stale artifact's bare [`MrId`] is re-prepared instead
+/// of silently naming the wrong minimum repeat.
+///
+/// Generations are a process-local concept and are **never serialized**:
+/// the `RLC2`/`ETC1` wire formats do not carry them, and every
+/// deserialization path (`from_bytes`, serde `Deserialize`) mints a fresh
+/// stamp. A `Clone`d index copies the stamp — clones share content, so
+/// artifacts resolved against one are valid against the other.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Generation(u64);
+
+impl Generation {
+    /// Mints the next stamp from the process-wide counter.
+    pub fn fresh() -> Self {
+        Generation(NEXT_GENERATION.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw counter value (diagnostics only; stamps are compared, never
+    /// interpreted).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Generation {
+    /// Minting on `Default` is what makes `#[serde(skip)]` fields get a
+    /// fresh generation when an index is deserialized.
+    fn default() -> Self {
+        Generation::fresh()
+    }
+}
+
 /// Identity of the index structure an artifact was resolved against.
 ///
 /// A resolved [`MrId`] is a bare offset into one specific catalog, so a
@@ -292,25 +351,28 @@ pub fn check_vertex_range(
 /// B's recursive `k` was never checked. Artifact-type downcasting cannot
 /// tell two same-kind engines apart, so artifacts carry this tag and
 /// evaluation re-prepares on any mismatch. The tag combines the index
-/// structure's address with its `k` and catalog size; address reuse after a
-/// drop paired with identical `k` and catalog size is the (accepted)
-/// residual blind spot. `EtcIndex`'s engine adapter in `rlc-baselines` uses
-/// the same tag via [`ArtifactTag::from_raw`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// structure's address, its `k` and catalog size, and — closing the ABA
+/// blind spot of address reuse after a drop — the [`Generation`] stamped
+/// into the index at construction. `EtcIndex`'s engine adapter in
+/// `rlc-baselines` uses the same tag via [`ArtifactTag::from_raw`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ArtifactTag {
     ptr: usize,
     k: usize,
     catalog_len: usize,
+    generation: Generation,
 }
 
 impl ArtifactTag {
     /// Tags an artifact with the identity of an arbitrary index structure:
-    /// its address, recursive `k`, and catalog size.
-    pub fn from_raw(ptr: usize, k: usize, catalog_len: usize) -> Self {
+    /// its address, recursive `k`, catalog size, and construction
+    /// generation.
+    pub fn from_raw(ptr: usize, k: usize, catalog_len: usize, generation: Generation) -> Self {
         ArtifactTag {
             ptr,
             k,
             catalog_len,
+            generation,
         }
     }
 
@@ -319,6 +381,7 @@ impl ArtifactTag {
             index as *const RlcIndex as usize,
             index.k(),
             index.catalog().len(),
+            index.generation(),
         )
     }
 }
@@ -373,6 +436,29 @@ fn evaluate_hybrid_one_shot(
     ))
 }
 
+/// Resolves a preparation against this engine's index: the artifact's own
+/// [`MrId`] when the tag matches, otherwise a fresh re-prepare. Re-preparing
+/// covers a wrong artifact type as well as a same-kind engine over a
+/// different index — or a different *generation* of an index at the same
+/// address — and re-runs the `k` validation, so a constraint invalid here
+/// still errors instead of silently evaluating.
+fn hybrid_last_mr(
+    engine: &dyn ReachabilityEngine,
+    index: &RlcIndex,
+    prepared: &Prepared,
+) -> Result<Option<MrId>, QueryError> {
+    match prepared.artifact::<PreparedHybrid>() {
+        Some(artifact) if artifact.index == ArtifactTag::of(index) => Ok(artifact.last_mr),
+        _ => {
+            let own = engine.prepare(prepared.constraint())?;
+            Ok(own
+                .artifact::<PreparedHybrid>()
+                .expect("prepare_hybrid produces a PreparedHybrid artifact")
+                .last_mr)
+        }
+    }
+}
+
 /// Shared execute implementation of [`IndexEngine`] and [`HybridEngine`].
 fn evaluate_hybrid_engine(
     engine: &dyn ReachabilityEngine,
@@ -383,34 +469,81 @@ fn evaluate_hybrid_engine(
     prepared: &Prepared,
 ) -> Result<bool, QueryError> {
     check_vertex_range(source, target, graph.vertex_count())?;
-    match prepared.artifact::<PreparedHybrid>() {
-        Some(artifact) if artifact.index == ArtifactTag::of(index) => Ok(evaluate_hybrid_prepared(
-            graph,
-            index,
-            source,
-            target,
-            prepared.constraint().blocks(),
-            artifact.last_mr,
-        )),
-        // Foreign preparation — wrong artifact type, or a same-kind engine
-        // over a different index: re-compile for this engine and retry
-        // (re-running the k validation, so a constraint invalid here still
-        // errors instead of silently evaluating).
-        _ => {
-            let own = engine.prepare(prepared.constraint())?;
-            let artifact = own
-                .artifact::<PreparedHybrid>()
-                .expect("prepare_hybrid produces a PreparedHybrid artifact");
-            Ok(evaluate_hybrid_prepared(
-                graph,
-                index,
-                source,
-                target,
-                own.constraint().blocks(),
-                artifact.last_mr,
-            ))
+    let last_mr = hybrid_last_mr(engine, index, prepared)?;
+    Ok(evaluate_hybrid_prepared(
+        graph,
+        index,
+        source,
+        target,
+        prepared.constraint().blocks(),
+        last_mr,
+    ))
+}
+
+/// Grouped execute implementation of [`IndexEngine`] and [`HybridEngine`]:
+/// for multi-block constraints, the prefix-block repetition closure is
+/// computed **once per distinct source** and shared by every pair of the
+/// group with that source — the per-pair path would re-run the online
+/// closure for each pair. Single-block constraints skip the frontier
+/// machinery entirely (one merge-join lookup per pair).
+fn evaluate_hybrid_engine_group(
+    engine: &dyn ReachabilityEngine,
+    graph: &LabeledGraph,
+    index: &RlcIndex,
+    pairs: &[(VertexId, VertexId)],
+    prepared: &Prepared,
+) -> Vec<Result<bool, QueryError>> {
+    // Range-check every pair first, exactly like the per-pair path does:
+    // an out-of-range pair reports `VertexOutOfRange` even when the
+    // constraint is also invalid for this engine.
+    let mut answers: Vec<Result<bool, QueryError>> = Vec::with_capacity(pairs.len());
+    let mut by_source: HashMap<VertexId, Vec<usize>> = HashMap::new();
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        match check_vertex_range(s, t, graph.vertex_count()) {
+            Ok(()) => {
+                answers.push(Ok(false));
+                by_source.entry(s).or_default().push(i);
+            }
+            Err(error) => answers.push(Err(error)),
         }
     }
+    let last_mr = match hybrid_last_mr(engine, index, prepared) {
+        Ok(last_mr) => last_mr,
+        // The constraint is invalid for this engine: every in-range pair of
+        // the group gets the same error, matching the per-pair path.
+        Err(error) => {
+            for indices in by_source.values() {
+                for &i in indices {
+                    answers[i] = Err(error.clone());
+                }
+            }
+            return answers;
+        }
+    };
+    let blocks = prepared.constraint().blocks();
+    let Some(mr_id) = last_mr else {
+        // The final block's MR is absent from the catalog: no path can
+        // satisfy the constraint, so every in-range pair stays `false`.
+        return answers;
+    };
+    for (source, indices) in by_source {
+        if blocks.len() == 1 {
+            for &i in &indices {
+                answers[i] = Ok(index.query_interned(source, pairs[i].1, mr_id));
+            }
+        } else {
+            // One repetition-closure pass over the prefix blocks serves
+            // every target sharing this source.
+            let frontier = prefix_frontier(graph, source, blocks);
+            for &i in &indices {
+                let target = pairs[i].1;
+                answers[i] = Ok(frontier
+                    .iter()
+                    .any(|&v| index.query_interned(v, target, mr_id)));
+            }
+        }
+    }
+    answers
 }
 
 /// The RLC index as a [`ReachabilityEngine`]: single-block constraints are
@@ -456,8 +589,20 @@ impl ReachabilityEngine for IndexEngine<'_> {
         evaluate_hybrid_engine(self, self.graph, self.index, source, target, prepared)
     }
 
+    fn evaluate_prepared_group(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        prepared: &Prepared,
+    ) -> Vec<Result<bool, QueryError>> {
+        evaluate_hybrid_engine_group(self, self.graph, self.index, pairs, prepared)
+    }
+
     fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
         evaluate_hybrid_one_shot(self.graph, self.index, query)
+    }
+
+    fn plan_identity(&self) -> PlanIdentity {
+        PlanIdentity::Index(ArtifactTag::of(self.index))
     }
 }
 
@@ -495,8 +640,20 @@ impl ReachabilityEngine for HybridEngine<'_> {
         evaluate_hybrid_engine(self, self.graph, self.index, source, target, prepared)
     }
 
+    fn evaluate_prepared_group(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        prepared: &Prepared,
+    ) -> Vec<Result<bool, QueryError>> {
+        evaluate_hybrid_engine_group(self, self.graph, self.index, pairs, prepared)
+    }
+
     fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
         evaluate_hybrid_one_shot(self.graph, self.index, query)
+    }
+
+    fn plan_identity(&self) -> PlanIdentity {
+        PlanIdentity::Index(ArtifactTag::of(self.index))
     }
 }
 
@@ -504,6 +661,7 @@ impl ReachabilityEngine for HybridEngine<'_> {
 mod tests {
     use super::*;
     use crate::build::{build_index, BuildConfig};
+    use crate::query::RlcQuery;
     use rlc_graph::examples::fig2_graph;
     use rlc_graph::Label;
 
@@ -628,25 +786,212 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_return_errors_not_panics() {
-        #![allow(deprecated)]
+    fn grouped_evaluation_matches_per_pair_for_the_index_engines() {
+        // The grouped hybrid path shares the prefix-block repetition closure
+        // across same-source pairs; its answers (and errors) must be
+        // indistinguishable from the per-pair path, for single-block and
+        // multi-block constraints alike.
         let graph = fig2_graph();
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
-        let engine = IndexEngine::new(&graph, &index);
-        let rlc = RlcQuery::new(0, 1, vec![Label(0)]).unwrap();
+        let n = graph.vertex_count() as u32;
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        // Heavy source reuse (the case the shared closure accelerates) plus
+        // unique sources and out-of-range ids (per-pair errors).
+        for t in 0..n {
+            pairs.push((1, t));
+            pairs.push((t, (t * 5 + 2) % n));
+        }
+        pairs.push((n + 3, 0));
+        pairs.push((0, n + 4));
+        let constraints = [
+            Constraint::single(vec![Label(1)]).unwrap(),
+            Constraint::new(vec![vec![Label(1)], vec![Label(0)]]).unwrap(),
+            Constraint::new(vec![vec![Label(0)], vec![Label(1)], vec![Label(2)]]).unwrap(),
+            // A final block absent from the catalog: everything false.
+            Constraint::new(vec![vec![Label(1)], vec![Label(9)]]).unwrap(),
+        ];
+        let index_engine = IndexEngine::new(&graph, &index);
+        let hybrid = HybridEngine::new(&graph, &index);
+        let engines: [&dyn ReachabilityEngine; 2] = [&index_engine, &hybrid];
+        for engine in engines {
+            for constraint in &constraints {
+                let prepared = engine.prepare(constraint).unwrap();
+                let grouped = engine.evaluate_prepared_group(&pairs, &prepared);
+                assert_eq!(grouped.len(), pairs.len());
+                for (&(s, t), grouped_answer) in pairs.iter().zip(&grouped) {
+                    assert_eq!(
+                        *grouped_answer,
+                        engine.evaluate_prepared(s, t, &prepared),
+                        "{} on ({s},{t}) under {constraint:?}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_evaluation_with_a_foreign_preparation_errors_like_per_pair() {
+        // A constraint too long for this engine, prepared elsewhere: the
+        // grouped path must yield the same error for every pair.
+        let graph = fig2_graph();
+        let (index_k2, _) = build_index(&graph, &BuildConfig::new(2));
+        let (index_k3, _) = build_index(&graph, &BuildConfig::new(3));
+        let engine_k2 = IndexEngine::new(&graph, &index_k2);
+        let engine_k3 = IndexEngine::new(&graph, &index_k3);
+        let long =
+            Constraint::new(vec![vec![Label(0)], vec![Label(0), Label(1), Label(2)]]).unwrap();
+        let prepared_k3 = engine_k3.prepare(&long).unwrap();
+        // Includes an out-of-range pair: the per-pair path range-checks
+        // before surfacing the prepare error, and the grouped path must
+        // report the identical error per pair.
+        let n = graph.vertex_count() as u32;
+        let pairs = [(0, 1), (0, 2), (3, 4), (n + 5, 0)];
+        let grouped = engine_k2.evaluate_prepared_group(&pairs, &prepared_k3);
+        let per_pair: Vec<_> = pairs
+            .iter()
+            .map(|&(s, t)| engine_k2.evaluate_prepared(s, t, &prepared_k3))
+            .collect();
+        assert_eq!(grouped, per_pair);
+        let expected = Err(QueryError::BlockTooLong {
+            block: 1,
+            len: 3,
+            k: 2,
+        });
         assert_eq!(
-            engine.evaluate_rlc(&rlc),
-            engine.evaluate(&Query::from(&rlc))
+            grouped,
+            vec![
+                expected.clone(),
+                expected.clone(),
+                expected,
+                Err(QueryError::VertexOutOfRange {
+                    vertex: n + 5,
+                    vertices: graph.vertex_count(),
+                }),
+            ]
         );
-        let concat = ConcatQuery::new(0, 1, vec![vec![Label(0)], vec![Label(1)]]).unwrap();
+    }
+
+    #[test]
+    fn generations_are_monotonic_and_tags_fold_them_in() {
+        let graph = fig2_graph();
+        let (index_a, _) = build_index(&graph, &BuildConfig::new(2));
+        let (index_b, _) = build_index(&graph, &BuildConfig::new(2));
+        assert_ne!(index_a.generation(), index_b.generation());
+        assert!(index_a.generation().value() < index_b.generation().value());
+        // Identical address + k + catalog size but different generations:
+        // the tags must differ (the ABA fix).
+        let aliased = ArtifactTag::from_raw(0xDEAD, 2, 7, index_a.generation());
+        let rebuilt = ArtifactTag::from_raw(0xDEAD, 2, 7, index_b.generation());
+        assert_ne!(aliased, rebuilt);
         assert_eq!(
-            engine.evaluate_concat(&concat),
-            engine.evaluate(&Query::try_from(&concat).unwrap())
+            aliased,
+            ArtifactTag::from_raw(0xDEAD, 2, 7, index_a.generation())
         );
-        let invalid = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(0)]]).unwrap();
+    }
+
+    #[test]
+    fn aba_aliased_index_is_reprepared_not_misread() {
+        // The ABA regression: an artifact prepared against index A whose
+        // address is later reused by index B with identical `k` and catalog
+        // size. The old address-based tag considered such an artifact valid
+        // and misread its bare MrId against B's catalog; the generation
+        // stamp forces a re-prepare. Allocator reuse is made deterministic
+        // by forging the tag with `ArtifactTag::from_raw` on B's address.
+        let mut builder = rlc_graph::GraphBuilder::new();
+        builder.add_edge_named("a", "x", "b");
+        builder.add_edge_named("a", "y", "b");
+        let graph = builder.build();
+        let x = graph.labels().resolve("x").unwrap();
+        let y = graph.labels().resolve("y").unwrap();
+        let a = graph.vertex_id("a").unwrap();
+        let b = graph.vertex_id("b").unwrap();
+
+        // Index A: catalog = [(y)], so the constraint y+ resolves to MrId 0.
+        let order =
+            crate::order::compute_order(&graph, crate::order::OrderingStrategy::InOutDegree);
+        let mut index_a = RlcIndex::empty(2, order.clone());
+        let mr_a = index_a.catalog.intern(&[y]);
+        index_a.push_lin(b, crate::index::IndexEntry { hub: a, mr: mr_a });
+        let constraint = Constraint::single(vec![y]).unwrap();
+        let generation_a = index_a.generation();
+        let stale_mr = {
+            let engine_a = IndexEngine::new(&graph, &index_a);
+            let prepared_a = engine_a.prepare(&constraint).unwrap();
+            prepared_a
+                .artifact::<PreparedHybrid>()
+                .expect("index engines produce PreparedHybrid artifacts")
+                .last_mr
+        };
+        assert_eq!(stale_mr, Some(mr_a));
+        drop(index_a);
+
+        // Index B: identical k and catalog size, but MrId 0 now names (x),
+        // and (a, b) is connected under x+, not y+.
+        let mut index_b = RlcIndex::empty(2, order);
+        let mr_b = index_b.catalog.intern(&[x]);
+        index_b.push_lin(b, crate::index::IndexEntry { hub: a, mr: mr_b });
+        let engine_b = IndexEngine::new(&graph, &index_b);
+
+        // Forge the exact stale artifact the old scheme could not detect:
+        // A's resolution and generation, force-aliased onto B's address.
+        let forged = Prepared::new(
+            constraint.clone(),
+            "RLC",
+            PreparedHybrid {
+                last_mr: stale_mr,
+                index: ArtifactTag::from_raw(
+                    &index_b as *const RlcIndex as usize,
+                    index_b.k(),
+                    index_b.catalog().len(),
+                    generation_a,
+                ),
+            },
+        );
+
+        // Misreading the stale MrId against B's catalog would answer `true`
+        // (MrId 0 in B names x+, which does connect a to b) — demonstrably
+        // the wrong answer for y+, which B's catalog does not even contain.
+        assert!(evaluate_hybrid_prepared(
+            &graph,
+            &index_b,
+            a,
+            b,
+            constraint.blocks(),
+            stale_mr
+        ));
         assert_eq!(
-            engine.evaluate_concat(&invalid),
-            Err(QueryError::BlockNotMinimumRepeat(0))
+            engine_b.evaluate(&Query::new(a, b, constraint.clone())),
+            Ok(false)
+        );
+
+        // The generation mismatch forces a re-prepare: the forged artifact
+        // evaluates to B's own (correct) answers, per pair and grouped.
+        assert_eq!(engine_b.evaluate_prepared(a, b, &forged), Ok(false));
+        assert_eq!(
+            engine_b.evaluate_prepared_group(&[(a, b), (b, a)], &forged),
+            vec![Ok(false), Ok(false)]
+        );
+    }
+
+    #[test]
+    fn plan_identities_distinguish_indexes_but_not_instances() {
+        let graph = fig2_graph();
+        let (index_a, _) = build_index(&graph, &BuildConfig::new(2));
+        let (index_b, _) = build_index(&graph, &BuildConfig::new(2));
+        // Two engine instances over the same index share an identity…
+        assert_eq!(
+            IndexEngine::new(&graph, &index_a).plan_identity(),
+            IndexEngine::new(&graph, &index_a).plan_identity()
+        );
+        // …but engines over different indexes (even content-equal ones) do
+        // not, and the counting wrapper forwards the inner identity.
+        let engine_a = IndexEngine::new(&graph, &index_a);
+        let engine_b = IndexEngine::new(&graph, &index_b);
+        assert_ne!(engine_a.plan_identity(), engine_b.plan_identity());
+        assert_eq!(
+            PrepareCounting::new(&engine_a).plan_identity(),
+            engine_a.plan_identity()
         );
     }
 

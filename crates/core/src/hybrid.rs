@@ -5,180 +5,21 @@
 //! blocks*, e.g. `a+ ∘ b+`: the index alone cannot answer these, but an
 //! online traversal over all blocks except the last, combined with an index
 //! lookup for the last block, can. This module implements that strategy for
-//! an arbitrary number of blocks.
+//! an arbitrary number of blocks; the entry points are the engine layer's
+//! [`crate::engine::IndexEngine`] / [`crate::engine::HybridEngine`] over the
+//! unified [`crate::query::Query`] model (the legacy `ConcatQuery` type and
+//! its `evaluate_hybrid` entry point are gone — `Query::concat` constructs
+//! the same queries with validation at construction).
 
 use crate::catalog::MrId;
 use crate::index::RlcIndex;
-use crate::query::{Query, QueryError};
-use crate::repeats::is_minimum_repeat;
 use rlc_graph::{Label, LabeledGraph, VertexId};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
-/// A reachability query whose constraint is `B1+ ∘ B2+ ∘ … ∘ Bm+`.
-///
-/// Transitional type: the engine layer now evaluates the unified
-/// [`Query`]/[`crate::query::Constraint`] model, which validates blocks at
-/// construction. `ConcatQuery` remains as the input of the deprecated
-/// [`crate::engine::ReachabilityEngine::evaluate_concat`] shim and of the
-/// lower-level [`evaluate_hybrid`] entry point.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ConcatQuery {
-    /// Source vertex.
-    pub source: VertexId,
-    /// Target vertex.
-    pub target: VertexId,
-    /// The blocks; each block `Bi` is repeated one or more times.
-    pub blocks: Vec<Vec<Label>>,
-}
-
-/// Errors raised when validating a [`ConcatQuery`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ConcatQueryError {
-    /// The query has no blocks.
-    NoBlocks,
-    /// A block is empty.
-    EmptyBlock(usize),
-    /// A block is not its own minimum repeat.
-    BlockNotMinimumRepeat(usize),
-    /// A block is longer than the index's recursive `k`.
-    BlockTooLong {
-        /// Index of the offending block.
-        block: usize,
-        /// Its length.
-        len: usize,
-        /// The index's `k`.
-        k: usize,
-    },
-}
-
-impl std::fmt::Display for ConcatQueryError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ConcatQueryError::NoBlocks => write!(f, "query must have at least one block"),
-            ConcatQueryError::EmptyBlock(i) => write!(f, "block {i} is empty"),
-            ConcatQueryError::BlockNotMinimumRepeat(i) => {
-                write!(f, "block {i} is not a minimum repeat")
-            }
-            ConcatQueryError::BlockTooLong { block, len, k } => {
-                write!(
-                    f,
-                    "block {block} has {len} labels but the index supports k = {k}"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for ConcatQueryError {}
-
-impl From<ConcatQueryError> for QueryError {
-    fn from(error: ConcatQueryError) -> Self {
-        match error {
-            ConcatQueryError::NoBlocks => QueryError::EmptyConstraint,
-            ConcatQueryError::EmptyBlock(i) => QueryError::EmptyBlock(i),
-            ConcatQueryError::BlockNotMinimumRepeat(i) => QueryError::BlockNotMinimumRepeat(i),
-            ConcatQueryError::BlockTooLong { block, len, k } => {
-                QueryError::BlockTooLong { block, len, k }
-            }
-        }
-    }
-}
-
-impl ConcatQuery {
-    /// Creates a query, rejecting empty block lists and empty blocks at
-    /// construction. Minimum-repeat and block-length checks remain in
-    /// [`ConcatQuery::validate`] (the length limit depends on the evaluating
-    /// index).
-    pub fn new(
-        source: VertexId,
-        target: VertexId,
-        blocks: Vec<Vec<Label>>,
-    ) -> Result<Self, ConcatQueryError> {
-        if blocks.is_empty() {
-            return Err(ConcatQueryError::NoBlocks);
-        }
-        if let Some(i) = blocks.iter().position(Vec::is_empty) {
-            return Err(ConcatQueryError::EmptyBlock(i));
-        }
-        Ok(ConcatQuery {
-            source,
-            target,
-            blocks,
-        })
-    }
-
-    /// Validates the blocks against an index built with some recursive `k`.
-    pub fn validate(&self, k: usize) -> Result<(), ConcatQueryError> {
-        if self.blocks.is_empty() {
-            return Err(ConcatQueryError::NoBlocks);
-        }
-        for (i, block) in self.blocks.iter().enumerate() {
-            if block.is_empty() {
-                return Err(ConcatQueryError::EmptyBlock(i));
-            }
-            if !is_minimum_repeat(block) {
-                return Err(ConcatQueryError::BlockNotMinimumRepeat(i));
-            }
-            if block.len() > k {
-                return Err(ConcatQueryError::BlockTooLong {
-                    block: i,
-                    len: block.len(),
-                    k,
-                });
-            }
-        }
-        Ok(())
-    }
-}
-
-impl TryFrom<&ConcatQuery> for Query {
-    type Error = QueryError;
-
-    /// Converts a legacy concatenation query into the unified model,
-    /// re-running full structural validation.
-    fn try_from(query: &ConcatQuery) -> Result<Self, QueryError> {
-        Query::concat(query.source, query.target, query.blocks.clone())
-    }
-}
-
-/// Evaluates a [`ConcatQuery`] using the RLC index for the final block and an
-/// online constrained traversal for the preceding blocks.
-///
-/// For each block except the last, a multi-source BFS over `(vertex, offset)`
-/// pairs computes the set of vertices reachable from the current frontier by
-/// one or more repetitions of the block; the final block is answered by one
-/// index lookup per frontier vertex. With a single block this degenerates to
-/// a plain index query.
-pub fn evaluate_hybrid(
-    graph: &LabeledGraph,
-    index: &RlcIndex,
-    query: &ConcatQuery,
-) -> Result<bool, ConcatQueryError> {
-    query.validate(index.k())?;
-    let mut frontier: Vec<VertexId> = vec![query.source];
-    for (i, block) in query.blocks.iter().enumerate() {
-        let is_last = i + 1 == query.blocks.len();
-        if is_last {
-            let mr_id = match index.catalog().resolve(block) {
-                Some(id) => id,
-                None => return Ok(false),
-            };
-            return Ok(frontier
-                .iter()
-                .any(|&v| index.query_interned(v, query.target, mr_id)));
-        }
-        frontier = repetition_closure(graph, &frontier, block);
-        if frontier.is_empty() {
-            return Ok(false);
-        }
-    }
-    unreachable!("the last block returns from the loop");
-}
-
 /// The shared skeleton of hybrid evaluation over pre-validated blocks: runs
-/// the online repetition closure for every block except the last, then
-/// reports whether `last_block_reaches` holds for any frontier vertex.
+/// the online repetition closure for every block except the last
+/// ([`prefix_frontier`]), then reports whether `last_block_reaches` holds
+/// for any frontier vertex.
 ///
 /// This is the one frontier loop behind both the RLC-index engines (last
 /// block answered by [`RlcIndex`] lookup) and the ETC engine in
@@ -190,14 +31,9 @@ pub fn evaluate_blocks_with(
     blocks: &[Vec<Label>],
     last_block_reaches: impl Fn(VertexId) -> bool,
 ) -> bool {
-    let mut frontier: Vec<VertexId> = vec![source];
-    for block in &blocks[..blocks.len() - 1] {
-        frontier = repetition_closure(graph, &frontier, block);
-        if frontier.is_empty() {
-            return false;
-        }
-    }
-    frontier.iter().any(|&v| last_block_reaches(v))
+    prefix_frontier(graph, source, blocks)
+        .iter()
+        .any(|&v| last_block_reaches(v))
 }
 
 /// Hybrid evaluation over a pre-validated block structure with the final
@@ -222,6 +58,26 @@ pub(crate) fn evaluate_hybrid_prepared(
     evaluate_blocks_with(graph, source, blocks, |v| {
         index.query_interned(v, target, mr_id)
     })
+}
+
+/// The frontier after running the online repetition closure over every
+/// block except the last: all vertices from which the final block's index
+/// (or closure) lookup has to be answered. Computed **once per source** by
+/// the grouped hybrid path, so same-source pairs of a constraint group share
+/// the online traversal instead of re-running it per pair.
+pub(crate) fn prefix_frontier(
+    graph: &LabeledGraph,
+    source: VertexId,
+    blocks: &[Vec<Label>],
+) -> Vec<VertexId> {
+    let mut frontier: Vec<VertexId> = vec![source];
+    for block in &blocks[..blocks.len() - 1] {
+        frontier = repetition_closure(graph, &frontier, block);
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
 }
 
 /// All vertices reachable from `sources` by a path whose label sequence is
@@ -270,6 +126,8 @@ pub fn repetition_closure(
 mod tests {
     use super::*;
     use crate::build::{build_index, BuildConfig};
+    use crate::engine::{IndexEngine, ReachabilityEngine};
+    use crate::query::{Query, QueryError};
     use rlc_graph::examples::fig1_graph;
     use rlc_graph::GraphBuilder;
 
@@ -281,13 +139,14 @@ mod tests {
     fn single_block_matches_plain_query() {
         let g = fig1_graph();
         let (index, _) = build_index(&g, &BuildConfig::new(2));
-        let q = ConcatQuery::new(
+        let engine = IndexEngine::new(&g, &index);
+        let q = Query::concat(
             g.vertex_id("A14").unwrap(),
             g.vertex_id("A19").unwrap(),
             vec![vec![label(&g, "debits"), label(&g, "credits")]],
         )
         .unwrap();
-        assert_eq!(evaluate_hybrid(&g, &index, &q), Ok(true));
+        assert_eq!(engine.evaluate(&q), Ok(true));
     }
 
     #[test]
@@ -295,22 +154,23 @@ mod tests {
         // P10 -knows+-> P11/P12/P13/P16, then -holds+-> an account.
         let g = fig1_graph();
         let (index, _) = build_index(&g, &BuildConfig::new(2));
-        let q = ConcatQuery::new(
+        let engine = IndexEngine::new(&g, &index);
+        let q = Query::concat(
             g.vertex_id("P10").unwrap(),
             g.vertex_id("A19").unwrap(),
             vec![vec![label(&g, "knows")], vec![label(&g, "holds")]],
         )
         .unwrap();
-        assert_eq!(evaluate_hybrid(&g, &index, &q), Ok(true));
+        assert_eq!(engine.evaluate(&q), Ok(true));
         // There is no knows+ ∘ debits+ path from P10 (debits leaves accounts,
         // which knows+ never reaches).
-        let q2 = ConcatQuery::new(
+        let q2 = Query::concat(
             g.vertex_id("P10").unwrap(),
             g.vertex_id("E15").unwrap(),
             vec![vec![label(&g, "knows")], vec![label(&g, "debits")]],
         )
         .unwrap();
-        assert_eq!(evaluate_hybrid(&g, &index, &q2), Ok(false));
+        assert_eq!(engine.evaluate(&q2), Ok(false));
     }
 
     #[test]
@@ -323,7 +183,8 @@ mod tests {
         builder.add_edge_named("d", "z", "e");
         let g = builder.build();
         let (index, _) = build_index(&g, &BuildConfig::new(2));
-        let q = ConcatQuery::new(
+        let engine = IndexEngine::new(&g, &index);
+        let q = Query::concat(
             g.vertex_id("a").unwrap(),
             g.vertex_id("e").unwrap(),
             vec![
@@ -333,9 +194,9 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(evaluate_hybrid(&g, &index, &q), Ok(true));
+        assert_eq!(engine.evaluate(&q), Ok(true));
         // Wrong order of blocks must fail.
-        let q_bad = ConcatQuery::new(
+        let q_bad = Query::concat(
             g.vertex_id("a").unwrap(),
             g.vertex_id("e").unwrap(),
             vec![
@@ -345,7 +206,7 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(evaluate_hybrid(&g, &index, &q_bad), Ok(false));
+        assert_eq!(engine.evaluate(&q_bad), Ok(false));
     }
 
     #[test]
@@ -358,93 +219,66 @@ mod tests {
         builder.add_edge_named("a", "y", "c");
         let g = builder.build();
         let (index, _) = build_index(&g, &BuildConfig::new(2));
-        let q = ConcatQuery::new(
+        let engine = IndexEngine::new(&g, &index);
+        let q = Query::concat(
             g.vertex_id("a").unwrap(),
             g.vertex_id("c").unwrap(),
             vec![vec![label(&g, "x")], vec![label(&g, "y")]],
         )
         .unwrap();
-        assert_eq!(evaluate_hybrid(&g, &index, &q), Ok(true));
+        assert_eq!(engine.evaluate(&q), Ok(true));
     }
 
     #[test]
-    fn construction_rejects_empty_shapes() {
-        // Empty block lists and empty blocks now fail at construction rather
-        // than at evaluation.
+    fn invalid_shapes_are_unconstructible_and_overlong_blocks_error() {
+        // The legacy ConcatQuery deferred structural validation to
+        // evaluation; the unified model rejects the same shapes at
+        // construction, and the only evaluation-time error left is the
+        // engine-specific k bound.
         assert_eq!(
-            ConcatQuery::new(0, 1, vec![]).unwrap_err(),
-            ConcatQueryError::NoBlocks
-        );
-        assert_eq!(
-            ConcatQuery::new(0, 1, vec![vec![Label(0)], vec![]]).unwrap_err(),
-            ConcatQueryError::EmptyBlock(1)
-        );
-    }
-
-    #[test]
-    fn validation_errors() {
-        let g = fig1_graph();
-        let (index, _) = build_index(&g, &BuildConfig::new(2));
-        let not_mr = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(0)]]).unwrap();
-        assert_eq!(
-            evaluate_hybrid(&g, &index, &not_mr),
-            Err(ConcatQueryError::BlockNotMinimumRepeat(0))
-        );
-        let too_long = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(1), Label(2)]]).unwrap();
-        assert!(matches!(
-            evaluate_hybrid(&g, &index, &too_long),
-            Err(ConcatQueryError::BlockTooLong { .. })
-        ));
-    }
-
-    #[test]
-    fn concat_query_errors_convert_to_query_errors() {
-        assert_eq!(
-            QueryError::from(ConcatQueryError::NoBlocks),
+            Query::concat(0, 1, vec![]).unwrap_err(),
             QueryError::EmptyConstraint
         );
         assert_eq!(
-            QueryError::from(ConcatQueryError::EmptyBlock(2)),
-            QueryError::EmptyBlock(2)
+            Query::concat(0, 1, vec![vec![Label(0)], vec![]]).unwrap_err(),
+            QueryError::EmptyBlock(1)
         );
         assert_eq!(
-            QueryError::from(ConcatQueryError::BlockNotMinimumRepeat(1)),
-            QueryError::BlockNotMinimumRepeat(1)
-        );
-        assert_eq!(
-            QueryError::from(ConcatQueryError::BlockTooLong {
-                block: 0,
-                len: 3,
-                k: 2
-            }),
-            QueryError::BlockTooLong {
-                block: 0,
-                len: 3,
-                k: 2
-            }
-        );
-        // And the lossless path into the unified model.
-        let q = ConcatQuery::new(4, 5, vec![vec![Label(0)], vec![Label(1)]]).unwrap();
-        let unified = Query::try_from(&q).unwrap();
-        assert_eq!(unified.source, 4);
-        assert_eq!(unified.constraint().block_count(), 2);
-        let bad = ConcatQuery::new(0, 1, vec![vec![Label(0), Label(0)]]).unwrap();
-        assert_eq!(
-            Query::try_from(&bad).unwrap_err(),
+            Query::concat(0, 1, vec![vec![Label(0), Label(0)]]).unwrap_err(),
             QueryError::BlockNotMinimumRepeat(0)
+        );
+        let g = fig1_graph();
+        let (index, _) = build_index(&g, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&g, &index);
+        let too_long = Query::concat(0, 1, vec![vec![Label(0), Label(1), Label(2)]]).unwrap();
+        assert_eq!(
+            engine.evaluate(&too_long),
+            Err(QueryError::BlockTooLong {
+                block: 0,
+                len: 3,
+                k: 2
+            })
         );
     }
 
     #[test]
-    fn error_display() {
-        let err = ConcatQueryError::BlockTooLong {
-            block: 1,
-            len: 4,
-            k: 2,
-        };
-        assert!(err.to_string().contains("k = 2"));
-        assert!(ConcatQueryError::NoBlocks
-            .to_string()
-            .contains("at least one"));
+    fn prefix_frontier_matches_manual_closure_chaining() {
+        let g = fig1_graph();
+        let knows = label(&g, "knows");
+        let holds = label(&g, "holds");
+        let p10 = g.vertex_id("P10").unwrap();
+        let blocks = vec![vec![knows], vec![holds]];
+        let mut expected = repetition_closure(&g, &[p10], &[knows]);
+        expected.sort_unstable();
+        let mut got = prefix_frontier(&g, p10, &blocks);
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        // A single block has no prefix: the frontier is the source itself.
+        assert_eq!(prefix_frontier(&g, p10, &blocks[..1]), vec![p10]);
+        // A dead prefix yields an empty frontier (knows+ only reaches
+        // persons, and no person has an outgoing debits edge).
+        let debits = label(&g, "debits");
+        let blocks = vec![vec![knows], vec![debits], vec![holds]];
+        assert!(prefix_frontier(&g, p10, &blocks).is_empty());
     }
 }

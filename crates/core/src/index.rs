@@ -11,6 +11,7 @@
 //! merge join (Algorithm 1), giving `O(|Lout(s)| + |Lin(t)|)` query time.
 
 use crate::catalog::{MrCatalog, MrId};
+use crate::engine::Generation;
 use crate::order::VertexOrder;
 use crate::query::RlcQuery;
 use rlc_graph::{Label, VertexId};
@@ -76,6 +77,14 @@ pub struct RlcIndex {
     pub(crate) lin: Vec<Vec<IndexEntry>>,
     pub(crate) lout: Vec<Vec<IndexEntry>>,
     pub(crate) catalog: MrCatalog,
+    /// Construction-time generation stamp (see [`Generation`]). Never
+    /// serialized — the `RLC2` wire format does not carry it, and `skip`
+    /// makes serde deserialization mint a fresh stamp via `Default` —
+    /// so a loaded index can never impersonate a live one. `Clone` copies
+    /// the stamp: clones share content, so artifacts resolved against one
+    /// are valid against the other.
+    #[serde(skip)]
+    pub(crate) generation: Generation,
 }
 
 impl RlcIndex {
@@ -88,6 +97,7 @@ impl RlcIndex {
             lin: vec![Vec::new(); n],
             lout: vec![Vec::new(); n],
             catalog: MrCatalog::new(),
+            generation: Generation::fresh(),
         }
     }
 
@@ -95,6 +105,12 @@ impl RlcIndex {
     /// at most this many labels.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The generation stamp minted when this index structure was
+    /// constructed (fresh on every build **and** every deserialization).
+    pub fn generation(&self) -> Generation {
+        self.generation
     }
 
     /// Number of vertices covered by the index.
@@ -555,6 +571,9 @@ impl RlcIndex {
             lin,
             lout,
             catalog,
+            // A deserialized index is a new index structure: stale artifacts
+            // from whatever produced the blob must re-prepare against it.
+            generation: Generation::fresh(),
         })
     }
 
@@ -698,6 +717,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn deserialized_indexes_get_fresh_generations() {
+        // The wire formats never carry generations: every deserialization
+        // mints a fresh one, so a loaded index can never be confused with
+        // the (possibly dropped) index that produced the blob — and the blob
+        // itself is byte-identical regardless of the source's generation.
+        let g = fig2_graph();
+        let (index, _) = crate::build::build_index(&g, &crate::build::BuildConfig::new(2));
+        let bytes = index.to_bytes();
+        let once = RlcIndex::from_bytes(&bytes).unwrap();
+        let twice = RlcIndex::from_bytes(&bytes).unwrap();
+        assert_ne!(once.generation(), index.generation());
+        assert_ne!(twice.generation(), index.generation());
+        assert_ne!(once.generation(), twice.generation());
+        assert_eq!(
+            once.to_bytes(),
+            bytes,
+            "generation must not leak into the blob"
+        );
+        // Same contract for the serde path (skip + Default mints fresh).
+        let json = serde_json::to_string(&index).unwrap();
+        assert!(!json.contains("generation"));
+        let back: RlcIndex = serde_json::from_str(&json).unwrap();
+        assert_ne!(back.generation(), index.generation());
+        // Clones share content, so they share the stamp.
+        assert_eq!(index.clone().generation(), index.generation());
     }
 
     #[test]

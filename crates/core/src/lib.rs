@@ -39,12 +39,14 @@
 //! | [`hybrid`] | §VI-C | extended `a+ ∘ b+` queries (index + traversal) |
 //! | [`engine`] | — | the `ReachabilityEngine` evaluator abstraction (prepare/execute) |
 //! | [`plan`] | — | the constraint-grouping `BatchPlan` for mixed query batches |
+//! | [`cache`] | — | the cross-batch `PlanCache` of prepared constraints |
 //! | [`verify`] | Theorems 2 & 3 | operational soundness/completeness checking |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod build;
+pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod hybrid;
@@ -56,11 +58,13 @@ pub mod repeats;
 pub mod verify;
 
 pub use build::{build_index, BuildConfig, BuildStats, KbsStrategy};
+pub use cache::{CacheStats, PlanCache, PlanCacheConfig};
 pub use catalog::{MrCatalog, MrId};
-pub use engine::{HybridEngine, IndexEngine, PrepareCounting, Prepared, ReachabilityEngine};
-pub use hybrid::{
-    evaluate_blocks_with, evaluate_hybrid, repetition_closure, ConcatQuery, ConcatQueryError,
+pub use engine::{
+    ArtifactTag, Generation, HybridEngine, IndexEngine, PlanIdentity, PrepareCounting, Prepared,
+    ReachabilityEngine,
 };
+pub use hybrid::{evaluate_blocks_with, repetition_closure};
 pub use index::{IndexEntry, IndexStats, RlcIndex};
 pub use order::{compute_order, OrderingStrategy, VertexOrder};
 pub use plan::BatchPlan;

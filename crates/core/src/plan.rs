@@ -15,11 +15,13 @@
 //!    answer all pairs sharing a source with one product-graph search;
 //! 4. answers are scattered back in submission order.
 
-use crate::engine::ReachabilityEngine;
+use crate::cache::PlanCache;
+use crate::engine::{Prepared, ReachabilityEngine};
 use crate::query::{Constraint, Query, QueryError};
 use rayon::prelude::*;
 use rlc_graph::VertexId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One group of the plan: every query of the batch sharing `constraint`.
 struct PlanGroup<'q> {
@@ -123,11 +125,37 @@ impl<'q> BatchPlan<'q> {
     /// recursive `k`) yields that error for every query of its group; the
     /// other groups still evaluate.
     pub fn execute(&self, engine: &dyn ReachabilityEngine) -> Vec<Result<bool, QueryError>> {
+        self.execute_with(engine, |constraint| {
+            engine.prepare(constraint).map(Arc::new)
+        })
+    }
+
+    /// Executes the plan with preparations drawn from (and inserted into) a
+    /// cross-batch [`PlanCache`]: a constraint already resident for this
+    /// engine's identity costs no [`ReachabilityEngine::prepare`] call at
+    /// all, so repeated batches prepare each distinct constraint once per
+    /// *process* rather than once per execution. Answers — including
+    /// per-group errors, which the cache also retains — are identical to
+    /// [`BatchPlan::execute`].
+    pub fn execute_cached(
+        &self,
+        engine: &dyn ReachabilityEngine,
+        cache: &PlanCache,
+    ) -> Vec<Result<bool, QueryError>> {
+        self.execute_with(engine, |constraint| cache.prepare(engine, constraint))
+    }
+
+    /// Shared execute skeleton over a pluggable preparation source.
+    fn execute_with(
+        &self,
+        engine: &dyn ReachabilityEngine,
+        prepare: impl Fn(&Constraint) -> Result<Arc<Prepared>, QueryError> + Sync,
+    ) -> Vec<Result<bool, QueryError>> {
         // Phase 1: one prepare per distinct constraint.
-        let prepared: Vec<Result<crate::engine::Prepared, QueryError>> = self
+        let prepared: Vec<Result<Arc<Prepared>, QueryError>> = self
             .groups
             .par_iter()
-            .map(|group| engine.prepare(group.constraint))
+            .map(|group| prepare(group.constraint))
             .collect();
 
         // Phase 2: chunk every successfully prepared group and evaluate all
@@ -279,6 +307,25 @@ mod tests {
         assert_eq!(counting.prepare_count(), 1);
         let one_shot: Vec<_> = queries.iter().map(|q| engine.evaluate(q)).collect();
         assert_eq!(planned, one_shot);
+    }
+
+    #[test]
+    fn cached_execution_prepares_once_per_process_not_per_batch() {
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let counting = PrepareCounting::new(&engine);
+        let cache = crate::cache::PlanCache::new();
+        let queries = mixed_batch();
+        let plan = BatchPlan::new(&queries);
+        let uncached = plan.execute(&engine);
+        for _ in 0..3 {
+            assert_eq!(plan.execute_cached(&counting, &cache), uncached);
+        }
+        // Without the cache this would be 3 × group_count.
+        assert_eq!(counting.prepare_count(), plan.group_count());
+        assert_eq!(cache.stats().misses, plan.group_count() as u64);
+        assert_eq!(cache.stats().hits, 2 * plan.group_count() as u64);
     }
 
     #[test]

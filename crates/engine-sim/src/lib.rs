@@ -37,15 +37,6 @@ pub use materializing::MaterializingEngine;
 pub use rlc_core::engine::ReachabilityEngine;
 pub use triple_store::TripleStoreEngine;
 
-/// Transitional alias for the `GraphEngine` trait this crate used to define;
-/// the abstraction now lives in `rlc_core::engine` and also covers plain RLC
-/// queries and parallel batch evaluation.
-#[deprecated(
-    since = "0.1.0",
-    note = "use rlc_core::engine::ReachabilityEngine (evaluate_concat replaces evaluate)"
-)]
-pub use rlc_core::engine::ReachabilityEngine as GraphEngine;
-
 /// Instantiates all three simulated engines loaded with `graph`.
 ///
 /// The engines copy the graph into their own storage models, so the returned
@@ -123,6 +114,40 @@ mod tests {
         assert!(names.contains(&"Sys1 (interpreted)"));
         assert!(names.contains(&"Sys2 (materializing)"));
         assert!(names.contains(&"Virtuoso-like (triple store)"));
+    }
+
+    #[test]
+    fn sim_engines_share_plans_across_instances_by_kind() {
+        // The simulated engines are index-free: their prepared artifacts
+        // depend only on the constraint (an NFA, or nothing at all for the
+        // triple store), so they report kind-level plan identities and a
+        // cross-batch PlanCache can reuse one plan across instances — even
+        // instances loaded with different graphs.
+        use rlc_core::engine::PlanIdentity;
+        use rlc_core::{Constraint, PlanCache, PrepareCounting};
+
+        let g1 = erdos_renyi(&SyntheticConfig::new(40, 3.0, 3, 5));
+        let g2 = erdos_renyi(&SyntheticConfig::new(30, 3.0, 3, 6));
+        let constraint =
+            Constraint::new(vec![vec![rlc_graph::Label(0)], vec![rlc_graph::Label(1)]]).unwrap();
+        for (a, b) in all_engines(&g1).iter().zip(all_engines(&g2).iter()) {
+            assert_eq!(a.plan_identity(), b.plan_identity(), "{}", a.name());
+            assert!(
+                matches!(a.plan_identity(), PlanIdentity::Kind(_)),
+                "index-free engines key by kind"
+            );
+            let cache = PlanCache::new();
+            let counting_a = PrepareCounting::new(a.as_ref());
+            let counting_b = PrepareCounting::new(b.as_ref());
+            let plan = cache.prepare(&counting_a, &constraint).unwrap();
+            let shared = cache.prepare(&counting_b, &constraint).unwrap();
+            assert_eq!(counting_a.prepare_count(), 1);
+            assert_eq!(counting_b.prepare_count(), 0, "{}: cache hit", b.name());
+            // The shared plan evaluates correctly on both instances.
+            let q = rlc_core::Query::new(0, 1, constraint.clone());
+            assert_eq!(a.evaluate_prepared(0, 1, &plan), a.evaluate(&q));
+            assert_eq!(b.evaluate_prepared(0, 1, &shared), b.evaluate(&q));
+        }
     }
 
     #[test]

@@ -55,5 +55,15 @@ fn main() {
         "reloaded index answers all {} verified queries identically",
         workload.len()
     );
+
+    // Generations are never part of the blob: the reloaded index gets a
+    // fresh stamp, so plans prepared against the original re-prepare (and
+    // cached plans are invalidated) instead of misreading catalog ids.
+    assert_ne!(restored.generation(), index.generation());
+    println!(
+        "original generation {} != reloaded generation {} (stale plans re-prepare)",
+        index.generation().value(),
+        restored.generation().value()
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -38,6 +38,14 @@
 //! let plan = BatchPlan::new(&batch);
 //! assert_eq!(plan.group_count(), 1);
 //! assert_eq!(plan.execute(&engine), vec![Ok(true), Ok(true)]);
+//!
+//! // A PlanCache shares preparations across batches: repeated batches
+//! // prepare each distinct constraint once per process, not per execution.
+//! let cache = PlanCache::new();
+//! for _ in 0..3 {
+//!     assert_eq!(plan.execute_cached(&engine, &cache), vec![Ok(true), Ok(true)]);
+//! }
+//! assert_eq!(cache.stats().misses, 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -67,7 +75,7 @@ pub mod prelude {
         HybridEngine, IndexEngine, PrepareCounting, Prepared, ReachabilityEngine,
     };
     pub use rlc_core::{
-        build_index, BatchPlan, BuildConfig, ConcatQuery, Constraint, Query, QueryError, RlcIndex,
+        build_index, BatchPlan, BuildConfig, Constraint, PlanCache, Query, QueryError, RlcIndex,
         RlcQuery,
     };
     pub use rlc_graph::{GraphBuilder, Label, LabeledGraph, VertexId};

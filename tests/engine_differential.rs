@@ -252,6 +252,85 @@ fn prepared_and_planned_evaluation_match_one_shot_for_every_engine() {
 }
 
 #[test]
+fn cached_and_uncached_planned_batches_are_identical_for_every_engine() {
+    // The cross-batch face of the differential: for all nine engines, three
+    // repeated executions of a mixed batch through one shared PlanCache
+    // must return exactly the uncached answers — including identical errors
+    // (the cache retains rejections too) — while preparing each distinct
+    // constraint once per process instead of once per batch.
+    let graph = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 31));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let engines = full_roster(&graph, &index, &etc);
+
+    let queries = mixed_batch(&graph);
+    let plan = BatchPlan::new(&queries);
+    let cache = PlanCache::new();
+    for engine in &engines {
+        let uncached = plan.execute(engine.as_ref());
+        let counting = PrepareCounting::new(engine.as_ref());
+        for round in 0..3 {
+            assert_eq!(
+                plan.execute_cached(&counting, &cache),
+                uncached,
+                "{}: cached round {round} != uncached",
+                engine.name()
+            );
+        }
+        assert_eq!(
+            counting.prepare_count(),
+            plan.group_count(),
+            "{}: the cache must collapse three batches to one prepare per constraint",
+            engine.name()
+        );
+    }
+    // Every engine kind keeps its own entries in the one shared cache.
+    assert_eq!(
+        cache.stats().entries,
+        engines.len() * plan.group_count(),
+        "per-kind keying must not let engines clobber each other"
+    );
+}
+
+#[test]
+fn a_rebuilt_index_invalidates_cached_plans_instead_of_misreading_them() {
+    // ABA at the cache layer: plans cached against one index must be
+    // dropped — not silently re-served — once an engine over a rebuilt
+    // index (same kind, same k) consults the cache. A k = 3 rebuild makes
+    // any misread observable: the old index rejected 3-label constraints,
+    // the new one answers them.
+    let graph = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 41));
+    let queries = mixed_batch(&graph);
+    let plan = BatchPlan::new(&queries);
+    let cache = PlanCache::new();
+
+    let (index_a, _) = build_index(&graph, &BuildConfig::new(2));
+    let answers_a = {
+        let engine_a = IndexEngine::new(&graph, &index_a);
+        plan.execute_cached(&engine_a, &cache)
+    };
+    drop(index_a);
+
+    let (index_b, _) = build_index(&graph, &BuildConfig::new(3));
+    let engine_b = IndexEngine::new(&graph, &index_b);
+    let cached_b = plan.execute_cached(&engine_b, &cache);
+    assert_eq!(
+        cached_b,
+        plan.execute(&engine_b),
+        "B's cached answers must be B's own answers, not A's"
+    );
+    assert_ne!(
+        cached_b, answers_a,
+        "k = 3 answers the constraint k = 2 rejected, so the batches differ"
+    );
+    assert_eq!(
+        cache.stats().stale_drops,
+        plan.group_count() as u64,
+        "every one of A's entries was dropped on B's lookups"
+    );
+}
+
+#[test]
 fn batch_plan_prepares_each_constraint_once_for_every_engine() {
     let graph = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 11));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
