@@ -17,17 +17,17 @@ use rlc_core::catalog::MrId;
 use rlc_core::engine::{
     check_vertex_range, ArtifactTag, PlanIdentity, Prepared, ReachabilityEngine,
 };
+use rlc_core::hybrid::evaluate_blocks_grouped_with;
 use rlc_core::{evaluate_blocks_with, Constraint, Query, QueryError};
 use rlc_graph::{LabeledGraph, VertexId};
 use std::collections::HashMap;
 
-/// Compiles the NFA artifact shared by the traversal engines.
+/// Compiles the NFA artifact shared by the traversal engines, priced at its
+/// real footprint so plan-cache byte budgets stay honest.
 fn prepare_nfa(engine_name: &str, constraint: &Constraint) -> Prepared {
-    Prepared::new(
-        constraint.clone(),
-        engine_name,
-        Nfa::concatenation(constraint.blocks()),
-    )
+    let nfa = Nfa::concatenation(constraint.blocks());
+    let bytes = nfa.memory_bytes();
+    Prepared::new(constraint.clone(), engine_name, nfa).with_approx_bytes(bytes)
 }
 
 /// Runs `eval` with the prepared NFA, re-compiling from the constraint when
@@ -280,6 +280,24 @@ impl<'g> EtcEngine<'g> {
             self.etc.query_mr(v, target, mr)
         })
     }
+
+    /// Resolves a preparation against this engine's closure: the artifact's
+    /// own [`MrId`] when the tag matches, otherwise a fresh re-prepare
+    /// (wrong artifact type, or a same-kind engine over a different closure
+    /// — the re-prepare re-runs the `k` check, so a constraint invalid here
+    /// still errors instead of silently evaluating).
+    fn resolved_last_mr(&self, prepared: &Prepared) -> Result<Option<MrId>, QueryError> {
+        match prepared.artifact::<PreparedEtc>() {
+            Some(artifact) if artifact.etc == etc_tag(self.etc) => Ok(artifact.last_mr),
+            _ => {
+                let own = self.prepare(prepared.constraint())?;
+                Ok(own
+                    .artifact::<PreparedEtc>()
+                    .expect("EtcEngine::prepare produces a PreparedEtc artifact")
+                    .last_mr)
+            }
+        }
+    }
 }
 
 impl ReachabilityEngine for EtcEngine<'_> {
@@ -307,28 +325,25 @@ impl ReachabilityEngine for EtcEngine<'_> {
         prepared: &Prepared,
     ) -> Result<bool, QueryError> {
         check_vertex_range(source, target, self.graph.vertex_count())?;
-        match prepared.artifact::<PreparedEtc>() {
-            Some(artifact) if artifact.etc == etc_tag(self.etc) => Ok(self.evaluate_resolved(
-                source,
-                target,
-                prepared.constraint().blocks(),
-                artifact.last_mr,
-            )),
-            // Wrong artifact type or a preparation from another closure:
-            // re-prepare (re-running the k check) and retry.
-            _ => {
-                let own = self.prepare(prepared.constraint())?;
-                let artifact = own
-                    .artifact::<PreparedEtc>()
-                    .expect("EtcEngine::prepare produces a PreparedEtc artifact");
-                Ok(self.evaluate_resolved(
-                    source,
-                    target,
-                    own.constraint().blocks(),
-                    artifact.last_mr,
-                ))
-            }
-        }
+        let last_mr = self.resolved_last_mr(prepared)?;
+        Ok(self.evaluate_resolved(source, target, prepared.constraint().blocks(), last_mr))
+    }
+
+    /// Grouped execute mirroring the index engines' PR 4 override: the
+    /// shared grouped skeleton ([`evaluate_blocks_grouped_with`]) with the
+    /// final block answered by the closure's hash lookup — the prefix-block
+    /// repetition closure is computed **once per distinct source**,
+    /// single-block constraints stay per-pair lookups. Answers and errors
+    /// are indistinguishable from the per-pair path.
+    fn evaluate_prepared_group(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        prepared: &Prepared,
+    ) -> Vec<Result<bool, QueryError>> {
+        let resolved = self
+            .resolved_last_mr(prepared)
+            .map(|last_mr| last_mr.map(|mr| move |v, t| self.etc.query_mr(v, t, mr)));
+        evaluate_blocks_grouped_with(self.graph, pairs, prepared.constraint().blocks(), resolved)
     }
 
     fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
@@ -437,6 +452,101 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn etc_grouped_evaluation_matches_per_pair_evaluation() {
+        // The PR 4 grouped override, now on ETC: heavy source reuse across
+        // single-block and multi-block constraints, plus out-of-range pairs
+        // and a last block absent from the closure's catalog — answers AND
+        // errors must be indistinguishable from the per-pair path.
+        let g = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 17));
+        let etc = EtcIndex::build(&g, &EtcBuildConfig::new(2));
+        let engine = EtcEngine::new(&g, &etc);
+        let n = g.vertex_count() as u32;
+        let mut pairs: Vec<(u32, u32)> = (0..40u32).map(|t| (7, (t * 3) % n)).collect();
+        pairs.extend((0..10u32).map(|s| (s, (s * 11 + 1) % n)));
+        pairs.push((n + 3, 0));
+        pairs.push((0, n + 4));
+        let constraints = [
+            Constraint::single(vec![Label(1)]).unwrap(),
+            Constraint::new(vec![vec![Label(1)], vec![Label(0)]]).unwrap(),
+            Constraint::new(vec![vec![Label(0)], vec![Label(1)], vec![Label(2)]]).unwrap(),
+            // A final block no closure record carries: everything false.
+            Constraint::new(vec![vec![Label(1)], vec![Label(9)]]).unwrap(),
+        ];
+        for constraint in &constraints {
+            let prepared = engine.prepare(constraint).unwrap();
+            let grouped = engine.evaluate_prepared_group(&pairs, &prepared);
+            assert_eq!(grouped.len(), pairs.len());
+            for (&(s, t), grouped_answer) in pairs.iter().zip(&grouped) {
+                assert_eq!(
+                    *grouped_answer,
+                    engine.evaluate_prepared(s, t, &prepared),
+                    "ETC grouped vs per-pair on ({s},{t}) under {constraint:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn etc_grouped_evaluation_with_a_foreign_preparation_errors_like_per_pair() {
+        // A constraint too long for this closure, prepared against another:
+        // the grouped path must yield the same error for every in-range
+        // pair and the range error for out-of-range ones.
+        let g = fig1_graph();
+        let etc_k2 = EtcIndex::build(&g, &EtcBuildConfig::new(2));
+        let etc_k3 = EtcIndex::build(&g, &EtcBuildConfig::new(3));
+        let engine_k2 = EtcEngine::new(&g, &etc_k2);
+        let engine_k3 = EtcEngine::new(&g, &etc_k3);
+        let long =
+            Constraint::new(vec![vec![Label(0)], vec![Label(0), Label(1), Label(2)]]).unwrap();
+        let prepared_k3 = engine_k3.prepare(&long).unwrap();
+        let n = g.vertex_count() as u32;
+        let pairs = [(0, 1), (0, 2), (3, 4), (n + 5, 0)];
+        let grouped = engine_k2.evaluate_prepared_group(&pairs, &prepared_k3);
+        let per_pair: Vec<_> = pairs
+            .iter()
+            .map(|&(s, t)| engine_k2.evaluate_prepared(s, t, &prepared_k3))
+            .collect();
+        assert_eq!(grouped, per_pair);
+        let expected = Err(QueryError::BlockTooLong {
+            block: 1,
+            len: 3,
+            k: 2,
+        });
+        assert_eq!(
+            grouped,
+            vec![
+                expected.clone(),
+                expected.clone(),
+                expected,
+                Err(QueryError::VertexOutOfRange {
+                    vertex: n + 5,
+                    vertices: g.vertex_count(),
+                }),
+            ]
+        );
+    }
+
+    #[test]
+    fn prepared_nfa_prices_its_real_footprint() {
+        // The honest-byte-pricing satellite: a bigger automaton must report
+        // a bigger preparation, and the figure must cover the NFA tables.
+        let small = Constraint::single(vec![Label(0)]).unwrap();
+        let big = Constraint::new(vec![
+            vec![Label(0), Label(1)],
+            vec![Label(2)],
+            vec![Label(0), Label(2), Label(1)],
+        ])
+        .unwrap();
+        let g = fig1_graph();
+        let engine = BfsEngine::new(&g);
+        let small_plan = engine.prepare(&small).unwrap();
+        let big_plan = engine.prepare(&big).unwrap();
+        assert!(big_plan.approx_bytes() > small_plan.approx_bytes());
+        let nfa = Nfa::concatenation(big.blocks());
+        assert!(big_plan.approx_bytes() >= nfa.memory_bytes());
     }
 
     #[test]

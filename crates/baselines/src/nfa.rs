@@ -104,6 +104,19 @@ impl Nfa {
         self.accepting.len()
     }
 
+    /// Approximate resident heap footprint in bytes: the acceptance flags
+    /// plus both transition tables (per-state `Vec` headers and `(label,
+    /// state)` pairs). Used to price prepared automata honestly in the
+    /// engine layer's plan cache.
+    pub fn memory_bytes(&self) -> usize {
+        let pair = std::mem::size_of::<(Label, usize)>();
+        let header = std::mem::size_of::<Vec<(Label, usize)>>();
+        let table = |t: &[Vec<(Label, usize)>]| -> usize {
+            t.iter().map(|row| header + row.len() * pair).sum()
+        };
+        self.accepting.len() + table(&self.transitions) + table(&self.reverse)
+    }
+
     /// Successor states of `state` on `label`.
     pub fn next(&self, state: usize, label: Label) -> impl Iterator<Item = usize> + '_ {
         self.transitions[state]

@@ -1,0 +1,11 @@
+//! Binary: the shard-count scaling sweep of the sharded engine
+//! (`rlc-shard`), asserting sharded-vs-unsharded answer identity per swept
+//! configuration.
+
+use rlc_bench::experiments::shard_scaling;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    println!("{}", shard_scaling::run(&args));
+}

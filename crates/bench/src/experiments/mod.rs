@@ -20,6 +20,7 @@
 //! | [`batch_planner`] | planned vs naive batch evaluation under constraint reuse (not from the paper) |
 //! | [`plan_cache`] | cross-batch plan caching over repeated mixed batches (not from the paper) |
 //! | [`build_scaling`] | parallel index-build thread sweep (not from the paper) |
+//! | [`shard_scaling`] | sharded-engine shard-count sweep with answer-identity assertions (not from the paper) |
 
 pub mod ablation;
 pub mod batch;
@@ -31,6 +32,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod plan_cache;
+pub mod shard_scaling;
 pub mod table3;
 pub mod table4;
 pub mod table5;
@@ -95,6 +97,7 @@ mod tests {
             batch_planner::run_with(&args, 400),
             plan_cache::run_with(&args, 400),
             build_scaling::run_with(&args, 400),
+            shard_scaling::run_with(&args, 400),
         ] {
             assert!(!report.is_empty());
             assert!(

@@ -1,0 +1,153 @@
+//! Shard-count scaling of the sharded engine (not from the paper).
+//!
+//! Validates this reproduction's `rlc-shard` subsystem at bench scale: an
+//! Erdős–Rényi graph of at least 10K vertices is partitioned into a swept
+//! number of shards, one RLC index is built per shard (rayon fan-out), and
+//! a mixed constraint batch with hot sources is answered through the
+//! constraint-grouping planner on the [`ShardedEngine`] — then **asserted
+//! answer-identical** to the unsharded [`IndexEngine`] reference for every
+//! swept shard count and strategy. The report records per-configuration
+//! build time, cut-edge and portal counts, resident memory, and batch
+//! latency.
+//!
+//! Like the other parallel benches, the 1-CPU container this repository is
+//! grown in can demonstrate the mechanics (and the identity contract) but
+//! not wall-clock scaling; re-run on a multi-core host for the real curve.
+
+use crate::CommonArgs;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlc_core::engine::IndexEngine;
+use rlc_core::{build_index, BatchPlan, BuildConfig, Query};
+use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+use rlc_graph::{Label, PartitionStrategy};
+use rlc_shard::{ShardBuildConfig, ShardedEngine, ShardedIndex};
+use rlc_workloads::{format_duration, Table};
+use std::time::Instant;
+
+/// Default vertex count (the acceptance bar is ≥ 10K vertices).
+pub const DEFAULT_VERTICES: usize = 12_000;
+
+/// Runs the sweep with default sizes.
+pub fn run(args: &CommonArgs) -> String {
+    let vertices = if args.quick { 2_000 } else { DEFAULT_VERTICES };
+    run_with(args, vertices)
+}
+
+/// Runs the sweep on an ER graph with the given vertex count.
+pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
+    let graph = erdos_renyi(&SyntheticConfig::new(vertices, 4.0, 8, args.seed));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let reference = IndexEngine::new(&graph, &index);
+
+    // A mixed batch with heavy constraint reuse and hot sources (the shape
+    // the grouped stitcher amortizes): every configuration must answer it
+    // exactly like the unsharded reference.
+    let l = |i: u16| Label(i);
+    let pool: Vec<Vec<Vec<Label>>> = vec![
+        vec![vec![l(0)]],
+        vec![vec![l(1)]],
+        vec![vec![l(0), l(1)]],
+        vec![vec![l(0)], vec![l(1)]],
+        vec![vec![l(2)], vec![l(0), l(1)]],
+    ];
+    let batch_size = (args.queries / 2).clamp(64, 400);
+    let n = graph.vertex_count() as u32;
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x54A8D);
+    let hot_sources: Vec<u32> = (0..24).map(|_| rng.gen_range(0..n)).collect();
+    let queries: Vec<Query> = (0..batch_size)
+        .map(|_| {
+            let which = rng.gen_range(0..pool.len());
+            let source = hot_sources[rng.gen_range(0..hot_sources.len())];
+            let target = rng.gen_range(0..n);
+            Query::concat(source, target, pool[which].clone()).expect("pool constraints are valid")
+        })
+        .collect();
+    let plan = BatchPlan::new(&queries);
+    let start = Instant::now();
+    let expected = plan.execute(&reference);
+    let reference_time = start.elapsed();
+
+    let mut table = Table::new(
+        &format!(
+            "Shard scaling: ER graph, |V| = {vertices}, d = 4, |L| = 8, k = 2, one planned \
+             batch of {batch_size} queries over {} constraints (identity vs unsharded \
+             asserted per row; unsharded batch {})",
+            pool.len(),
+            format_duration(reference_time),
+        ),
+        &[
+            "shards",
+            "strategy",
+            "build",
+            "cut edges",
+            "portals in/out",
+            "memory [MiB]",
+            "batch time",
+        ],
+    );
+
+    let sweep: Vec<(usize, PartitionStrategy, &str)> = vec![
+        (1, PartitionStrategy::Contiguous, "contiguous"),
+        (2, PartitionStrategy::Contiguous, "contiguous"),
+        (4, PartitionStrategy::Contiguous, "contiguous"),
+        (8, PartitionStrategy::Contiguous, "contiguous"),
+        (4, PartitionStrategy::Hash { seed: args.seed }, "hash"),
+        (4, PartitionStrategy::DegreeAware, "degree-aware"),
+    ];
+    for (shards, strategy, strategy_name) in sweep {
+        let config = ShardBuildConfig::new(2, shards).with_strategy(strategy);
+        let start = Instant::now();
+        let (sharded, _) = ShardedIndex::build(&graph, &config).expect("shard count is valid");
+        let build_time = start.elapsed();
+        let stats = sharded.stats();
+        let engine = ShardedEngine::new(&graph, &sharded);
+
+        let start = Instant::now();
+        let answers = plan.execute(&engine);
+        let batch_time = start.elapsed();
+        // The acceptance-bar contract: sharded answers are identical to the
+        // unsharded reference at every swept shard count.
+        assert_eq!(
+            answers, expected,
+            "sharded ({shards} x {strategy_name}) answers diverge from the unsharded reference"
+        );
+
+        let (portals_in, portals_out) = stats
+            .shards
+            .iter()
+            .fold((0usize, 0usize), |(pin, pout), s| {
+                (pin + s.entry_portals, pout + s.exit_portals)
+            });
+        table.add_row(vec![
+            shards.to_string(),
+            strategy_name.to_string(),
+            format_duration(build_time),
+            stats.cut_edges.to_string(),
+            format!("{portals_in}/{portals_out}"),
+            format!("{:.1}", stats.memory_bytes as f64 / (1024.0 * 1024.0)),
+            format_duration(batch_time),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_asserts_identity_per_shard_count() {
+        let args = CommonArgs {
+            scale: 1.0,
+            seed: 33,
+            queries: 60,
+            quick: true,
+        };
+        let report = run_with(&args, 300);
+        assert!(report.contains("Shard scaling"));
+        assert!(report.contains("contiguous"));
+        assert!(report.contains("degree-aware"));
+        assert!(report.contains("cut edges"));
+    }
+}

@@ -26,27 +26,40 @@
 //!   the identity check fails, and the **stale entry is dropped** (counted
 //!   in [`CacheStats::stale_drops`]) instead of being re-served.
 //!
+//! ## Miss coalescing
+//!
+//! Two rayon workers that miss on the same constraint at the same time used
+//! to both call [`ReachabilityEngine::prepare`] (the second insert won).
+//! Misses now rendezvous on a per-key **in-flight latch**: the first worker
+//! compiles, every concurrent worker with the same key *and identity* blocks
+//! on the latch and reuses the result (counted in
+//! [`CacheStats::coalesced`]), so each distinct constraint is compiled
+//! exactly once per process no matter how many workers race on first touch.
+//! Workers with a different identity (another index instance) get their own
+//! latch — a latch never hands a plan across identities.
+//!
 //! ## Eviction
 //!
 //! Each shard enforces an entry-count budget and an approximate byte budget
 //! (totals divided evenly across shards), evicting least-recently-used
-//! entries first. Byte accounting is an estimate ([`PlanCache::entry_bytes`])
-//! because artifacts are type-erased; it bounds the cache's footprint growth,
-//! not its exact size.
+//! entries first. Byte accounting combines the key-side floor
+//! ([`PlanCache::entry_bytes`]) with each plan's own
+//! [`Prepared::approx_bytes`] — engines with large artifacts (compiled
+//! automata, per-shard tables) price them there, so the budget tracks real
+//! residency instead of a blind fixed overhead.
 
 use crate::engine::{PlanIdentity, Prepared, ReachabilityEngine};
 use crate::query::{Constraint, QueryError};
-use rlc_graph::Label;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Fixed per-entry overhead charged by [`PlanCache::entry_bytes`]: the map
-/// bookkeeping, the `Prepared` box, and the type-erased artifact (an NFA or
-/// a resolved id — small by construction).
-const ENTRY_OVERHEAD_BYTES: usize = 256;
+/// Fixed per-entry overhead charged by [`PlanCache::entry_bytes`]: the hash
+/// map bucket and entry bookkeeping. The `Prepared` box and its artifact are
+/// priced by [`Prepared::approx_bytes`] instead.
+const ENTRY_OVERHEAD_BYTES: usize = 128;
 
 /// Configuration of a [`PlanCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +101,10 @@ pub struct CacheStats {
     /// engine's — the generation-mismatch path (a dropped-and-rebuilt
     /// index's stale plans land here, never back at a caller).
     pub stale_drops: u64,
+    /// Misses that waited on another worker's in-flight compilation of the
+    /// same key instead of calling [`ReachabilityEngine::prepare`]
+    /// themselves (each one is a duplicate compile the latch saved).
+    pub coalesced: u64,
     /// Resident entries at snapshot time.
     pub entries: usize,
     /// Approximate resident bytes at snapshot time.
@@ -111,11 +128,29 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// The outcome slot concurrent missers of one `(key, identity)` rendezvous
+/// on: the first caller's closure compiles, everyone else blocks in
+/// `get_or_init` and reuses the result.
+type Latch = Arc<OnceLock<Result<Arc<Prepared>, QueryError>>>;
+
+/// In-flight compilations are keyed by identity *as well as* the cache key:
+/// two same-kind engines over different indexes must never share a latch,
+/// or one would receive a plan resolved against the other's catalog.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct LatchKey {
+    key: CacheKey,
+    identity: PlanIdentity,
+}
+
 /// One independently locked shard.
 #[derive(Default)]
 struct Shard {
     map: HashMap<CacheKey, CacheEntry>,
     bytes: usize,
+    /// Compilations currently in flight for keys hashing to this shard.
+    /// Transient: the winning worker removes its latch right after
+    /// publishing the entry into `map`.
+    in_flight: HashMap<LatchKey, Latch>,
 }
 
 /// A sharded, thread-safe LRU cache of prepared constraints, shared across
@@ -154,6 +189,7 @@ pub struct PlanCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     stale_drops: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -189,24 +225,26 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             stale_drops: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
-    /// The approximate resident footprint charged for one cached constraint:
-    /// two resident copies of the constraint's heap data (the key and the
-    /// copy embedded in the `Prepared`) plus a fixed overhead for the
-    /// type-erased artifact and map bookkeeping. Exposed so byte-budget
-    /// tests (and capacity planning) can price entries the same way the
-    /// cache does.
+    /// The artifact-independent floor charged for one cached constraint:
+    /// the resident key copy of the constraint's heap data plus the map
+    /// bookkeeping. The plan side of an entry is priced on top via
+    /// [`Prepared::approx_bytes`] (see [`PlanCache::plan_bytes`]); cached
+    /// rejections carry no plan and are charged the floor alone.
     pub fn entry_bytes(constraint: &Constraint) -> usize {
-        let heap: usize = constraint
-            .blocks()
-            .iter()
-            .map(|block| {
-                block.len() * std::mem::size_of::<Label>() + std::mem::size_of::<Vec<Label>>()
-            })
-            .sum();
-        2 * heap + ENTRY_OVERHEAD_BYTES
+        crate::engine::constraint_heap_bytes(constraint) + ENTRY_OVERHEAD_BYTES
+    }
+
+    /// The full footprint charged for one cached outcome: the key-side floor
+    /// plus the plan's own [`Prepared::approx_bytes`] when preparation
+    /// succeeded. Exposed so byte-budget tests (and capacity planning) can
+    /// price entries the same way the cache does.
+    pub fn plan_bytes(constraint: &Constraint, plan: &Result<Arc<Prepared>, QueryError>) -> usize {
+        PlanCache::entry_bytes(constraint)
+            + plan.as_ref().map(|p| p.approx_bytes()).unwrap_or_default()
     }
 
     /// Prepares `constraint` on `engine` through the cache: a hit returns
@@ -214,7 +252,9 @@ impl PlanCache {
     /// calls [`ReachabilityEngine::prepare`] — outside any lock — and caches
     /// the outcome, successful or not. A hit whose stored identity no longer
     /// matches the engine (a rebuilt index: new generation) is dropped and
-    /// treated as a miss.
+    /// treated as a miss. Concurrent misses on the same key and identity
+    /// coalesce onto one in-flight compilation (see the module docs), so the
+    /// engine's `prepare` runs exactly once per first touch.
     pub fn prepare(
         &self,
         engine: &dyn ReachabilityEngine,
@@ -226,7 +266,12 @@ impl PlanCache {
             constraint: constraint.clone(),
         };
         let shard = &self.shards[self.shard_of(&key)];
-        {
+        // One critical section covers the resident lookup, the stale drop,
+        // and the latch acquisition: a worker can never slip between "no
+        // resident entry" and "no latch" while another worker is publishing
+        // the entry (the publisher inserts into the map *before* removing
+        // its latch, under this same lock).
+        let latch: Latch = {
             let mut guard = shard.lock().expect("plan cache shard lock poisoned");
             if let Some(entry) = guard.map.get_mut(&key) {
                 if entry.identity == identity {
@@ -241,23 +286,50 @@ impl PlanCache {
                 guard.bytes -= stale.bytes;
                 self.stale_drops.fetch_add(1, Ordering::Relaxed);
             }
-        }
+            let latch_key = LatchKey {
+                key: key.clone(),
+                identity: identity.clone(),
+            };
+            guard.in_flight.entry(latch_key).or_default().clone()
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan = engine.prepare(constraint).map(Arc::new);
-        let bytes = PlanCache::entry_bytes(constraint);
+
+        // Exactly one of the coalescing workers runs the closure (outside
+        // the shard lock — preparation can be expensive); the rest block
+        // here and wake with the shared outcome.
+        let mut compiled = false;
+        let plan = latch
+            .get_or_init(|| {
+                compiled = true;
+                engine.prepare(constraint).map(Arc::new)
+            })
+            .clone();
+        if !compiled {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return plan;
+        }
+
+        // The compiling worker publishes the entry and retires its latch.
+        let bytes = PlanCache::plan_bytes(constraint, &plan);
         let entry = CacheEntry {
-            identity,
+            identity: identity.clone(),
             plan: plan.clone(),
             bytes,
             last_used: self.tick.fetch_add(1, Ordering::Relaxed),
         };
         let mut guard = shard.lock().expect("plan cache shard lock poisoned");
-        // Two workers can race to prepare the same constraint; the second
-        // insert replaces the first (the plans are interchangeable).
-        if let Some(old) = guard.map.insert(key, entry) {
+        // A same-key entry can exist here only for a *different* identity
+        // (same identities coalesced on the latch); last write wins, exactly
+        // like the pre-latch behavior for competing identities.
+        if let Some(old) = guard.map.insert(key.clone(), entry) {
             guard.bytes -= old.bytes;
         }
         guard.bytes += bytes;
+        // The resident latch is necessarily our own: only the unique
+        // compiling worker removes latches, and `or_default` never replaces
+        // a resident one, so waiters arriving before this removal shared
+        // `latch` and waiters after it hit the map entry published above.
+        guard.in_flight.remove(&LatchKey { key, identity });
         self.evict_over_budget(&mut guard);
         plan
     }
@@ -319,6 +391,7 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries,
             bytes,
         }
@@ -340,6 +413,7 @@ mod tests {
     use crate::query::Query;
     use rayon::prelude::*;
     use rlc_graph::examples::fig2_graph;
+    use rlc_graph::Label;
 
     fn constraint(labels: &[u16]) -> Constraint {
         Constraint::single(labels.iter().map(|&l| Label(l)).collect()).unwrap()
@@ -426,8 +500,10 @@ mod tests {
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
         let engine = IndexEngine::new(&graph, &index);
         let pool: Vec<Constraint> = (0..6u16).map(|l| constraint(&[l])).collect();
-        // Room for roughly two entries, far below the entry-count budget.
-        let budget = 2 * PlanCache::entry_bytes(&pool[0]) + 1;
+        // Room for roughly two entries (priced the way the cache prices
+        // them: key floor + plan footprint), far below the entry budget.
+        let sample = engine.prepare(&pool[0]).map(Arc::new);
+        let budget = 2 * PlanCache::plan_bytes(&pool[0], &sample) + 1;
         let cache = one_shard(1024, budget);
         for c in &pool {
             cache.prepare(&engine, c).unwrap();
@@ -499,15 +575,83 @@ mod tests {
                 engine.evaluate(&Query::new(s, t, pool[which].clone()))
             );
         }
-        // Workers may race on first touch of a constraint (both miss, both
-        // prepare); the cache stays correct and the prepare count is bounded
-        // by the worker count per constraint, collapsing to hits after.
-        assert!(counting.prepare_count() >= pool.len());
-        assert!(
-            counting.prepare_count() <= pool.len() * crate::engine::batch_threads().max(1),
-            "prepares must not scale with the query count"
+        // Workers racing on first touch of a constraint coalesce on the
+        // in-flight latch: the engine prepares each distinct constraint
+        // EXACTLY once, no matter how many rayon workers miss concurrently.
+        assert_eq!(
+            counting.prepare_count(),
+            pool.len(),
+            "the latch must collapse concurrent misses to one prepare"
         );
         assert_eq!(cache.stats().hits + cache.stats().misses, work.len() as u64);
+        // Every miss beyond the first per key waited on the latch.
+        assert_eq!(
+            cache.stats().misses,
+            pool.len() as u64 + cache.stats().coalesced
+        );
+    }
+
+    #[test]
+    fn threads_hammering_one_key_compile_it_once() {
+        // The single-prepare guarantee is structural (OnceLock), not a
+        // timing accident: any number of OS threads calling prepare for the
+        // same constraint, starting at any interleaving, yield exactly one
+        // engine prepare per distinct constraint.
+        let graph = fig2_graph();
+        let (index, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index);
+        let counting = PrepareCounting::new(&engine);
+        let cache = PlanCache::new();
+        let pool: Vec<Constraint> = (0..3u16).map(|l| constraint(&[l])).collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let cache = &cache;
+                let counting = &counting;
+                let pool = &pool;
+                scope.spawn(move || {
+                    for round in 0..8 {
+                        let c = &pool[(worker + round) % pool.len()];
+                        let plan = cache.prepare(counting, c).unwrap();
+                        assert_eq!(plan.constraint(), c);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            counting.prepare_count(),
+            pool.len(),
+            "one prepare per distinct constraint across all threads"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 8);
+        assert_eq!(stats.misses, pool.len() as u64 + stats.coalesced);
+        assert_eq!(stats.entries, pool.len());
+    }
+
+    #[test]
+    fn latches_do_not_hand_plans_across_identities() {
+        // Two same-kind engines over different indexes miss on the same key
+        // concurrently: each must end up with a plan resolved against its
+        // own index (distinct latches per identity), never the other's.
+        let graph = fig2_graph();
+        let (index_a, _) = build_index(&graph, &BuildConfig::new(2));
+        let (index_b, _) = build_index(&graph, &BuildConfig::new(3));
+        let engine_a = IndexEngine::new(&graph, &index_a);
+        let engine_b = IndexEngine::new(&graph, &index_b);
+        let cache = one_shard(16, usize::MAX);
+        // Too long for A (k = 2), fine for B (k = 3): the outcomes differ,
+        // so any cross-identity handoff is observable.
+        let c = constraint(&[0, 1, 2]);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| cache.prepare(&engine_a, &c));
+            let b = scope.spawn(|| cache.prepare(&engine_b, &c));
+            assert!(a.join().unwrap().is_err(), "A's k = 2 rejects the block");
+            assert!(b.join().unwrap().is_ok(), "B's k = 3 accepts the block");
+        });
+        // And sequentially ever after, each engine sees its own outcome
+        // (the loser of the publish race re-prepares via the stale path).
+        assert!(cache.prepare(&engine_a, &c).is_err());
+        assert!(cache.prepare(&engine_b, &c).is_ok());
     }
 
     #[test]

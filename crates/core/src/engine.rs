@@ -33,13 +33,12 @@
 
 use crate::build::BuildConfig;
 use crate::catalog::MrId;
-use crate::hybrid::{evaluate_hybrid_prepared, prefix_frontier};
+use crate::hybrid::{evaluate_blocks_grouped_with, evaluate_hybrid_prepared};
 use crate::index::RlcIndex;
 use crate::query::{Constraint, Query, QueryError};
 use rayon::prelude::*;
 use rlc_graph::{LabeledGraph, VertexId};
 use std::any::Any;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A compiled constraint, produced by [`ReachabilityEngine::prepare`] and
@@ -57,17 +56,66 @@ pub struct Prepared {
     constraint: Constraint,
     engine: String,
     artifact: Box<dyn Any + Send + Sync>,
+    approx_bytes: usize,
 }
+
+/// Heap bytes held by a constraint's block lists (shared by the default
+/// [`Prepared::approx_bytes`] pricing and [`crate::cache::PlanCache`]'s
+/// key pricing).
+pub(crate) fn constraint_heap_bytes(constraint: &Constraint) -> usize {
+    constraint
+        .blocks()
+        .iter()
+        .map(|block| {
+            block.len() * std::mem::size_of::<rlc_graph::Label>()
+                + std::mem::size_of::<Vec<rlc_graph::Label>>()
+        })
+        .sum()
+}
+
+/// Default allowance for a type-erased artifact whose producer did not call
+/// [`Prepared::with_approx_bytes`]: the resolved-id artifacts of the
+/// index-backed engines are this small by construction.
+const DEFAULT_ARTIFACT_BYTES: usize = 64;
 
 impl Prepared {
     /// Wraps an engine-specific artifact together with the constraint it was
     /// compiled from.
+    ///
+    /// The preparation's [`Prepared::approx_bytes`] defaults to the
+    /// constraint's own heap footprint plus a small fixed artifact
+    /// allowance; engines with large artifacts (compiled automata, per-shard
+    /// tables) should override it via [`Prepared::with_approx_bytes`] so
+    /// cache byte budgets stay honest.
     pub fn new(constraint: Constraint, engine: &str, artifact: impl Any + Send + Sync) -> Self {
+        let approx_bytes = std::mem::size_of::<Prepared>()
+            + constraint_heap_bytes(&constraint)
+            + DEFAULT_ARTIFACT_BYTES;
         Prepared {
             constraint,
             engine: engine.to_owned(),
             artifact: Box::new(artifact),
+            approx_bytes,
         }
+    }
+
+    /// Overrides the approximate resident footprint with an engine-supplied
+    /// figure (NFA state and transition counts, per-shard table sizes, …).
+    /// The constraint's own heap bytes and the box header are added on top,
+    /// so callers only price the artifact itself.
+    pub fn with_approx_bytes(mut self, artifact_bytes: usize) -> Self {
+        self.approx_bytes = std::mem::size_of::<Prepared>()
+            + constraint_heap_bytes(&self.constraint)
+            + artifact_bytes;
+        self
+    }
+
+    /// Approximate resident heap footprint of this preparation in bytes:
+    /// the constraint copy it embeds plus the (engine-priced or defaulted)
+    /// artifact. [`crate::cache::PlanCache`] charges this figure against its
+    /// byte budget instead of a blind fixed overhead.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
     }
 
     /// The constraint this preparation was compiled from.
@@ -333,6 +381,28 @@ impl Generation {
     pub fn value(self) -> u64 {
         self.0
     }
+
+    /// Folds the stamps of an aggregate structure's components into one
+    /// stamp, for identities that must change whenever **any** component is
+    /// rebuilt (the sharded engine folds every shard's generation this way).
+    ///
+    /// The fold hashes the component count and every value, so replacing one
+    /// component — which always mints a strictly fresh stamp — changes the
+    /// combined stamp. Combined stamps live in the same comparison-only
+    /// world as minted ones: they are never serialized and never
+    /// interpreted, only tested for equality inside an
+    /// [`ArtifactTag`]/[`PlanIdentity`].
+    pub fn combined(stamps: impl IntoIterator<Item = Generation>) -> Generation {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        let mut count = 0u64;
+        for stamp in stamps {
+            stamp.0.hash(&mut hasher);
+            count += 1;
+        }
+        count.hash(&mut hasher);
+        Generation(hasher.finish())
+    }
 }
 
 impl Default for Generation {
@@ -481,11 +551,10 @@ fn evaluate_hybrid_engine(
 }
 
 /// Grouped execute implementation of [`IndexEngine`] and [`HybridEngine`]:
-/// for multi-block constraints, the prefix-block repetition closure is
-/// computed **once per distinct source** and shared by every pair of the
-/// group with that source — the per-pair path would re-run the online
-/// closure for each pair. Single-block constraints skip the frontier
-/// machinery entirely (one merge-join lookup per pair).
+/// the shared grouped skeleton ([`evaluate_blocks_grouped_with`]) with the
+/// final block answered by the index's merge-join lookup — the prefix-block
+/// repetition closure is computed once per distinct source, single-block
+/// constraints stay per-pair lookups.
 fn evaluate_hybrid_engine_group(
     engine: &dyn ReachabilityEngine,
     graph: &LabeledGraph,
@@ -493,57 +562,9 @@ fn evaluate_hybrid_engine_group(
     pairs: &[(VertexId, VertexId)],
     prepared: &Prepared,
 ) -> Vec<Result<bool, QueryError>> {
-    // Range-check every pair first, exactly like the per-pair path does:
-    // an out-of-range pair reports `VertexOutOfRange` even when the
-    // constraint is also invalid for this engine.
-    let mut answers: Vec<Result<bool, QueryError>> = Vec::with_capacity(pairs.len());
-    let mut by_source: HashMap<VertexId, Vec<usize>> = HashMap::new();
-    for (i, &(s, t)) in pairs.iter().enumerate() {
-        match check_vertex_range(s, t, graph.vertex_count()) {
-            Ok(()) => {
-                answers.push(Ok(false));
-                by_source.entry(s).or_default().push(i);
-            }
-            Err(error) => answers.push(Err(error)),
-        }
-    }
-    let last_mr = match hybrid_last_mr(engine, index, prepared) {
-        Ok(last_mr) => last_mr,
-        // The constraint is invalid for this engine: every in-range pair of
-        // the group gets the same error, matching the per-pair path.
-        Err(error) => {
-            for indices in by_source.values() {
-                for &i in indices {
-                    answers[i] = Err(error.clone());
-                }
-            }
-            return answers;
-        }
-    };
-    let blocks = prepared.constraint().blocks();
-    let Some(mr_id) = last_mr else {
-        // The final block's MR is absent from the catalog: no path can
-        // satisfy the constraint, so every in-range pair stays `false`.
-        return answers;
-    };
-    for (source, indices) in by_source {
-        if blocks.len() == 1 {
-            for &i in &indices {
-                answers[i] = Ok(index.query_interned(source, pairs[i].1, mr_id));
-            }
-        } else {
-            // One repetition-closure pass over the prefix blocks serves
-            // every target sharing this source.
-            let frontier = prefix_frontier(graph, source, blocks);
-            for &i in &indices {
-                let target = pairs[i].1;
-                answers[i] = Ok(frontier
-                    .iter()
-                    .any(|&v| index.query_interned(v, target, mr_id)));
-            }
-        }
-    }
-    answers
+    let resolved = hybrid_last_mr(engine, index, prepared)
+        .map(|last_mr| last_mr.map(|mr| move |v, t| index.query_interned(v, t, mr)));
+    evaluate_blocks_grouped_with(graph, pairs, prepared.constraint().blocks(), resolved)
 }
 
 /// The RLC index as a [`ReachabilityEngine`]: single-block constraints are

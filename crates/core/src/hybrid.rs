@@ -60,12 +60,84 @@ pub(crate) fn evaluate_hybrid_prepared(
     })
 }
 
+/// Grouped evaluation over pre-validated blocks, shared by every engine
+/// whose final block is answered by a pair lookup (the RLC index engines,
+/// ETC): the one grouped skeleton behind their `evaluate_prepared_group`
+/// overrides, parameterized over the lookup the way [`evaluate_blocks_with`]
+/// parameterizes the per-pair path.
+///
+/// `resolved` is the outcome of resolving the final block for the engine:
+/// an error makes every in-range pair report it (the constraint is invalid
+/// for the engine), `Ok(None)` means the block is absent from the engine's
+/// catalog (no path can satisfy the constraint — every in-range pair is
+/// `false`), and `Ok(Some(lookup))` supplies the pair predicate. Pairs are
+/// range-checked first, exactly like the per-pair paths, so an out-of-range
+/// pair reports `VertexOutOfRange` even when the constraint is also
+/// invalid. For multi-block constraints the prefix-block repetition closure
+/// is computed **once per distinct source** ([`prefix_frontier`]) and
+/// shared by every pair of the group with that source; single-block
+/// constraints stay per-pair lookups.
+pub fn evaluate_blocks_grouped_with<F>(
+    graph: &LabeledGraph,
+    pairs: &[(VertexId, VertexId)],
+    blocks: &[Vec<Label>],
+    resolved: Result<Option<F>, crate::query::QueryError>,
+) -> Vec<Result<bool, crate::query::QueryError>>
+where
+    F: Fn(VertexId, VertexId) -> bool,
+{
+    let mut answers: Vec<Result<bool, crate::query::QueryError>> = Vec::with_capacity(pairs.len());
+    let mut by_source: std::collections::HashMap<VertexId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        match crate::engine::check_vertex_range(s, t, graph.vertex_count()) {
+            Ok(()) => {
+                answers.push(Ok(false));
+                by_source.entry(s).or_default().push(i);
+            }
+            Err(error) => answers.push(Err(error)),
+        }
+    }
+    let lookup = match resolved {
+        Ok(lookup) => lookup,
+        Err(error) => {
+            for indices in by_source.values() {
+                for &i in indices {
+                    answers[i] = Err(error.clone());
+                }
+            }
+            return answers;
+        }
+    };
+    let Some(lookup) = lookup else {
+        return answers;
+    };
+    for (source, indices) in by_source {
+        if blocks.len() == 1 {
+            for &i in &indices {
+                answers[i] = Ok(lookup(source, pairs[i].1));
+            }
+        } else {
+            // One repetition-closure pass over the prefix blocks serves
+            // every target sharing this source.
+            let frontier = prefix_frontier(graph, source, blocks);
+            for &i in &indices {
+                let target = pairs[i].1;
+                answers[i] = Ok(frontier.iter().any(|&v| lookup(v, target)));
+            }
+        }
+    }
+    answers
+}
+
 /// The frontier after running the online repetition closure over every
 /// block except the last: all vertices from which the final block's index
 /// (or closure) lookup has to be answered. Computed **once per source** by
 /// the grouped hybrid path, so same-source pairs of a constraint group share
-/// the online traversal instead of re-running it per pair.
-pub(crate) fn prefix_frontier(
+/// the online traversal instead of re-running it per pair. Public because
+/// the ETC engine's grouped path (`rlc-baselines`) and the sharded stitcher
+/// (`rlc-shard`) share the same once-per-source structure.
+pub fn prefix_frontier(
     graph: &LabeledGraph,
     source: VertexId,
     blocks: &[Vec<Label>],

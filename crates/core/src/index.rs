@@ -180,6 +180,21 @@ impl RlcIndex {
         self.query(&query)
     }
 
+    /// Answers `(s, t, mr+)` for an already-resolved minimum repeat — the
+    /// execute half of the prepare/execute split, mirroring
+    /// `EtcIndex::query_mr`. The resolution against [`RlcIndex::catalog`]
+    /// happens once at prepare time; callers holding an [`MrId`] (the engine
+    /// layer, the sharded stitcher in `rlc-shard`) skip the per-call lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a vertex id is outside the indexed range (like
+    /// [`RlcIndex::lin`]/[`RlcIndex::lout`], this is a direct slice access);
+    /// engines range-check ids before calling.
+    pub fn query_mr(&self, s: VertexId, t: VertexId, mr: MrId) -> bool {
+        self.query_interned(s, t, mr)
+    }
+
     /// Core query procedure over an interned constraint.
     pub(crate) fn query_interned(&self, s: VertexId, t: VertexId, mr: MrId) -> bool {
         let lout_s = &self.lout[s as usize];

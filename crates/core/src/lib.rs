@@ -64,7 +64,9 @@ pub use engine::{
     ArtifactTag, Generation, HybridEngine, IndexEngine, PlanIdentity, PrepareCounting, Prepared,
     ReachabilityEngine,
 };
-pub use hybrid::{evaluate_blocks_with, repetition_closure};
+pub use hybrid::{
+    evaluate_blocks_grouped_with, evaluate_blocks_with, prefix_frontier, repetition_closure,
+};
 pub use index::{IndexEntry, IndexStats, RlcIndex};
 pub use order::{compute_order, OrderingStrategy, VertexOrder};
 pub use plan::BatchPlan;

@@ -98,11 +98,9 @@ impl ReachabilityEngine for InterpretedEngine {
         // The interpreter compiles the query automaton once per prepared
         // constraint; the per-tuple interpretation overhead it models stays
         // in the execute phase.
-        Ok(Prepared::new(
-            constraint.clone(),
-            self.name(),
-            Nfa::concatenation(constraint.blocks()),
-        ))
+        let nfa = Nfa::concatenation(constraint.blocks());
+        let bytes = nfa.memory_bytes();
+        Ok(Prepared::new(constraint.clone(), self.name(), nfa).with_approx_bytes(bytes))
     }
 
     fn evaluate_prepared(

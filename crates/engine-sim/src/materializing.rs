@@ -92,11 +92,9 @@ impl ReachabilityEngine for MaterializingEngine {
     }
 
     fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
-        Ok(Prepared::new(
-            constraint.clone(),
-            self.name(),
-            Nfa::concatenation(constraint.blocks()),
-        ))
+        let nfa = Nfa::concatenation(constraint.blocks());
+        let bytes = nfa.memory_bytes();
+        Ok(Prepared::new(constraint.clone(), self.name(), nfa).with_approx_bytes(bytes))
     }
 
     fn evaluate_prepared(

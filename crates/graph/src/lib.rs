@@ -19,6 +19,8 @@
 //!   workload generation;
 //! * [`io`] — edge-list persistence: a plain-text format and a hardened
 //!   binary format whose loader validates untrusted blobs;
+//! * [`partition`] — vertex partitioning into disjoint shards with cut-edge
+//!   enumeration and subgraph extraction (the substrate of `rlc-shard`);
 //! * [`examples`] — the two illustrative graphs of the paper (Fig. 1 and
 //!   Fig. 2), used throughout tests and examples.
 //!
@@ -47,10 +49,12 @@ pub mod generate;
 pub mod graph;
 pub mod io;
 pub mod label;
+pub mod partition;
 pub mod scc;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use graph::{Edge, LabeledGraph, VertexId};
 pub use label::{Label, LabelInterner};
+pub use partition::{Partition, PartitionStrategy};
 pub use stats::GraphStats;

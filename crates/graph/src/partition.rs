@@ -1,0 +1,408 @@
+//! Vertex partitioning of a [`LabeledGraph`] into disjoint shards.
+//!
+//! The sharded engine (`rlc-shard`) cuts a graph into `S` vertex-disjoint
+//! shards, builds one RLC index per shard, and stitches cross-shard queries
+//! through the *cut edges* — the edges whose endpoints live in different
+//! shards. This module holds the graph-level half of that design: the
+//! partitioning strategies, the `global ⇄ (shard, local)` id mapping, the
+//! cut-edge enumeration, and the per-shard subgraph extraction.
+//!
+//! Local ids are **canonical**: within a shard, vertices are numbered by
+//! ascending global id. A partition is therefore fully determined by its
+//! shard assignment vector, which is what the `RSH1` manifest format
+//! persists ([`Partition::from_assignment`] rebuilds everything else).
+
+use crate::graph::{Edge, LabeledGraph, VertexId};
+
+/// How vertices are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Contiguous global-id ranges of (near-)equal size. Preserves any
+    /// locality already present in the vertex numbering; the cheapest
+    /// strategy and the best one for range-clustered inputs.
+    Contiguous,
+    /// Deterministic multiplicative hash of the global id. Spreads hot
+    /// vertices uniformly but cuts the most edges on locality-friendly
+    /// inputs; the seed varies the assignment without changing its
+    /// distribution.
+    Hash {
+        /// Seed mixed into the hash (two seeds give independent spreads).
+        seed: u64,
+    },
+    /// Degree-aware greedy balancing: vertices are placed in descending
+    /// total-degree order onto the shard with the smallest accumulated
+    /// degree, so every shard ends up with a near-equal share of edge
+    /// endpoints (not just of vertices). Deterministic: ties break by
+    /// vertex id, then by shard id.
+    DegreeAware,
+}
+
+/// A vertex-disjoint partition of a graph into `shard_count` shards, with
+/// the `global ⇄ (shard, local)` mapping both ways.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    shard_count: usize,
+    /// Global vertex id → owning shard.
+    shard_of: Vec<u32>,
+    /// Global vertex id → local id within the owning shard.
+    local_of: Vec<u32>,
+    /// Shard → local id → global vertex id (ascending global order).
+    globals: Vec<Vec<VertexId>>,
+}
+
+impl Partition {
+    /// Partitions `graph` into `shard_count` shards under `strategy`.
+    ///
+    /// `shard_count` must be at least 1; shards may end up empty when the
+    /// graph has fewer vertices than shards.
+    pub fn new(
+        graph: &LabeledGraph,
+        strategy: PartitionStrategy,
+        shard_count: usize,
+    ) -> Result<Self, String> {
+        if shard_count == 0 {
+            return Err("shard count must be at least 1".to_owned());
+        }
+        if shard_count > u32::MAX as usize {
+            return Err(format!("shard count {shard_count} exceeds u32 range"));
+        }
+        let n = graph.vertex_count();
+        let mut shard_of = vec![0u32; n];
+        match strategy {
+            PartitionStrategy::Contiguous => {
+                // Ceil-sized ranges: the first `n % shard_count` shards get
+                // one extra vertex, so sizes differ by at most one.
+                let base = n / shard_count;
+                let extra = n % shard_count;
+                let mut next = 0usize;
+                for shard in 0..shard_count {
+                    let size = base + usize::from(shard < extra);
+                    for slot in shard_of.iter_mut().skip(next).take(size) {
+                        *slot = shard as u32;
+                    }
+                    next += size;
+                }
+            }
+            PartitionStrategy::Hash { seed } => {
+                for (v, slot) in shard_of.iter_mut().enumerate() {
+                    // Fibonacci hashing of (id ^ seed): cheap, deterministic,
+                    // and uniform over the shard count.
+                    let mixed = (v as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    *slot = ((mixed >> 17) % shard_count as u64) as u32;
+                }
+            }
+            PartitionStrategy::DegreeAware => {
+                let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+                order.sort_by_key(|&v| {
+                    (
+                        std::cmp::Reverse(graph.in_degree(v) + graph.out_degree(v)),
+                        v,
+                    )
+                });
+                // (accumulated degree, shard id) min-selection keeps the
+                // assignment deterministic without a priority queue: the
+                // shard count is small, a linear scan per vertex is fine.
+                let mut load = vec![0usize; shard_count];
+                for v in order {
+                    let lightest = (0..shard_count)
+                        .min_by_key(|&s| (load[s], s))
+                        .expect("shard_count >= 1");
+                    shard_of[v as usize] = lightest as u32;
+                    // Count both endpoints plus one so empty vertices still
+                    // spread across shards instead of piling onto shard 0.
+                    load[lightest] += graph.in_degree(v) + graph.out_degree(v) + 1;
+                }
+            }
+        }
+        Ok(Self::from_shard_of(shard_count, shard_of))
+    }
+
+    /// Rebuilds a partition from a raw shard-assignment vector (the form the
+    /// `RSH1` manifest persists), validating every entry against
+    /// `shard_count`. Local ids are re-derived canonically (ascending global
+    /// id within each shard), so two partitions with equal assignments are
+    /// equal in every mapping.
+    pub fn from_assignment(shard_count: usize, shard_of: Vec<u32>) -> Result<Self, String> {
+        if shard_count == 0 {
+            return Err("shard count must be at least 1".to_owned());
+        }
+        for (v, &s) in shard_of.iter().enumerate() {
+            if s as usize >= shard_count {
+                return Err(format!(
+                    "vertex {v} assigned to shard {s}, but the partition has only \
+                     {shard_count} shards"
+                ));
+            }
+        }
+        Ok(Self::from_shard_of(shard_count, shard_of))
+    }
+
+    /// Derives the canonical local ids and per-shard vertex lists from a
+    /// validated assignment.
+    fn from_shard_of(shard_count: usize, shard_of: Vec<u32>) -> Self {
+        let mut globals: Vec<Vec<VertexId>> = vec![Vec::new(); shard_count];
+        let mut local_of = vec![0u32; shard_of.len()];
+        for (v, &s) in shard_of.iter().enumerate() {
+            local_of[v] = globals[s as usize].len() as u32;
+            globals[s as usize].push(v as VertexId);
+        }
+        Partition {
+            shard_count,
+            shard_of,
+            local_of,
+            globals,
+        }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Number of vertices across all shards.
+    pub fn vertex_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The raw shard assignment, indexed by global vertex id.
+    pub fn assignment(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// The shard owning global vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.shard_of[v as usize] as usize
+    }
+
+    /// Maps a global vertex id to its `(shard, local id)` pair.
+    #[inline]
+    pub fn locate(&self, v: VertexId) -> (usize, VertexId) {
+        (
+            self.shard_of[v as usize] as usize,
+            self.local_of[v as usize],
+        )
+    }
+
+    /// Maps a `(shard, local id)` pair back to the global vertex id.
+    #[inline]
+    pub fn global(&self, shard: usize, local: VertexId) -> VertexId {
+        self.globals[shard][local as usize]
+    }
+
+    /// Global ids of the vertices in `shard`, ascending (index = local id).
+    pub fn shard_vertices(&self, shard: usize) -> &[VertexId] {
+        &self.globals[shard]
+    }
+
+    /// Whether an edge crosses shards.
+    #[inline]
+    pub fn is_cut(&self, edge: &Edge) -> bool {
+        self.shard_of[edge.source as usize] != self.shard_of[edge.target as usize]
+    }
+
+    /// All cut edges of `graph` under this partition, in the graph's edge
+    /// iteration order (deterministic, used verbatim by the manifest).
+    pub fn cut_edges(&self, graph: &LabeledGraph) -> Vec<Edge> {
+        graph.edges().filter(|e| self.is_cut(e)).collect()
+    }
+
+    /// Extracts the subgraph of `shard`: its vertices renumbered to local
+    /// ids, its intra-shard edges, and the parent graph's label space (so
+    /// label ids stay comparable across shards and with the full graph).
+    /// Vertex names are dropped — shard-local evaluation works on ids.
+    pub fn shard_subgraph(&self, graph: &LabeledGraph, shard: usize) -> LabeledGraph {
+        let vertices = &self.globals[shard];
+        let mut edges = Vec::new();
+        for (local, &v) in vertices.iter().enumerate() {
+            for (target, label) in graph.out_edges(v) {
+                if self.shard_of[target as usize] as usize == shard {
+                    edges.push(Edge::new(
+                        local as VertexId,
+                        label,
+                        self.local_of[target as usize],
+                    ));
+                }
+            }
+        }
+        LabeledGraph::from_edges(vertices.len(), &edges, graph.labels().clone(), None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{erdos_renyi, SyntheticConfig};
+
+    fn sample() -> LabeledGraph {
+        erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 7))
+    }
+
+    #[test]
+    fn every_strategy_yields_a_bijective_mapping() {
+        let g = sample();
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Hash { seed: 11 },
+            PartitionStrategy::DegreeAware,
+        ] {
+            for shards in [1usize, 2, 7, 8] {
+                let p = Partition::new(&g, strategy, shards).unwrap();
+                assert_eq!(p.shard_count(), shards);
+                assert_eq!(p.vertex_count(), g.vertex_count());
+                let total: usize = (0..shards).map(|s| p.shard_vertices(s).len()).sum();
+                assert_eq!(total, g.vertex_count(), "shards must cover every vertex");
+                for v in g.vertices() {
+                    let (shard, local) = p.locate(v);
+                    assert_eq!(p.global(shard, local), v, "locate/global must invert");
+                    assert_eq!(p.shard_of(v), shard);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_ranges_are_balanced_and_ordered() {
+        let g = sample();
+        let p = Partition::new(&g, PartitionStrategy::Contiguous, 7).unwrap();
+        for s in 0..7 {
+            let vs = p.shard_vertices(s);
+            assert!(vs.len() == 8 || vs.len() == 9, "sizes differ by at most 1");
+            assert!(vs.windows(2).all(|w| w[0] < w[1]), "ascending global ids");
+        }
+        // Ranges are consecutive: shard 0 gets the smallest ids.
+        assert_eq!(p.shard_of(0), 0);
+        assert_eq!(p.shard_of(59), 6);
+    }
+
+    #[test]
+    fn degree_aware_balances_edge_endpoints() {
+        let g = sample();
+        let p = Partition::new(&g, PartitionStrategy::DegreeAware, 4).unwrap();
+        let load = |s: usize| -> usize {
+            p.shard_vertices(s)
+                .iter()
+                .map(|&v| g.in_degree(v) + g.out_degree(v))
+                .sum()
+        };
+        let loads: Vec<usize> = (0..4).map(load).collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        // Greedy balancing keeps the spread within the largest degree.
+        let max_degree = g
+            .vertices()
+            .map(|v| g.in_degree(v) + g.out_degree(v))
+            .max()
+            .unwrap();
+        assert!(
+            max - min <= max_degree + 4,
+            "degree loads {loads:?} spread more than one vertex's degree"
+        );
+    }
+
+    #[test]
+    fn single_shard_has_no_cut_edges() {
+        let g = sample();
+        let p = Partition::new(&g, PartitionStrategy::Hash { seed: 3 }, 1).unwrap();
+        assert!(p.cut_edges(&g).is_empty());
+        let sub = p.shard_subgraph(&g, 0);
+        assert_eq!(sub.vertex_count(), g.vertex_count());
+        assert_eq!(sub.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn cut_edges_and_shard_subgraphs_partition_the_edge_set() {
+        let g = sample();
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Hash { seed: 5 },
+            PartitionStrategy::DegreeAware,
+        ] {
+            let p = Partition::new(&g, strategy, 5).unwrap();
+            let cut = p.cut_edges(&g);
+            let intra: usize = (0..5).map(|s| p.shard_subgraph(&g, s).edge_count()).sum();
+            assert_eq!(cut.len() + intra, g.edge_count());
+            for e in &cut {
+                assert!(p.is_cut(e));
+                assert!(g.has_edge(e.source, e.label, e.target));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_subgraphs_preserve_local_adjacency() {
+        let g = sample();
+        let p = Partition::new(&g, PartitionStrategy::Contiguous, 3).unwrap();
+        for shard in 0..3 {
+            let sub = p.shard_subgraph(&g, shard);
+            assert_eq!(sub.vertex_count(), p.shard_vertices(shard).len());
+            assert_eq!(sub.label_count(), g.label_count(), "shared label space");
+            for local in 0..sub.vertex_count() as VertexId {
+                let global = p.global(shard, local);
+                for (lt, label) in sub.out_edges(local) {
+                    let gt = p.global(shard, lt);
+                    assert!(g.has_edge(global, label, gt));
+                }
+                // Every intra-shard edge of the parent appears locally.
+                let intra = g
+                    .out_edges(global)
+                    .iter()
+                    .filter(|&(t, _)| p.shard_of(t) == shard)
+                    .count();
+                assert_eq!(sub.out_degree(local), intra);
+            }
+        }
+    }
+
+    #[test]
+    fn from_assignment_round_trips_and_validates() {
+        let g = sample();
+        let p = Partition::new(&g, PartitionStrategy::DegreeAware, 4).unwrap();
+        let back = Partition::from_assignment(4, p.assignment().to_vec()).unwrap();
+        assert_eq!(back, p, "assignment fully determines the partition");
+        // Out-of-range shard ids are rejected.
+        let err = Partition::from_assignment(2, vec![0, 1, 2]).unwrap_err();
+        assert!(err.contains("shard 2"), "unexpected error: {err}");
+        assert!(Partition::from_assignment(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn more_shards_than_vertices_leaves_empty_shards() {
+        let mut b = crate::builder::GraphBuilder::new();
+        b.add_edge_named("a", "x", "b");
+        let g = b.build();
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Hash { seed: 1 },
+            PartitionStrategy::DegreeAware,
+        ] {
+            let p = Partition::new(&g, strategy, 8).unwrap();
+            let total: usize = (0..8).map(|s| p.shard_vertices(s).len()).sum();
+            assert_eq!(total, 2);
+            let nonempty = (0..8).filter(|&s| !p.shard_vertices(s).is_empty()).count();
+            assert!(nonempty <= 2);
+            // Subgraph extraction works for empty shards too.
+            for s in 0..8 {
+                let sub = p.shard_subgraph(&g, s);
+                assert_eq!(sub.vertex_count(), p.shard_vertices(s).len());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let g = sample();
+        assert!(Partition::new(&g, PartitionStrategy::Contiguous, 0).is_err());
+    }
+
+    #[test]
+    fn hash_seeds_vary_the_assignment() {
+        let g = sample();
+        let a = Partition::new(&g, PartitionStrategy::Hash { seed: 1 }, 4).unwrap();
+        let b = Partition::new(&g, PartitionStrategy::Hash { seed: 2 }, 4).unwrap();
+        assert_ne!(a.assignment(), b.assignment());
+        // Same seed is deterministic.
+        let a2 = Partition::new(&g, PartitionStrategy::Hash { seed: 1 }, 4).unwrap();
+        assert_eq!(a, a2);
+    }
+}

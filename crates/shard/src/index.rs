@@ -1,0 +1,493 @@
+//! The sharded index: a vertex partition plus one RLC index per shard.
+//!
+//! [`ShardedIndex::build`] cuts the graph with a [`PartitionStrategy`],
+//! extracts each shard's subgraph (intra-shard edges only, shared label
+//! space), and fans the per-shard [`build_index`] calls out across rayon
+//! workers. Each shard also gets its boundary machinery: the
+//! [`PortalSet`] of cut-edge endpoints and the [`ReachExpander`] the
+//! stitcher uses for whole-repetition hops.
+//!
+//! Every shard index carries the construction-time
+//! [`Generation`](rlc_core::engine::Generation) stamp of PR 4;
+//! [`ShardedIndex::generation`] folds all of them into one combined stamp,
+//! so rebuilding **any** shard ([`ShardedIndex::rebuild_shard`]) changes
+//! the engine's plan identity and invalidates every cached plan resolved
+//! against the old shard — the same ABA discipline the single-index engines
+//! follow, lifted to the aggregate.
+
+use crate::boundary::{PortalSet, ReachExpander};
+use rayon::prelude::*;
+use rlc_core::build::{build_index, BuildConfig, BuildStats};
+use rlc_core::engine::Generation;
+use rlc_core::index::RlcIndex;
+use rlc_graph::{Edge, LabeledGraph, Partition, PartitionStrategy, VertexId};
+
+/// Configuration of a sharded build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardBuildConfig {
+    /// Number of shards (at least 1; shards may be empty on tiny graphs).
+    pub shards: usize,
+    /// Vertex-to-shard assignment strategy.
+    pub strategy: PartitionStrategy,
+    /// Per-shard index build configuration; its `k` is the sharded index's
+    /// `k` and every shard is built with it.
+    pub build: BuildConfig,
+}
+
+impl ShardBuildConfig {
+    /// Default configuration: contiguous ranges, paper-default index build.
+    pub fn new(k: usize, shards: usize) -> Self {
+        ShardBuildConfig {
+            shards,
+            strategy: PartitionStrategy::Contiguous,
+            build: BuildConfig::new(k),
+        }
+    }
+
+    /// Replaces the partition strategy.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// One shard: its subgraph (local vertex ids, shared label space), its RLC
+/// index, and its boundary machinery.
+#[derive(Debug, Clone)]
+pub struct GraphShard {
+    pub(crate) graph: LabeledGraph,
+    pub(crate) index: RlcIndex,
+    pub(crate) expander: ReachExpander,
+    pub(crate) portals: PortalSet,
+}
+
+impl GraphShard {
+    fn assemble(
+        partition: &Partition,
+        cut_edges: &[Edge],
+        shard_id: usize,
+        graph: LabeledGraph,
+        index: RlcIndex,
+    ) -> Self {
+        let expander = ReachExpander::new(&index);
+        let portals = PortalSet::from_cut_edges(partition, shard_id, cut_edges);
+        GraphShard {
+            graph,
+            index,
+            expander,
+            portals,
+        }
+    }
+
+    /// The shard's subgraph (vertices are local ids).
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.graph
+    }
+
+    /// The shard's RLC index (over local ids).
+    pub fn index(&self) -> &RlcIndex {
+        &self.index
+    }
+
+    /// The shard's portal vertices.
+    pub fn portals(&self) -> &PortalSet {
+        &self.portals
+    }
+
+    /// The shard's target-enumeration structure.
+    pub fn expander(&self) -> &ReachExpander {
+        &self.expander
+    }
+
+    /// Whether any path can leave this shard (it has an outgoing cut edge).
+    pub fn is_exitable(&self) -> bool {
+        self.portals.has_exits()
+    }
+
+    /// Whether any path can enter this shard (it has an incoming cut edge).
+    pub fn is_enterable(&self) -> bool {
+        self.portals.has_entries()
+    }
+}
+
+/// Per-shard summary row of [`ShardedStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Vertices owned by the shard.
+    pub vertices: usize,
+    /// Intra-shard edges.
+    pub edges: usize,
+    /// Entries of the shard's RLC index.
+    pub index_entries: usize,
+    /// Incoming-portal count (cut-edge targets in this shard).
+    pub entry_portals: usize,
+    /// Outgoing-portal count (cut-edge sources in this shard).
+    pub exit_portals: usize,
+    /// Approximate resident bytes (index + expander + owned subgraph).
+    pub memory_bytes: usize,
+}
+
+/// Summary statistics of a [`ShardedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// The recursive `k`.
+    pub k: usize,
+    /// One row per shard.
+    pub shards: Vec<ShardStats>,
+    /// Number of cut edges.
+    pub cut_edges: usize,
+    /// Total vertices.
+    pub vertices: usize,
+    /// Total approximate resident bytes across shards.
+    pub memory_bytes: usize,
+}
+
+/// A vertex-partitioned RLC index: `S` per-shard indexes plus the cut-edge
+/// set and boundary machinery the stitcher needs. Built by
+/// [`ShardedIndex::build`], persisted as an `RSH1` manifest
+/// ([`ShardedIndex::try_to_bytes`](ShardedIndex::try_to_bytes)), evaluated
+/// through [`crate::ShardedEngine`].
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    pub(crate) k: usize,
+    pub(crate) partition: Partition,
+    pub(crate) cut_edges: Vec<Edge>,
+    pub(crate) shards: Vec<GraphShard>,
+    /// FNV-1a digest of the indexed graph's full topology, stamped at
+    /// build (and revalidated by the `RSH1` loader) so a manifest can
+    /// never be paired with a graph that differs anywhere — including in
+    /// intra-shard edges the cut-edge list cannot see.
+    pub(crate) graph_digest: u64,
+}
+
+impl ShardedIndex {
+    /// Partitions `graph` and builds one RLC index per shard, fanning the
+    /// per-shard builds out across rayon workers. Returns the sharded index
+    /// and the per-shard build statistics (shard order).
+    ///
+    /// Deterministic: the partition, the per-shard subgraphs, and every
+    /// shard's index are fully determined by `graph` and `config`.
+    pub fn build(
+        graph: &LabeledGraph,
+        config: &ShardBuildConfig,
+    ) -> Result<(Self, Vec<BuildStats>), String> {
+        let partition = Partition::new(graph, config.strategy, config.shards)?;
+        let cut_edges = partition.cut_edges(graph);
+        let subgraphs: Vec<LabeledGraph> = (0..config.shards)
+            .map(|s| partition.shard_subgraph(graph, s))
+            .collect();
+        let built: Vec<(RlcIndex, BuildStats)> = subgraphs
+            .par_iter()
+            .map(|subgraph| build_index(subgraph, &config.build))
+            .collect();
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut stats = Vec::with_capacity(config.shards);
+        for (shard_id, (subgraph, (index, build_stats))) in
+            subgraphs.into_iter().zip(built).enumerate()
+        {
+            shards.push(GraphShard::assemble(
+                &partition, &cut_edges, shard_id, subgraph, index,
+            ));
+            stats.push(build_stats);
+        }
+        Ok((
+            ShardedIndex {
+                k: config.build.k,
+                partition,
+                cut_edges,
+                shards,
+                graph_digest: crate::persist::graph_digest(graph),
+            },
+            stats,
+        ))
+    }
+
+    /// Assembles a sharded index from already-built parts (the `RSH1`
+    /// loader path). `indexes` must be one per shard, each over the shard's
+    /// subgraph of `graph`. The per-shard derivation work — subgraph
+    /// extraction, `Lin` inversion — fans out across rayon workers, like
+    /// the build path's per-shard index builds.
+    pub(crate) fn assemble(
+        graph: &LabeledGraph,
+        k: usize,
+        partition: Partition,
+        cut_edges: Vec<Edge>,
+        indexes: Vec<RlcIndex>,
+    ) -> Self {
+        let refs: Vec<(usize, &RlcIndex)> = indexes.iter().enumerate().collect();
+        let derived: Vec<(LabeledGraph, ReachExpander, PortalSet)> = refs
+            .par_iter()
+            .map(|&(shard_id, index)| {
+                (
+                    partition.shard_subgraph(graph, shard_id),
+                    ReachExpander::new(index),
+                    PortalSet::from_cut_edges(&partition, shard_id, &cut_edges),
+                )
+            })
+            .collect();
+        let shards = indexes
+            .into_iter()
+            .zip(derived)
+            .map(|(index, (graph, expander, portals))| GraphShard {
+                graph,
+                index,
+                expander,
+                portals,
+            })
+            .collect();
+        ShardedIndex {
+            k,
+            partition,
+            cut_edges,
+            shards,
+            graph_digest: crate::persist::graph_digest(graph),
+        }
+    }
+
+    /// The recursive `k` every shard index supports.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total vertices across all shards.
+    pub fn vertex_count(&self) -> usize {
+        self.partition.vertex_count()
+    }
+
+    /// The vertex partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The cut edges (global vertex ids), in graph edge order.
+    pub fn cut_edges(&self) -> &[Edge] {
+        &self.cut_edges
+    }
+
+    /// One shard.
+    pub fn shard(&self, shard: usize) -> &GraphShard {
+        &self.shards[shard]
+    }
+
+    /// The combined generation stamp: every shard index's construction-time
+    /// stamp folded together. Changes whenever any shard is rebuilt or the
+    /// manifest is reloaded, which is what lets the engine's plan identity
+    /// invalidate stale cached plans.
+    pub fn generation(&self) -> Generation {
+        Generation::combined(self.shards.iter().map(|s| s.index.generation()))
+    }
+
+    /// Total catalog size across shards (part of the engine's plan
+    /// identity).
+    pub fn catalog_len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.catalog().len()).sum()
+    }
+
+    /// Rebuilds one shard's index in place (same partition, same subgraph)
+    /// with a new build configuration. The rebuilt index gets a fresh
+    /// generation stamp, so [`ShardedIndex::generation`] — and with it the
+    /// engine's plan identity — changes.
+    ///
+    /// `build.k` must equal the sharded index's `k`: the prepared-constraint
+    /// validation is done once against the shared `k`, so shards may not
+    /// diverge.
+    pub fn rebuild_shard(
+        &mut self,
+        shard: usize,
+        build: &BuildConfig,
+    ) -> Result<BuildStats, String> {
+        if shard >= self.shards.len() {
+            return Err(format!(
+                "shard {shard} out of range for {} shards",
+                self.shards.len()
+            ));
+        }
+        if build.k != self.k {
+            return Err(format!(
+                "rebuild k = {} differs from the sharded index's k = {}; shards may not diverge",
+                build.k, self.k
+            ));
+        }
+        let (index, stats) = build_index(&self.shards[shard].graph, build);
+        self.shards[shard].expander = ReachExpander::new(&index);
+        self.shards[shard].index = index;
+        Ok(stats)
+    }
+
+    /// Approximate resident bytes of the whole sharded structure: per-shard
+    /// indexes, expanders, **and the owned shard subgraphs** (each shard
+    /// keeps a local-id copy of its intra-shard adjacency, a cost the
+    /// unsharded engines — which borrow the one shared graph — do not pay),
+    /// plus the partition map and cut edges.
+    pub fn memory_bytes(&self) -> usize {
+        let partition = self.partition.vertex_count() * 2 * std::mem::size_of::<u32>();
+        let cuts = self.cut_edges.len() * std::mem::size_of::<Edge>();
+        partition
+            + cuts
+            + self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.index.memory_bytes() + s.expander.memory_bytes() + s.graph.memory_bytes()
+                })
+                .sum::<usize>()
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> ShardedStats {
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|s| ShardStats {
+                vertices: s.graph.vertex_count(),
+                edges: s.graph.edge_count(),
+                index_entries: s.index.entry_count(),
+                entry_portals: s.portals.entries.len(),
+                exit_portals: s.portals.exits.len(),
+                memory_bytes: s.index.memory_bytes()
+                    + s.expander.memory_bytes()
+                    + s.graph.memory_bytes(),
+            })
+            .collect();
+        ShardedStats {
+            k: self.k,
+            cut_edges: self.cut_edges.len(),
+            vertices: self.partition.vertex_count(),
+            memory_bytes: self.memory_bytes(),
+            shards,
+        }
+    }
+
+    /// Resolves `block` against one shard's catalog (None when the shard
+    /// never recorded the minimum repeat — nothing in that shard is
+    /// reachable under it).
+    pub(crate) fn resolve_in_shard(
+        &self,
+        shard: usize,
+        block: &[rlc_graph::Label],
+    ) -> Option<rlc_core::catalog::MrId> {
+        self.shards[shard].index.catalog().resolve(block)
+    }
+
+    /// Convenience for the stitcher: `(shard, local)` of a global vertex.
+    #[inline]
+    pub(crate) fn locate(&self, v: VertexId) -> (usize, VertexId) {
+        self.partition.locate(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+
+    fn sample() -> LabeledGraph {
+        erdos_renyi(&SyntheticConfig::new(80, 3.0, 3, 13))
+    }
+
+    #[test]
+    fn build_produces_one_index_per_shard_over_its_subgraph() {
+        let g = sample();
+        for shards in [1usize, 2, 5] {
+            let (sharded, stats) =
+                ShardedIndex::build(&g, &ShardBuildConfig::new(2, shards)).unwrap();
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(stats.len(), shards);
+            assert_eq!(sharded.vertex_count(), g.vertex_count());
+            let cut = sharded.cut_edges().len();
+            let intra: usize = (0..shards)
+                .map(|s| sharded.shard(s).graph().edge_count())
+                .sum();
+            assert_eq!(cut + intra, g.edge_count());
+            for s in 0..shards {
+                let shard = sharded.shard(s);
+                assert_eq!(
+                    shard.index().vertex_count(),
+                    shard.graph().vertex_count(),
+                    "index covers the shard subgraph"
+                );
+                assert_eq!(shard.index().k(), 2);
+            }
+            assert!(sharded.stats().memory_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn single_shard_build_matches_the_unsharded_index() {
+        // With one shard the subgraph covers the whole graph (modulo edge
+        // re-ordering, which can legitimately change the set of condensed
+        // entries the deterministic build picks), so the shard index must
+        // answer every catalog constraint exactly like a plain build.
+        let g = sample();
+        let (sharded, _) = ShardedIndex::build(&g, &ShardBuildConfig::new(2, 1)).unwrap();
+        let (plain, _) = build_index(&g, &BuildConfig::new(2));
+        assert!(sharded.cut_edges().is_empty());
+        let local = sharded.shard(0).index();
+        assert_eq!(local.vertex_count(), plain.vertex_count());
+        for (_, seq) in plain.catalog().iter() {
+            for s in (0..g.vertex_count() as u32).step_by(3) {
+                for t in (0..g.vertex_count() as u32).step_by(4) {
+                    let q = rlc_core::RlcQuery::new(s, t, seq.to_vec()).unwrap();
+                    assert_eq!(local.query(&q), plain.query(&q), "({s},{t},{seq:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_shard_builds_are_deterministic() {
+        let g = sample();
+        let config = ShardBuildConfig::new(2, 4).with_strategy(PartitionStrategy::DegreeAware);
+        let (a, stats_a) = ShardedIndex::build(&g, &config).unwrap();
+        let (b, stats_b) = ShardedIndex::build(&g, &config).unwrap();
+        assert_eq!(stats_a.len(), stats_b.len());
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.index.to_bytes(), sb.index.to_bytes());
+            assert_eq!(sa.portals, sb.portals);
+        }
+        assert_eq!(a.cut_edges, b.cut_edges);
+    }
+
+    #[test]
+    fn rebuilding_a_shard_changes_the_combined_generation() {
+        let g = sample();
+        let (mut sharded, _) = ShardedIndex::build(&g, &ShardBuildConfig::new(2, 3)).unwrap();
+        let before = sharded.generation();
+        let stats = sharded
+            .rebuild_shard(1, &BuildConfig::new(2))
+            .expect("rebuild succeeds");
+        assert!(stats.duration >= std::time::Duration::ZERO);
+        assert_ne!(
+            sharded.generation(),
+            before,
+            "a rebuilt shard must change the combined stamp"
+        );
+        // The rebuilt shard answers exactly as before (same subgraph, same
+        // configuration).
+        let (fresh, _) = ShardedIndex::build(&g, &ShardBuildConfig::new(2, 3)).unwrap();
+        assert_eq!(
+            sharded.shard(1).index().to_bytes(),
+            fresh.shard(1).index().to_bytes()
+        );
+    }
+
+    #[test]
+    fn rebuild_rejects_out_of_range_shards_and_diverging_k() {
+        let g = sample();
+        let (mut sharded, _) = ShardedIndex::build(&g, &ShardBuildConfig::new(2, 2)).unwrap();
+        assert!(sharded.rebuild_shard(7, &BuildConfig::new(2)).is_err());
+        let err = sharded.rebuild_shard(0, &BuildConfig::new(3)).unwrap_err();
+        assert!(err.contains("diverge"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let g = sample();
+        assert!(ShardedIndex::build(&g, &ShardBuildConfig::new(2, 0)).is_err());
+    }
+}

@@ -10,6 +10,8 @@
 //!   the [`index::engine::ReachabilityEngine`] evaluator abstraction;
 //! * [`baselines`] — online traversals (BFS, BiBFS, DFS) and the extended
 //!   transitive closure, with their engine adapters;
+//! * [`shard`] — the vertex-partitioned sharded engine: per-shard indexes,
+//!   boundary-hub stitching, and the `RSH1` manifest format;
 //! * [`workloads`] — query-set generation and the Table III dataset catalog;
 //! * [`engines`] — the simulated graph engines used as Table V comparators.
 //!
@@ -60,6 +62,9 @@ pub use rlc_core as index;
 /// Baseline evaluators (re-export of [`rlc_baselines`]).
 pub use rlc_baselines as baselines;
 
+/// The vertex-partitioned sharded engine (re-export of [`rlc_shard`]).
+pub use rlc_shard as shard;
+
 /// Workload and dataset generation (re-export of [`rlc_workloads`]).
 pub use rlc_workloads as workloads;
 
@@ -78,6 +83,7 @@ pub mod prelude {
         build_index, BatchPlan, BuildConfig, Constraint, PlanCache, Query, QueryError, RlcIndex,
         RlcQuery,
     };
-    pub use rlc_graph::{GraphBuilder, Label, LabeledGraph, VertexId};
+    pub use rlc_graph::{GraphBuilder, Label, LabeledGraph, PartitionStrategy, VertexId};
+    pub use rlc_shard::{ShardBuildConfig, ShardedEngine, ShardedIndex};
     pub use rlc_workloads::{generate_query_set, QueryGenConfig};
 }

@@ -356,6 +356,80 @@ fn batch_plan_prepares_each_constraint_once_for_every_engine() {
 }
 
 #[test]
+fn sharded_engines_match_unsharded_answers_and_errors() {
+    // The PR 5 differential: for shard counts 1, 2 and 8 (and two
+    // partition strategies), a ShardedEngine over per-shard indexes with
+    // boundary-hub stitching must be indistinguishable from the unsharded
+    // reference on a mixed batch — identical answers AND identical errors
+    // (over-long blocks, out-of-range ids), through one-shot, prepared,
+    // grouped-planned, and cached evaluation.
+    use rlc::graph::PartitionStrategy;
+    use rlc::shard::{ShardBuildConfig, ShardedEngine, ShardedIndex};
+
+    let graph = erdos_renyi(&SyntheticConfig::new(70, 3.0, 3, 57));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let reference = IndexEngine::new(&graph, &index);
+    let queries = mixed_batch(&graph);
+    let plan = BatchPlan::new(&queries);
+    let expected: Vec<Result<bool, QueryError>> =
+        queries.iter().map(|q| reference.evaluate(q)).collect();
+
+    for strategy in [
+        PartitionStrategy::Contiguous,
+        PartitionStrategy::Hash { seed: 8 },
+    ] {
+        for shards in [1usize, 2, 8] {
+            let config = ShardBuildConfig::new(2, shards).with_strategy(strategy);
+            let (sharded, _) = ShardedIndex::build(&graph, &config).unwrap();
+            if shards > 1 && matches!(strategy, PartitionStrategy::Hash { .. }) {
+                assert!(
+                    !sharded.cut_edges().is_empty(),
+                    "the hash split must produce genuinely cross-shard pairs"
+                );
+            }
+            let engine = ShardedEngine::new(&graph, &sharded);
+            let one_shot: Vec<Result<bool, QueryError>> =
+                queries.iter().map(|q| engine.evaluate(q)).collect();
+            assert_eq!(
+                one_shot, expected,
+                "{strategy:?} x{shards}: sharded one-shot != unsharded"
+            );
+            let prepared: Vec<Result<bool, QueryError>> = queries
+                .iter()
+                .map(|q| {
+                    engine
+                        .prepare(q.constraint())
+                        .and_then(|p| engine.evaluate_prepared(q.source, q.target, &p))
+                })
+                .collect();
+            assert_eq!(
+                prepared, expected,
+                "{strategy:?} x{shards}: sharded prepare/execute != unsharded"
+            );
+            assert_eq!(
+                plan.execute(&engine),
+                expected,
+                "{strategy:?} x{shards}: sharded planned batch != unsharded"
+            );
+            let cache = PlanCache::new();
+            let counting = PrepareCounting::new(&engine);
+            for round in 0..2 {
+                assert_eq!(
+                    plan.execute_cached(&counting, &cache),
+                    expected,
+                    "{strategy:?} x{shards}: sharded cached round {round} != unsharded"
+                );
+            }
+            assert_eq!(
+                counting.prepare_count(),
+                plan.group_count(),
+                "{strategy:?} x{shards}: the cache must hold sharded plans too"
+            );
+        }
+    }
+}
+
+#[test]
 fn batch_answers_match_the_verified_workload() {
     // Batch evaluation against ground truth (not just self-consistency).
     let graph = erdos_renyi(&SyntheticConfig::new(200, 3.0, 4, 21));
