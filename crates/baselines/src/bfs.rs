@@ -45,7 +45,7 @@ fn bfs_product_scratch(
     scratch.begin(graph.vertex_count() * states);
     let slot = |v: VertexId, q: usize| v as usize * states + q;
     scratch.mark_forward(slot(source, nfa.start));
-    if source == target && nfa.accepting[nfa.start] {
+    if source == target && nfa.is_accepting(nfa.start) {
         return true;
     }
     scratch.queue.push_back((source, nfa.start as u32));
@@ -55,7 +55,7 @@ fn bfs_product_scratch(
                 if scratch.mark_forward(slot(w, q_next)) {
                     continue;
                 }
-                if w == target && nfa.accepting[q_next] {
+                if w == target && nfa.is_accepting(q_next) {
                     return true;
                 }
                 scratch.queue.push_back((w, q_next as u32));
@@ -118,7 +118,7 @@ fn bfs_product_multi_scratch(
     };
 
     scratch.mark_forward(slot(source, nfa.start));
-    if nfa.accepting[nfa.start] {
+    if nfa.is_accepting(nfa.start) {
         settle(&mut answers, &mut remaining, source);
         if remaining == 0 {
             return answers;
@@ -131,7 +131,7 @@ fn bfs_product_multi_scratch(
                 if scratch.mark_forward(slot(w, q_next)) {
                     continue;
                 }
-                if nfa.accepting[q_next] {
+                if nfa.is_accepting(q_next) {
                     settle(&mut answers, &mut remaining, w);
                     if remaining == 0 {
                         break 'search;

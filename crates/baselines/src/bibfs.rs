@@ -10,7 +10,12 @@
 //!
 //! Both visited sets and all frontier buffers live in the per-thread
 //! [`crate::scratch::ProductScratch`], so batch evaluation performs no
-//! per-query allocation in the steady state.
+//! per-query allocation in the steady state. The visited sets are
+//! bit-parallel ([`rlc_core::kernel::FrontierSet`]): instead of probing
+//! the opposite side once per generated product state, each level is
+//! expanded bit-wise and the meet test is a single word-parallel
+//! intersection of the two visited sets through the runtime-dispatched
+//! SIMD kernel — 64 product states per word op.
 
 use crate::nfa::Nfa;
 use crate::scratch::{with_scratch, ProductScratch};
@@ -62,22 +67,22 @@ fn bibfs_product_scratch(
         if backward.is_empty() {
             break 'search false;
         }
-        if scratch.backward_visited(slot(source, nfa.start)) {
+        if scratch.frontiers_meet() {
             break 'search true;
         }
 
         while !forward.is_empty() && !backward.is_empty() {
-            // Expand the cheaper side: estimate by frontier size.
+            // Expand the cheaper side: estimate by frontier size. The
+            // searches meet iff the visited sets intersect, so the meet
+            // test is hoisted out of the inner loop: expand one whole
+            // level bit-wise, then run a single word-parallel
+            // intersection over the two bitsets.
             if forward.len() <= backward.len() {
                 next.clear();
                 for &(v, q) in forward.iter() {
                     for (w, label) in graph.out_edges(v) {
                         for q_next in nfa.next(q as usize, label) {
-                            let state = slot(w, q_next);
-                            if scratch.backward_visited(state) {
-                                break 'search true;
-                            }
-                            if !scratch.mark_forward(state) {
+                            if !scratch.mark_forward(slot(w, q_next)) {
                                 next.push((w, q_next as u32));
                             }
                         }
@@ -89,17 +94,16 @@ fn bibfs_product_scratch(
                 for &(v, q) in backward.iter() {
                     for (u, label) in graph.in_edges(v) {
                         for q_prev in nfa.prev(q as usize, label) {
-                            let state = slot(u, q_prev);
-                            if scratch.forward_visited(state) {
-                                break 'search true;
-                            }
-                            if !scratch.mark_backward(state) {
+                            if !scratch.mark_backward(slot(u, q_prev)) {
                                 next.push((u, q_prev as u32));
                             }
                         }
                     }
                 }
                 std::mem::swap(&mut backward, &mut next);
+            }
+            if scratch.frontiers_meet() {
+                break 'search true;
             }
         }
         false

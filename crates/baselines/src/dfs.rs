@@ -40,7 +40,7 @@ fn dfs_product_scratch(
     scratch.begin(graph.vertex_count() * states);
     let slot = |v: VertexId, q: usize| v as usize * states + q;
     scratch.mark_forward(slot(source, nfa.start));
-    if source == target && nfa.accepting[nfa.start] {
+    if source == target && nfa.is_accepting(nfa.start) {
         return true;
     }
     scratch.stack.push((source, nfa.start as u32));
@@ -50,7 +50,7 @@ fn dfs_product_scratch(
                 if scratch.mark_forward(slot(w, q_next)) {
                     continue;
                 }
-                if w == target && nfa.accepting[q_next] {
+                if w == target && nfa.is_accepting(q_next) {
                     return true;
                 }
                 scratch.stack.push((w, q_next as u32));

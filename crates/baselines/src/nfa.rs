@@ -23,6 +23,11 @@ pub struct Nfa {
     /// `reverse[q]` lists `(label, predecessor)` pairs, used by the
     /// backward half of bidirectional search.
     pub reverse: Vec<Vec<(Label, usize)>>,
+    /// The accepting set as dense bitset words (`state / 64` → word,
+    /// `state % 64` → bit), mirroring `accepting`. The traversal hot
+    /// loops test acceptance through this mask; it is priced into
+    /// [`Nfa::memory_bytes`] like every other word table.
+    accepting_words: Vec<u64>,
 }
 
 impl Nfa {
@@ -91,12 +96,25 @@ impl Nfa {
                 reverse[to].push((label, from));
             }
         }
+        let mut accepting_words = vec![0u64; total.div_ceil(64)];
+        for (q, &a) in accepting.iter().enumerate() {
+            if a {
+                accepting_words[q / 64] |= 1u64 << (q % 64);
+            }
+        }
         Nfa {
             start: 0,
             accepting,
             transitions,
             reverse,
+            accepting_words,
         }
+    }
+
+    /// Whether `state` is accepting, tested against the dense word mask.
+    #[inline]
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting_words[state / 64] & (1u64 << (state % 64)) != 0
     }
 
     /// Number of states.
@@ -105,16 +123,19 @@ impl Nfa {
     }
 
     /// Approximate resident heap footprint in bytes: the acceptance flags
-    /// plus both transition tables (per-state `Vec` headers and `(label,
-    /// state)` pairs). Used to price prepared automata honestly in the
-    /// engine layer's plan cache.
+    /// and their word mask plus both transition tables (per-state `Vec`
+    /// headers and `(label, state)` pairs). Used to price prepared
+    /// automata honestly in the engine layer's plan cache.
     pub fn memory_bytes(&self) -> usize {
         let pair = std::mem::size_of::<(Label, usize)>();
         let header = std::mem::size_of::<Vec<(Label, usize)>>();
         let table = |t: &[Vec<(Label, usize)>]| -> usize {
             t.iter().map(|row| header + row.len() * pair).sum()
         };
-        self.accepting.len() + table(&self.transitions) + table(&self.reverse)
+        self.accepting.len()
+            + self.accepting_words.len() * std::mem::size_of::<u64>()
+            + table(&self.transitions)
+            + table(&self.reverse)
     }
 
     /// Successor states of `state` on `label`.
@@ -249,5 +270,19 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn empty_concatenation_panics() {
         let _ = Nfa::concatenation(&[]);
+    }
+
+    #[test]
+    fn word_mask_mirrors_accepting_flags() {
+        for blocks in [
+            vec![seq(&[0])],
+            vec![seq(&[0, 1, 2])],
+            vec![seq(&[0]), seq(&[1, 2]), seq(&[0, 0])],
+        ] {
+            let nfa = Nfa::concatenation(&blocks);
+            for q in 0..nfa.state_count() {
+                assert_eq!(nfa.is_accepting(q), nfa.accepting[q], "state {q}");
+            }
+        }
     }
 }

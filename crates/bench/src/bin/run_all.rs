@@ -4,7 +4,7 @@
 
 use rlc_bench::experiments::{
     ablation, batch, batch_planner, build_scaling, fig3, fig4, fig5, fig6, fig7, plan_cache,
-    shard_scaling, table3, table4, table5,
+    shard_scaling, simd_vs_generic, table3, table4, table5,
 };
 use rlc_bench::CommonArgs;
 
@@ -27,6 +27,7 @@ fn main() {
         ("Plan cache", plan_cache::run),
         ("Build scaling", build_scaling::run),
         ("Shard scaling", shard_scaling::run),
+        ("SIMD vs generic", simd_vs_generic::run),
     ];
     for (name, run) in sections {
         eprintln!(">>> running {name}");

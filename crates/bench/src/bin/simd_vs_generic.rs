@@ -1,0 +1,12 @@
+//! Binary: the forced-backend frontier-kernel sweep — every kernel-backed
+//! traversal engine answers one planned mixed batch under the forced
+//! `generic` and forced SIMD backends, with per-row answer identity
+//! asserted, plus raw word-op timings on large bitsets.
+
+use rlc_bench::experiments::simd_vs_generic;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    println!("{}", simd_vs_generic::run(&args));
+}

@@ -21,6 +21,7 @@
 //! | [`plan_cache`] | cross-batch plan caching over repeated mixed batches (not from the paper) |
 //! | [`build_scaling`] | parallel index-build thread sweep (not from the paper) |
 //! | [`shard_scaling`] | sharded-engine shard-count sweep with answer-identity assertions (not from the paper) |
+//! | [`simd_vs_generic`] | forced-backend frontier-kernel sweep with per-row answer-identity assertions (not from the paper) |
 
 pub mod ablation;
 pub mod batch;
@@ -33,6 +34,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod plan_cache;
 pub mod shard_scaling;
+pub mod simd_vs_generic;
 pub mod table3;
 pub mod table4;
 pub mod table5;
@@ -98,6 +100,7 @@ mod tests {
             plan_cache::run_with(&args, 400),
             build_scaling::run_with(&args, 400),
             shard_scaling::run_with(&args, 400),
+            simd_vs_generic::run_with(&args, &[250]),
         ] {
             assert!(!report.is_empty());
             assert!(

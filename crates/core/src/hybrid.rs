@@ -13,8 +13,8 @@
 
 use crate::catalog::MrId;
 use crate::index::RlcIndex;
+use crate::kernel::with_kernel_scratch;
 use rlc_graph::{Label, LabeledGraph, VertexId};
-use std::collections::{HashSet, VecDeque};
 
 /// The shared skeleton of hybrid evaluation over pre-validated blocks: runs
 /// the online repetition closure for every block except the last
@@ -153,45 +153,55 @@ pub fn prefix_frontier(
 }
 
 /// All vertices reachable from `sources` by a path whose label sequence is
-/// one or more repetitions of `block`.
+/// one or more repetitions of `block`, in ascending vertex order.
 ///
 /// This is the online half of hybrid evaluation, exposed so other engines
 /// (e.g. the ETC adapter in `rlc-baselines`) can reuse it for the prefix
-/// blocks of a concatenated constraint.
+/// blocks of a concatenated constraint. The visited and boundary sets are
+/// bit-parallel [`crate::kernel::FrontierSet`]s from the thread-local
+/// kernel-scratch pool, so batch evaluation allocates nothing per query
+/// beyond the returned vector (pre-sized by a dispatched popcount).
 pub fn repetition_closure(
     graph: &LabeledGraph,
     sources: &[VertexId],
     block: &[Label],
 ) -> Vec<VertexId> {
     let klen = block.len();
-    let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
-    let mut boundary: HashSet<VertexId> = HashSet::new();
-    let mut queue: VecDeque<(VertexId, usize)> = VecDeque::new();
-    for &s in sources {
-        if visited.insert((s, 0)) {
-            queue.push_back((s, 0));
+    with_kernel_scratch(|scratch| {
+        // Visited ranges over `(vertex, position-within-block)` product
+        // slots; the boundary accumulator over plain vertices.
+        scratch.visited.begin(graph.vertex_count() * klen);
+        scratch.boundary.begin(graph.vertex_count());
+        scratch.queue.clear();
+        let slot = |v: VertexId, state: usize| v as usize * klen + state;
+        for &s in sources {
+            if !scratch.visited.test_and_set(slot(s, 0)) {
+                scratch.queue.push_back((s, 0));
+            }
         }
-    }
-    while let Some((x, state)) = queue.pop_front() {
-        let expected = block[state];
-        for (y, label) in graph.out_edges(x) {
-            if label != expected {
-                continue;
+        while let Some((x, state)) = scratch.queue.pop_front() {
+            let expected = block[state as usize];
+            for (y, label) in graph.out_edges(x) {
+                if label != expected {
+                    continue;
+                }
+                let next = (state as usize + 1) % klen;
+                // Record the repetition boundary before the visited check:
+                // a source vertex has `(source, 0)` pre-visited, but a
+                // cycle that returns to it still makes it reachable under
+                // `block+`.
+                if next == 0 {
+                    scratch.boundary.test_and_set(y as usize);
+                }
+                if !scratch.visited.test_and_set(slot(y, next)) {
+                    scratch.queue.push_back((y, next as u32));
+                }
             }
-            let next = (state + 1) % klen;
-            // Record the repetition boundary before the visited check: a
-            // source vertex has `(source, 0)` pre-visited, but a cycle that
-            // returns to it still makes it reachable under `block+`.
-            if next == 0 {
-                boundary.insert(y);
-            }
-            if !visited.insert((y, next)) {
-                continue;
-            }
-            queue.push_back((y, next));
         }
-    }
-    boundary.into_iter().collect()
+        let mut out = Vec::with_capacity(scratch.boundary.count());
+        scratch.boundary.for_each_set(|v| out.push(v as VertexId));
+        out
+    })
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@
 //! | [`order`] | §V-B | vertex orderings (IN-OUT and ablation alternatives) |
 //! | [`catalog`] | §V-C | interning of minimum repeats |
 //! | [`hybrid`] | §VI-C | extended `a+ ∘ b+` queries (index + traversal) |
+//! | [`kernel`] | — | bit-parallel frontier kernels (generic + runtime-dispatched SIMD) |
 //! | [`engine`] | — | the `ReachabilityEngine` evaluator abstraction (prepare/execute) |
 //! | [`plan`] | — | the constraint-grouping `BatchPlan` for mixed query batches |
 //! | [`cache`] | — | the cross-batch `PlanCache` of prepared constraints |
@@ -51,6 +52,7 @@ pub mod catalog;
 pub mod engine;
 pub mod hybrid;
 pub mod index;
+pub mod kernel;
 pub mod order;
 pub mod plan;
 pub mod query;
@@ -68,6 +70,7 @@ pub use hybrid::{
     evaluate_blocks_grouped_with, evaluate_blocks_with, prefix_frontier, repetition_closure,
 };
 pub use index::{IndexEntry, IndexStats, RlcIndex};
+pub use kernel::{kernel, kernel_name, set_kernel, FrontierSet, KernelChoice, WordOps, WordsView};
 pub use order::{compute_order, OrderingStrategy, VertexOrder};
 pub use plan::BatchPlan;
 pub use query::{Constraint, Query, QueryError, RlcQuery};

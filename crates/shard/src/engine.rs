@@ -47,9 +47,10 @@ use rlc_core::catalog::MrId;
 use rlc_core::engine::{
     check_vertex_range, ArtifactTag, PlanIdentity, Prepared, ReachabilityEngine,
 };
+use rlc_core::kernel::with_kernel_scratch;
 use rlc_core::{evaluate_blocks_with, prefix_frontier, Constraint, Query, QueryError};
 use rlc_graph::{Label, LabeledGraph, VertexId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 /// Prepared artifact of [`ShardedEngine`]: the final block's minimum repeat
 /// resolved against **every** shard's catalog (a shard that never recorded
@@ -212,18 +213,25 @@ impl<'g> ShardedEngine<'g> {
 
     /// The stitched repetition closure over the **global** graph: every
     /// vertex reachable from `sources` by one or more whole repetitions of
-    /// `block`, crossing shards freely. `last_mrs` supplies the per-shard
-    /// resolutions when the caller already has them (the final block);
-    /// otherwise the block is resolved against each shard's catalog here.
-    /// With `stop_at`, the search short-circuits as soon as the target
-    /// enters the closure.
+    /// `block`, crossing shards freely, returned in ascending vertex order
+    /// (callers test membership by binary search). `last_mrs` supplies the
+    /// per-shard resolutions when the caller already has them (the final
+    /// block); otherwise the block is resolved against each shard's catalog
+    /// here. With `stop_at`, the search short-circuits as soon as the
+    /// target enters the closure (the returned closure may then be
+    /// partial — early-exit callers only read the flag).
+    ///
+    /// The visited/boundary/hop sets are bit-parallel
+    /// [`rlc_core::kernel::FrontierSet`]s from the thread-local
+    /// kernel-scratch pool: the stitcher allocates nothing per query in the
+    /// steady state beyond the returned vector and the per-shard hub memo.
     fn stitched_closure(
         &self,
         sources: &[VertexId],
         block: &[Label],
         last_mrs: Option<&[Option<MrId>]>,
         stop_at: Option<VertexId>,
-    ) -> (HashSet<VertexId>, bool) {
+    ) -> (Vec<VertexId>, bool) {
         let klen = block.len();
         let resolved: Vec<Option<MrId>> = match last_mrs {
             Some(mrs) => mrs.to_vec(),
@@ -231,89 +239,103 @@ impl<'g> ShardedEngine<'g> {
                 .map(|s| self.index.resolve_in_shard(s, block))
                 .collect(),
         };
-        let mut boundary: HashSet<VertexId> = HashSet::new();
-        let mut visited: HashSet<(VertexId, usize)> = HashSet::new();
-        // Vertices whose whole-repetition hop has been taken: hop targets
-        // are the shard-complete reachable set, so hopping again from a
-        // hopped-to vertex of the same shard can add nothing.
-        let mut hopped: HashSet<VertexId> = HashSet::new();
         // Per-shard hub-expansion memo (local ids): a hub's inverted list
         // is walked once per search, bounding total hop work by index size.
         let mut expanded: Vec<HashSet<VertexId>> = vec![HashSet::new(); self.index.shard_count()];
-        let mut queue: VecDeque<(VertexId, usize)> = VecDeque::new();
-        for &s in sources {
-            if visited.insert((s, 0)) {
-                queue.push_back((s, 0));
+        with_kernel_scratch(|scratch| {
+            // `visited` ranges over `(vertex, offset-within-block)` product
+            // slots; `boundary` accumulates closure vertices; `hopped`
+            // tracks vertices whose whole-repetition hop has been taken
+            // (hop targets are the shard-complete reachable set, so hopping
+            // again from a hopped-to vertex of the same shard adds nothing).
+            scratch.visited.begin(self.graph.vertex_count() * klen);
+            scratch.boundary.begin(self.graph.vertex_count());
+            scratch.hopped.begin(self.graph.vertex_count());
+            scratch.queue.clear();
+            let slot = |v: VertexId, offset: usize| v as usize * klen + offset;
+            for &s in sources {
+                if !scratch.visited.test_and_set(slot(s, 0)) {
+                    scratch.queue.push_back((s, 0));
+                }
             }
-        }
-        while let Some((v, offset)) = queue.pop_front() {
-            if offset == 0 && hopped.insert(v) {
-                // Intra-shard hop: every vertex the shard's index proves
-                // reachable from v under block+ joins the closure at a
-                // repetition boundary.
-                let (shard_id, local) = self.index.locate(v);
-                if let Some(mr) = resolved[shard_id] {
-                    let shard = self.index.shard(shard_id);
-                    let mut found = false;
-                    shard.expander().for_each_target(
-                        shard.index(),
-                        local,
-                        mr,
-                        &mut expanded[shard_id],
-                        |local_target| {
-                            let w = self.index.partition().global(shard_id, local_target);
-                            if boundary.insert(w) && stop_at == Some(w) {
-                                found = true;
-                            }
-                            if visited.insert((w, 0)) {
-                                // Hop targets are already shard-complete:
-                                // mark them hopped so only their edge-wise
-                                // expansion (toward cut edges) runs.
-                                hopped.insert(w);
-                                queue.push_back((w, 0));
-                            }
-                        },
-                    );
-                    if found {
-                        return (boundary, true);
+            let mut found = false;
+            'search: while let Some((v, offset)) = scratch.queue.pop_front() {
+                let offset = offset as usize;
+                if offset == 0 && !scratch.hopped.test_and_set(v as usize) {
+                    // Intra-shard hop: every vertex the shard's index proves
+                    // reachable from v under block+ joins the closure at a
+                    // repetition boundary.
+                    let (shard_id, local) = self.index.locate(v);
+                    if let Some(mr) = resolved[shard_id] {
+                        let shard = self.index.shard(shard_id);
+                        shard.expander().for_each_target(
+                            shard.index(),
+                            local,
+                            mr,
+                            &mut expanded[shard_id],
+                            |local_target| {
+                                let w = self.index.partition().global(shard_id, local_target);
+                                if !scratch.boundary.test_and_set(w as usize) && stop_at == Some(w)
+                                {
+                                    found = true;
+                                }
+                                if !scratch.visited.test_and_set(slot(w, 0)) {
+                                    // Hop targets are already shard-complete:
+                                    // mark them hopped so only their edge-wise
+                                    // expansion (toward cut edges) runs.
+                                    scratch.hopped.test_and_set(w as usize);
+                                    scratch.queue.push_back((w, 0));
+                                }
+                            },
+                        );
+                        if found {
+                            break 'search;
+                        }
+                    }
+                }
+                // Edge-wise product transition — exactness: cut edges can be
+                // crossed at any offset, and partial in-shard stretches feed
+                // the portals.
+                let expected = block[offset];
+                for (w, label) in self.graph.out_edges(v) {
+                    if label != expected {
+                        continue;
+                    }
+                    // Single-label blocks: a matching intra-shard edge IS a
+                    // whole repetition, so the hop already covered its target
+                    // (index completeness also guarantees a shard with any
+                    // matching intra-shard edge has the repeat in its catalog);
+                    // only cut edges need walking, which is where the stitched
+                    // search genuinely beats a full-graph product BFS.
+                    if klen == 1
+                        && self.index.partition().shard_of(w) == self.index.partition().shard_of(v)
+                    {
+                        continue;
+                    }
+                    let next = (offset + 1) % klen;
+                    if next == 0 {
+                        // Record the boundary before the visited check (a
+                        // cycle back to a source still closes a repetition),
+                        // exactly like the unsharded repetition closure.
+                        if !scratch.boundary.test_and_set(w as usize) && stop_at == Some(w) {
+                            found = true;
+                            break 'search;
+                        }
+                    }
+                    if !scratch.visited.test_and_set(slot(w, next)) {
+                        scratch.queue.push_back((w, next as u32));
                     }
                 }
             }
-            // Edge-wise product transition — exactness: cut edges can be
-            // crossed at any offset, and partial in-shard stretches feed
-            // the portals.
-            let expected = block[offset];
-            for (w, label) in self.graph.out_edges(v) {
-                if label != expected {
-                    continue;
-                }
-                // Single-label blocks: a matching intra-shard edge IS a
-                // whole repetition, so the hop already covered its target
-                // (index completeness also guarantees a shard with any
-                // matching intra-shard edge has the repeat in its catalog);
-                // only cut edges need walking, which is where the stitched
-                // search genuinely beats a full-graph product BFS.
-                if klen == 1
-                    && self.index.partition().shard_of(w) == self.index.partition().shard_of(v)
-                {
-                    continue;
-                }
-                let next = (offset + 1) % klen;
-                if next == 0 {
-                    // Record the boundary before the visited check (a cycle
-                    // back to a source still closes a repetition), exactly
-                    // like the unsharded repetition closure.
-                    if boundary.insert(w) && stop_at == Some(w) {
-                        return (boundary, true);
-                    }
-                }
-                if visited.insert((w, next)) {
-                    queue.push_back((w, next));
-                }
+            if !found {
+                found = stop_at.is_some_and(|t| scratch.boundary.contains(t as usize));
             }
-        }
-        let found = stop_at.is_some_and(|t| boundary.contains(&t));
-        (boundary, found)
+            let mut closure = Vec::with_capacity(scratch.boundary.count());
+            scratch
+                .boundary
+                .for_each_set(|v| closure.push(v as VertexId));
+            (closure, found)
+        })
     }
 
     /// Evaluates a constraint with per-shard resolutions in hand: local
@@ -335,7 +357,7 @@ impl<'g> ShardedEngine<'g> {
             if closure.is_empty() {
                 return false;
             }
-            frontier = closure.into_iter().collect();
+            frontier = closure;
         }
         let (_, found) = self.stitched_closure(
             &frontier,
@@ -444,7 +466,7 @@ impl ReachabilityEngine for ShardedEngine<'_> {
                         dead = true;
                         break;
                     }
-                    frontier = closure.into_iter().collect();
+                    frontier = closure;
                 }
                 if dead {
                     continue; // every unresolved target stays Ok(false)
@@ -462,7 +484,8 @@ impl ReachabilityEngine for ShardedEngine<'_> {
                     let (closure, _) =
                         self.stitched_closure(&frontier, last_block, Some(last_mrs), None);
                     for &i in &unresolved {
-                        answers[i] = Ok(closure.contains(&pairs[i].1));
+                        // The closure is in ascending vertex order.
+                        answers[i] = Ok(closure.binary_search(&pairs[i].1).is_ok());
                     }
                 }
             }
@@ -715,6 +738,18 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.stale_drops, 1, "the old plan was dropped");
         assert_eq!(stats.misses, 2, "the rebuild forced a re-prepare");
+    }
+
+    #[test]
+    fn stats_price_the_stitch_scratch() {
+        let g = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 7));
+        let (sharded, _) = ShardedIndex::build(&g, &ShardBuildConfig::new(2, 2)).unwrap();
+        let engine = ShardedEngine::new(&g, &sharded);
+        // A cross-shard pair always runs the stitcher, so this thread's
+        // pooled kernel scratch has grown word tables to report.
+        let q = Query::rlc(0, 49, vec![Label(0), Label(1)]).unwrap();
+        let _ = engine.evaluate(&q);
+        assert!(sharded.stats().stitch_scratch_bytes > 0);
     }
 
     #[test]

@@ -140,6 +140,13 @@ pub struct ShardedStats {
     pub vertices: usize,
     /// Total approximate resident bytes across shards.
     pub memory_bytes: usize,
+    /// Resident bytes of the calling thread's pooled stitch scratch — the
+    /// bit-parallel visited/boundary word tables
+    /// ([`rlc_core::kernel::FrontierSet`]) that stitched queries on this
+    /// thread have grown and parked for reuse. Kept separate from
+    /// `memory_bytes` (which is per index, not per thread) so byte
+    /// accounting stays honest after the word-representation change.
+    pub stitch_scratch_bytes: usize,
 }
 
 /// A vertex-partitioned RLC index: `S` per-shard indexes plus the cut-edge
@@ -359,6 +366,7 @@ impl ShardedIndex {
             cut_edges: self.cut_edges.len(),
             vertices: self.partition.vertex_count(),
             memory_bytes: self.memory_bytes(),
+            stitch_scratch_bytes: rlc_core::kernel::pooled_scratch_bytes(),
             shards,
         }
     }

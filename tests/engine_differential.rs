@@ -1,25 +1,30 @@
 //! Cross-engine differential test: every `ReachabilityEngine` implementation
 //! in the workspace — the RLC index, hybrid evaluation, the three online
-//! traversals, the extended transitive closure, and the three simulated
-//! mainstream engines — must return identical answers over seeded
-//! Erdős–Rényi graphs, on plain RLC constraints, on concatenated
-//! constraints, and through every evaluation mode the redesigned API
-//! offers: one-shot `evaluate`, the prepare/execute split, the naive
-//! parallel batch path, and the constraint-grouping `BatchPlan`. Invalid
-//! queries must produce identical *errors* across the modes of each engine
-//! (error parity), and the planner must prepare each distinct constraint
-//! exactly once while returning answers in submission order.
+//! traversals, the extended transitive closure, the three simulated
+//! mainstream engines, and the sharded engine — must return identical
+//! answers over seeded Erdős–Rényi graphs, on plain RLC constraints, on
+//! concatenated constraints, and through every evaluation mode the
+//! redesigned API offers: one-shot `evaluate`, the prepare/execute split,
+//! the naive parallel batch path, and the constraint-grouping `BatchPlan`.
+//! Invalid queries must produce identical *errors* across the modes of each
+//! engine (error parity), and the planner must prepare each distinct
+//! constraint exactly once while returning answers in submission order.
+//! The whole ten-engine differential also holds under both forced frontier
+//! kernel backends (`set_kernel`): the bit-parallel SIMD lane must be
+//! observationally identical to the portable generic lane — same answers
+//! AND same errors.
 
 use rlc::engines::all_engines;
 use rlc::graph::generate::{erdos_renyi, SyntheticConfig};
 use rlc::index::repeats::enumerate_minimum_repeats;
 use rlc::prelude::*;
 
-/// Collects all nine evaluator implementations over one graph.
+/// Collects all ten evaluator implementations over one graph.
 fn full_roster<'g>(
     graph: &'g LabeledGraph,
     index: &'g RlcIndex,
     etc: &'g EtcIndex,
+    sharded: &'g ShardedIndex,
 ) -> Vec<Box<dyn ReachabilityEngine + 'g>> {
     let mut engines: Vec<Box<dyn ReachabilityEngine + 'g>> = vec![
         Box::new(IndexEngine::new(graph, index)),
@@ -28,9 +33,18 @@ fn full_roster<'g>(
         Box::new(BiBfsEngine::new(graph)),
         Box::new(DfsEngine::new(graph)),
         Box::new(EtcEngine::new(graph, etc)),
+        Box::new(ShardedEngine::new(graph, sharded)),
     ];
     engines.extend(all_engines(graph));
     engines
+}
+
+/// Builds the sharded index for the roster: two hash-partitioned shards, so
+/// cross-shard pairs genuinely exercise the boundary-hub stitcher.
+fn build_sharded(graph: &LabeledGraph) -> ShardedIndex {
+    let config = ShardBuildConfig::new(2, 2).with_strategy(PartitionStrategy::Hash { seed: 5 });
+    let (sharded, _) = ShardedIndex::build(graph, &config).expect("shard count is valid");
+    sharded
 }
 
 /// A shared query set covering every vertex-pair sample and every minimum
@@ -85,13 +99,18 @@ fn mixed_batch(graph: &LabeledGraph) -> Vec<Query> {
 }
 
 #[test]
-fn all_nine_engines_agree_on_rlc_queries() {
+fn all_ten_engines_agree_on_rlc_queries() {
     for seed in [3u64, 17, 42] {
         let graph = erdos_renyi(&SyntheticConfig::new(90, 3.0, 3, seed));
         let (index, _) = build_index(&graph, &BuildConfig::new(2));
         let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
-        let engines = full_roster(&graph, &index, &etc);
-        assert_eq!(engines.len(), 9, "the differential roster must be complete");
+        let sharded = build_sharded(&graph);
+        let engines = full_roster(&graph, &index, &etc, &sharded);
+        assert_eq!(
+            engines.len(),
+            10,
+            "the differential roster must be complete"
+        );
 
         let queries = shared_queries(&graph, 2, 7);
         assert!(queries.len() > 100, "sample must be meaningful");
@@ -112,11 +131,12 @@ fn all_nine_engines_agree_on_rlc_queries() {
 }
 
 #[test]
-fn all_nine_engines_agree_on_concatenated_queries() {
+fn all_ten_engines_agree_on_concatenated_queries() {
     let graph = erdos_renyi(&SyntheticConfig::new(70, 3.0, 3, 99));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
-    let engines = full_roster(&graph, &index, &etc);
+    let sharded = build_sharded(&graph);
+    let engines = full_roster(&graph, &index, &etc, &sharded);
 
     let l0 = Label(0);
     let l1 = Label(1);
@@ -151,7 +171,8 @@ fn batch_answers_equal_single_answers_for_every_engine() {
     let graph = erdos_renyi(&SyntheticConfig::new(80, 3.0, 3, 7));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
-    let engines = full_roster(&graph, &index, &etc);
+    let sharded = build_sharded(&graph);
+    let engines = full_roster(&graph, &index, &etc, &sharded);
 
     let queries = shared_queries(&graph, 2, 5);
     for engine in &engines {
@@ -164,15 +185,15 @@ fn batch_answers_equal_single_answers_for_every_engine() {
 
 #[test]
 fn prepared_and_planned_evaluation_match_one_shot_for_every_engine() {
-    // The central differential of the prepare/execute redesign: for all nine
-    // engines, a mixed batch (shared constraints, repeated sources, and a
+    // The central differential of the prepare/execute redesign: for all ten engines, a mixed batch (shared constraints, repeated sources, and a
     // constraint invalid for the k-bounded engines) must produce identical
     // results — including identical errors — through all four evaluation
     // modes.
     let graph = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 23));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
-    let engines = full_roster(&graph, &index, &etc);
+    let sharded = build_sharded(&graph);
+    let engines = full_roster(&graph, &index, &etc, &sharded);
 
     let queries = mixed_batch(&graph);
     let plan = BatchPlan::new(&queries);
@@ -253,7 +274,7 @@ fn prepared_and_planned_evaluation_match_one_shot_for_every_engine() {
 
 #[test]
 fn cached_and_uncached_planned_batches_are_identical_for_every_engine() {
-    // The cross-batch face of the differential: for all nine engines, three
+    // The cross-batch face of the differential: for all ten engines, three
     // repeated executions of a mixed batch through one shared PlanCache
     // must return exactly the uncached answers — including identical errors
     // (the cache retains rejections too) — while preparing each distinct
@@ -261,7 +282,8 @@ fn cached_and_uncached_planned_batches_are_identical_for_every_engine() {
     let graph = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 31));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
-    let engines = full_roster(&graph, &index, &etc);
+    let sharded = build_sharded(&graph);
+    let engines = full_roster(&graph, &index, &etc, &sharded);
 
     let queries = mixed_batch(&graph);
     let plan = BatchPlan::new(&queries);
@@ -335,7 +357,8 @@ fn batch_plan_prepares_each_constraint_once_for_every_engine() {
     let graph = erdos_renyi(&SyntheticConfig::new(50, 3.0, 3, 11));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
-    let engines = full_roster(&graph, &index, &etc);
+    let sharded = build_sharded(&graph);
+    let engines = full_roster(&graph, &index, &etc, &sharded);
 
     let queries = mixed_batch(&graph);
     let plan = BatchPlan::new(&queries);
@@ -435,11 +458,12 @@ fn batch_answers_match_the_verified_workload() {
     let graph = erdos_renyi(&SyntheticConfig::new(200, 3.0, 4, 21));
     let (index, _) = build_index(&graph, &BuildConfig::new(2));
     let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let sharded = build_sharded(&graph);
     let workload = generate_query_set(&graph, &QueryGenConfig::small(30, 30, 2, 4));
     let queries: Vec<Query> = workload.iter().map(|(q, _)| Query::from(q)).collect();
     let expected: Vec<Result<bool, QueryError>> = workload.iter().map(|(_, e)| Ok(e)).collect();
     let plan = BatchPlan::new(&queries);
-    for engine in full_roster(&graph, &index, &etc) {
+    for engine in full_roster(&graph, &index, &etc, &sharded) {
         assert_eq!(
             engine.evaluate_batch(&queries),
             expected,
@@ -453,4 +477,90 @@ fn batch_answers_match_the_verified_workload() {
             engine.name()
         );
     }
+}
+
+#[test]
+fn ten_engine_differential_holds_under_both_forced_backends() {
+    // The PR 6 differential: forcing the frontier-kernel backend must be
+    // observationally invisible. Every one of the ten engines answers a
+    // valid shared query set identically to the index reference under the
+    // forced generic lane and under the forced SIMD lane, and on the mixed
+    // batch (which contains over-long constraints and out-of-range ids)
+    // the per-engine result vectors — answers AND errors, one-shot and
+    // planned — are identical between the two backends. On hardware
+    // without SIMD support the forced SIMD lane degrades to generic and
+    // the comparison is trivially (but still soundly) exercised.
+    let graph = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 77));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let sharded = build_sharded(&graph);
+    let engines = full_roster(&graph, &index, &etc, &sharded);
+    assert_eq!(
+        engines.len(),
+        10,
+        "the differential roster must be complete"
+    );
+
+    let valid = shared_queries(&graph, 2, 9);
+    let mixed = mixed_batch(&graph);
+    let plan = BatchPlan::new(&mixed);
+
+    type Results = Vec<Result<bool, QueryError>>;
+    let mut per_backend: Vec<Vec<(Results, Results)>> = Vec::new();
+    for choice in [KernelChoice::Generic, KernelChoice::Simd] {
+        let backend = set_kernel(choice);
+        // Within one forced backend, all ten engines agree on every valid
+        // query.
+        for query in &valid {
+            let reference = engines[0].evaluate(query);
+            assert!(reference.is_ok(), "valid query must evaluate");
+            for engine in &engines[1..] {
+                assert_eq!(
+                    engine.evaluate(query),
+                    reference,
+                    "backend {backend}: {} disagrees with {} on {query:?}",
+                    engine.name(),
+                    engines[0].name()
+                );
+            }
+        }
+        // Record every engine's one-shot and planned results on the mixed
+        // batch, error rows included.
+        per_backend.push(
+            engines
+                .iter()
+                .map(|engine| {
+                    let one_shot: Results = mixed.iter().map(|q| engine.evaluate(q)).collect();
+                    let planned = plan.execute(engine.as_ref());
+                    (one_shot, planned)
+                })
+                .collect(),
+        );
+    }
+    set_kernel(KernelChoice::Auto);
+
+    let simd = per_backend.pop().unwrap();
+    let generic = per_backend.pop().unwrap();
+    for (i, engine) in engines.iter().enumerate() {
+        assert_eq!(
+            generic[i].0,
+            simd[i].0,
+            "{}: one-shot answers/errors differ between forced backends",
+            engine.name()
+        );
+        assert_eq!(
+            generic[i].1,
+            simd[i].1,
+            "{}: planned answers/errors differ between forced backends",
+            engine.name()
+        );
+    }
+    // Error parity between backends is non-vacuous: the mixed batch really
+    // produced errors.
+    assert!(
+        generic
+            .iter()
+            .any(|(one_shot, _)| one_shot.iter().any(|r| r.is_err())),
+        "the mixed batch must contain error rows"
+    );
 }
