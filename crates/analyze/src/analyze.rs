@@ -1,0 +1,176 @@
+//! Per-file analysis: lex, classify, run rules, apply suppressions.
+
+use crate::lexer::{lex, Token};
+use crate::rules::{self, FileContext, Finding, SUPPRESSION_HYGIENE};
+use crate::scope::{classify, Scopes};
+use crate::suppress::{scan_comment, Scan, Suppression};
+
+/// The outcome of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that survived suppression, in source order.
+    pub findings: Vec<Finding>,
+    /// Every well-formed suppression directive in the file (used or not).
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Resolves the code line a directive on `line` applies to: the same line
+/// when code shares it (trailing comment), otherwise the next line that
+/// holds a token.
+fn target_line(tokens: &[Token], line: u32) -> u32 {
+    if tokens.iter().any(|t| t.line == line) {
+        return line;
+    }
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > line)
+        .min()
+        .unwrap_or(line)
+}
+
+/// Analyzes one file's source under its workspace-relative path.
+///
+/// The path drives classification (library vs test vs kernel), so tests
+/// can exercise any rule by choosing a virtual path for fixture content.
+pub fn analyze_source(path: &str, source: &str) -> FileReport {
+    let lexed = lex(source);
+    let scopes = Scopes::compute(&lexed.tokens);
+    let ctx = FileContext {
+        path,
+        class: classify(path),
+        tokens: &lexed.tokens,
+        scopes: &scopes,
+    };
+    let mut raw = rules::run_rules(&ctx);
+    raw.sort();
+    raw.dedup();
+
+    // Collect directives, reporting malformed ones as hygiene findings.
+    let known: Vec<&str> = rules::RULES.iter().map(|r| r.id).collect();
+    let suppressible = rules::suppressible_rules();
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut hygiene: Vec<Finding> = Vec::new();
+    for comment in &lexed.comments {
+        match scan_comment(comment, &known) {
+            Scan::NotDirective => {}
+            Scan::Malformed(problem) => hygiene.push(Finding {
+                file: path.to_owned(),
+                line: comment.line,
+                col: comment.col,
+                rule: SUPPRESSION_HYGIENE,
+                message: problem,
+            }),
+            Scan::Directive { rule, reason } => {
+                if !suppressible.contains(&rule.as_str()) {
+                    hygiene.push(Finding {
+                        file: path.to_owned(),
+                        line: comment.line,
+                        col: comment.col,
+                        rule: SUPPRESSION_HYGIENE,
+                        message: format!(
+                            "rule `{rule}` cannot be suppressed; fix the violation instead"
+                        ),
+                    });
+                    continue;
+                }
+                suppressions.push(Suppression {
+                    target_line: target_line(&lexed.tokens, comment.line),
+                    rule,
+                    reason,
+                    line: comment.line,
+                    col: comment.col,
+                    used: false,
+                });
+            }
+        }
+    }
+
+    // Discharge findings against suppressions.
+    let mut findings: Vec<Finding> = Vec::new();
+    for finding in raw {
+        let slot = suppressions
+            .iter_mut()
+            .find(|s| s.rule == finding.rule && s.target_line == finding.line);
+        match slot {
+            Some(suppression) => suppression.used = true,
+            None => findings.push(finding),
+        }
+    }
+
+    // A directive that discharged nothing is stale and must go.
+    for suppression in &suppressions {
+        if !suppression.used {
+            hygiene.push(Finding {
+                file: path.to_owned(),
+                line: suppression.line,
+                col: suppression.col,
+                rule: SUPPRESSION_HYGIENE,
+                message: format!(
+                    "suppression of `{}` does not match any finding on line {}; remove the \
+                     stale directive",
+                    suppression.rule, suppression.target_line
+                ),
+            });
+        }
+    }
+
+    findings.extend(hygiene);
+    findings.sort();
+    FileReport {
+        findings,
+        suppressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    #[test]
+    fn trailing_suppression_discharges_finding() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"set\") \
+                   // rlc-analyze: allow(panic-free-library) — checked by caller\n}\n";
+        let report = analyze_source(LIB, src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressions.len(), 1);
+        assert!(report.suppressions[0].used);
+    }
+
+    #[test]
+    fn preceding_line_suppression_discharges_finding() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    \
+                   // rlc-analyze: allow(panic-free-library) — checked by caller\n    \
+                   x.unwrap()\n}\n";
+        let report = analyze_source(LIB, src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.suppressions[0].used);
+    }
+
+    #[test]
+    fn stale_suppression_is_reported() {
+        let src = "// rlc-analyze: allow(panic-free-library) — nothing here\nfn f() {}\n";
+        let report = analyze_source(LIB, src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, SUPPRESSION_HYGIENE);
+    }
+
+    #[test]
+    fn unsuppressible_rule_rejects_directive() {
+        let src = "// rlc-analyze: allow(unsafe-confinement) — trust me\nfn f() {}\n";
+        let report = analyze_source(LIB, src);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("cannot be suppressed"));
+    }
+
+    #[test]
+    fn wrong_rule_does_not_discharge() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    \
+                   // rlc-analyze: allow(atomic-ordering) — wrong rule\n    x.unwrap()\n}\n";
+        let report = analyze_source(LIB, src);
+        // The unwrap finding stays, and the directive is stale: two findings.
+        assert_eq!(report.findings.len(), 2);
+    }
+}

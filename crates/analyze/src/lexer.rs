@@ -1,0 +1,619 @@
+//! A hand-rolled Rust lexer producing position-stamped tokens.
+//!
+//! The analyzer's rules are lexical, so the one job this module must do
+//! perfectly is *classification*: an `unsafe` inside a string literal, a
+//! doc comment, or a nested block comment is not an `unsafe` keyword, and
+//! `'static` is a lifetime while `'s'` is a char literal. The lexer handles
+//! line comments, nested block comments, string/char/byte literals,
+//! raw strings with arbitrary `#` guards, raw identifiers, lifetimes, and
+//! numeric literals. Everything else becomes a single-character punctuation
+//! token — the rules only ever match identifier sequences and punctuation,
+//! so multi-character operators are not needed.
+//!
+//! Comments are not tokens: they are returned in a side list so the
+//! suppression scanner can read `// rlc-analyze: allow(...)` directives
+//! without the rules ever seeing comment text.
+
+/// Classification of a lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish them).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// Numeric literal (integer or float, any radix, with suffix).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`. The text is the raw source slice including delimiters.
+    Str,
+    /// Char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The source text of the token (for [`TokenKind::Punct`], one char).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if the token is a punctuation token with exactly this char.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// A comment with its 1-based source position (text includes delimiters).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full comment text including `//` or `/* */` delimiters.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based column of the comment's first character.
+    pub col: u32,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(source: &str) -> Self {
+        Cursor {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+}
+
+fn is_ident_start(ch: char) -> bool {
+    ch == '_' || ch.is_alphabetic()
+}
+
+fn is_ident_continue(ch: char) -> bool {
+    ch == '_' || ch.is_alphanumeric()
+}
+
+/// Lexes `source`, returning tokens and comments with 1-based positions.
+///
+/// The lexer is total: malformed input (an unterminated string or comment)
+/// consumes to end of file rather than failing, so the analyzer can always
+/// report on a file even mid-edit.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor::new(source);
+    let mut out = Lexed::default();
+    while let Some(ch) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if ch.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if ch == '/' && cur.peek_at(1) == Some('/') {
+            out.comments.push(line_comment(&mut cur, line, col));
+            continue;
+        }
+        if ch == '/' && cur.peek_at(1) == Some('*') {
+            out.comments.push(block_comment(&mut cur, line, col));
+            continue;
+        }
+        let token = match ch {
+            '"' => string_literal(&mut cur, line, col),
+            '\'' => quote_token(&mut cur, line, col),
+            'r' | 'b' => prefixed_token(&mut cur, line, col),
+            c if is_ident_start(c) => ident(&mut cur, line, col),
+            c if c.is_ascii_digit() => number(&mut cur, line, col),
+            _ => {
+                let mut text = String::new();
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+                Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                    col,
+                }
+            }
+        };
+        out.tokens.push(token);
+    }
+    out
+}
+
+fn line_comment(cur: &mut Cursor, line: u32, col: u32) -> Comment {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek() {
+        if ch == '\n' {
+            break;
+        }
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    Comment { text, line, col }
+}
+
+fn block_comment(cur: &mut Cursor, line: u32, col: u32) -> Comment {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(ch) = cur.peek() {
+        if ch == '/' && cur.peek_at(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if ch == '*' && cur.peek_at(1) == Some('/') {
+            depth = depth.saturating_sub(1);
+            text.push('*');
+            text.push('/');
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    Comment { text, line, col }
+}
+
+/// Consumes a `"…"` string with backslash escapes (opening quote at cursor).
+fn string_literal(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    if let Some(c) = cur.bump() {
+        text.push(c); // opening quote
+    }
+    while let Some(ch) = cur.peek() {
+        if ch == '\\' {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            continue;
+        }
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+        if ch == '"' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Consumes a raw string `r"…"` / `r#"…"#` (cursor on the first `#` or `"`
+/// after the prefix; `text` already holds the prefix).
+fn raw_string(cur: &mut Cursor, mut text: String, line: u32, col: u32) -> Token {
+    let mut guards = 0usize;
+    while cur.peek() == Some('#') {
+        guards += 1;
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    if cur.peek() == Some('"') {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+        while let Some(ch) = cur.bump() {
+            text.push(ch);
+            if ch == '"' {
+                let closing = (0..guards).all(|i| cur.peek_at(i) == Some('#'));
+                if closing {
+                    for _ in 0..guards {
+                        if let Some(c) = cur.bump() {
+                            text.push(c);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Disambiguates tokens starting with `r` or `b`: raw strings (`r"`,
+/// `r#"`), byte strings (`b"`, `br"`, `br#"`), byte chars (`b'x'`), raw
+/// identifiers (`r#ident`), or plain identifiers.
+fn prefixed_token(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let first = cur.peek().unwrap_or('r');
+    let mut offset = 1;
+    if first == 'b' && cur.peek_at(1) == Some('r') {
+        offset = 2;
+    }
+    // How the prefix continues decides the token class.
+    let mut guard_end = offset;
+    while cur.peek_at(guard_end) == Some('#') {
+        guard_end += 1;
+    }
+    let after_guards = cur.peek_at(guard_end);
+    let raw_prefix = offset == 2 || first == 'r';
+    if raw_prefix && after_guards == Some('"') {
+        let mut text = String::new();
+        for _ in 0..offset {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+        }
+        return raw_string(cur, text, line, col);
+    }
+    if first == 'b' && cur.peek_at(1) == Some('"') {
+        let mut text = String::new();
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+        let inner = string_literal(cur, line, col);
+        text.push_str(&inner.text);
+        return Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+            col,
+        };
+    }
+    if first == 'b' && cur.peek_at(1) == Some('\'') {
+        let mut text = String::new();
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+        let inner = quote_token(cur, line, col);
+        text.push_str(&inner.text);
+        return Token {
+            kind: TokenKind::Char,
+            text,
+            line,
+            col,
+        };
+    }
+    if first == 'r' && cur.peek_at(1) == Some('#') && after_guards.map(is_ident_start) == Some(true)
+    {
+        // Raw identifier `r#ident`: skip the prefix, lex the identifier.
+        cur.bump();
+        cur.bump();
+        let mut token = ident(cur, line, col);
+        token.text = format!("r#{}", token.text);
+        return token;
+    }
+    ident(cur, line, col)
+}
+
+/// Disambiguates `'…`: a lifetime (`'a`, `'static`, `'_`) or a char
+/// literal (`'x'`, `'\n'`, `'''`). Cursor is on the opening quote.
+fn quote_token(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    if let Some(c) = cur.bump() {
+        text.push(c); // opening quote
+    }
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume the escape, then to the close.
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            while let Some(ch) = cur.bump() {
+                text.push(ch);
+                if ch == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'x'` is a char literal; `'x` followed by anything else is a
+            // lifetime. One character of lookahead past the ident char
+            // decides.
+            if cur.peek_at(1) == Some('\'') {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+                return Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                };
+            }
+            let mut name = String::new();
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                if let Some(c) = cur.bump() {
+                    name.push(c);
+                }
+            }
+            Token {
+                kind: TokenKind::Lifetime,
+                text: name,
+                line,
+                col,
+            }
+        }
+        Some(_) => {
+            // Non-identifier char literal such as `'%'` or `'('`.
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            if cur.peek() == Some('\'') {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        None => Token {
+            kind: TokenKind::Char,
+            text,
+            line,
+            col,
+        },
+    }
+}
+
+fn ident(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek() {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+fn number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek() {
+        if is_ident_continue(ch) {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            continue;
+        }
+        // A `.` continues the number only when followed by a digit, so
+        // range expressions like `0..n` stay three tokens.
+        if ch == '.' && cur.peek_at(1).map(|c| c.is_ascii_digit()) == Some(true) {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            continue;
+        }
+        break;
+    }
+    Token {
+        kind: TokenKind::Number,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_positions() {
+        let lexed = lex("fn main() {\n    let x = 1;\n}\n");
+        let t = &lexed.tokens;
+        assert!(t[0].is_ident("fn"));
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert!(t[1].is_ident("main"));
+        assert_eq!((t[1].line, t[1].col), (1, 4));
+        let let_tok = t.iter().find(|t| t.is_ident("let")).unwrap();
+        assert_eq!((let_tok.line, let_tok.col), (2, 5));
+    }
+
+    #[test]
+    fn line_and_block_comments_are_side_channel() {
+        let lexed = lex("// unsafe here\nlet a = 1; /* unsafe { } */ let b = 2;\n");
+        assert!(lexed.tokens.iter().all(|t| !t.is_ident("unsafe")));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, "// unsafe here");
+        assert_eq!(lexed.comments[1].text, "/* unsafe { } */");
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner unsafe */ still comment */ let x = 1;");
+        assert!(lexed.tokens.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("let")));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.ends_with("still comment */"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r#"let s = "unsafe { panic!() }"; let t = 1;"#);
+        assert!(lexed.tokens.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(lexed.tokens.iter().all(|t| !t.is_ident("panic")));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("unsafe")));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let source = r###"let s = r#"embedded "quote" and unsafe"#; let x = 1;"###;
+        let lexed = lex(source);
+        let raw = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .unwrap();
+        assert_eq!(raw.text, r###"r#"embedded "quote" and unsafe"#"###);
+        assert!(lexed.tokens.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn raw_string_spanning_lines_keeps_later_positions_honest() {
+        let lexed = lex("let s = r\"line one\nline two\";\nlet y = 1;");
+        let y = lexed.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!((y.line, y.col), (3, 5));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let lexed = lex(r##"let a = b"unsafe"; let c = b'x'; let d = br#"raw"#;"##);
+        assert!(lexed.tokens.iter().all(|t| !t.is_ident("unsafe")));
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Char));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let lexed = lex("fn f<'a>(x: &'a str, y: &'static str) { let c = 's'; let d = '\\''; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'s'", "'\\''"]);
+    }
+
+    #[test]
+    fn underscore_lifetime_and_wildcard() {
+        let lexed = lex("fn f(x: &'_ str) {}");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "_"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let got = kinds("let r#fn = 1;");
+        assert!(got.contains(&(TokenKind::Ident, "r#fn".to_owned())));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let got = kinds("for i in 0..10 { let f = 1.5e3; let h = 0xFF_u32; }");
+        assert!(got.contains(&(TokenKind::Number, "0".to_owned())));
+        assert!(got.contains(&(TokenKind::Number, "10".to_owned())));
+        assert!(got.contains(&(TokenKind::Number, "0xFF_u32".to_owned())));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panicking() {
+        let lexed = lex("let s = \"never closed\nfn g() {}");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Str));
+    }
+}

@@ -1,0 +1,75 @@
+//! # rlc-analyze
+//!
+//! Workspace-aware static analysis enforcing the repo's safety
+//! invariants. Six PRs of hardening discipline — `unsafe` confined to
+//! `crates/core/src/kernel.rs`, panic-free library surfaces,
+//! division-form bound checks on every untrusted length, atomics with
+//! documented orderings, a closed deprecation cycle — were enforced by
+//! grep gates and reviewer memory; this crate turns them into checked
+//! tooling.
+//!
+//! The analyzer is a hand-rolled Rust lexer (comments, nested block
+//! comments, string/char/raw-string literals, lifetimes — so a banned
+//! construct in documentation is *not* a violation) feeding a small rule
+//! engine that walks every `.rs` file under `crates/`, `src/`, `tests/`,
+//! and `examples/` and emits `file:line:col` diagnostics with rule ids.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p rlc-analyze -- check --stats
+//! cargo run -p rlc-analyze -- check --json
+//! cargo run -p rlc-analyze -- rules
+//! ```
+//!
+//! The rule catalog lives in [`rules::RULES`]; findings can be
+//! acknowledged in place with `rlc-analyze: allow(<rule>) — <reason>`
+//! suppression directives (see [`suppress`]), which are themselves
+//! counted, reported, and flagged when stale.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyze;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+pub mod suppress;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use analyze::{analyze_source, FileReport};
+pub use report::{CheckOutcome, SuppressionRecord};
+pub use rules::{Finding, RULES};
+
+/// Analyzes every workspace source file under `root`.
+///
+/// I/O errors (unreadable file, missing root) surface as `Err`; rule
+/// findings are data, not errors.
+pub fn run_check(root: &Path) -> io::Result<CheckOutcome> {
+    let files = walk::workspace_files(root)?;
+    let mut outcome = CheckOutcome {
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+    for (rel, abs) in files {
+        let source = std::fs::read_to_string(&abs)?;
+        let report = analyze_source(&rel, &source);
+        outcome.findings.extend(report.findings);
+        outcome
+            .suppressions
+            .extend(report.suppressions.into_iter().map(|s| SuppressionRecord {
+                file: rel.clone(),
+                line: s.line,
+                rule: s.rule,
+                reason: s.reason,
+                used: s.used,
+            }));
+    }
+    outcome.findings.sort();
+    Ok(outcome)
+}

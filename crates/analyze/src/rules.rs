@@ -1,0 +1,468 @@
+//! The rule catalog and the lexical rule implementations.
+//!
+//! Each rule walks the classified token stream of one file and emits
+//! [`Finding`]s. Rules never see comment or string-literal text — the
+//! lexer already classified those — so, unlike the grep gates these rules
+//! replaced, a banned construct mentioned in documentation is not a
+//! violation.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope::{FileClass, FnSpan, Scopes};
+
+/// One diagnostic: a rule violated at a source position.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id from [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// `unsafe` is confined to `crates/core/src/kernel.rs`.
+pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
+/// Architecture intrinsics are confined to the kernel module.
+pub const INTRINSICS_CONFINEMENT: &str = "intrinsics-confinement";
+/// Library surfaces are panic-free outside `#[cfg(test)]`.
+pub const PANIC_FREE_LIBRARY: &str = "panic-free-library";
+/// Decoded lengths must flow through the division-form bound checks.
+pub const UNTRUSTED_LENGTH: &str = "untrusted-length";
+/// `Ordering::Relaxed` only at allowlisted or justified sites.
+pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+/// The 0.2 deprecation cycle stays closed.
+pub const DEPRECATED_SURFACE: &str = "deprecated-surface";
+/// Suppression directives must be well-formed and in use.
+pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
+
+/// Catalog entry: a rule id and what it enforces.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable rule id (used in diagnostics and `allow(...)` directives).
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Whether `rlc-analyze: allow(...)` directives can discharge it.
+    pub suppressible: bool,
+}
+
+/// The rule catalog, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: UNSAFE_CONFINEMENT,
+        summary: "`unsafe` appears only in crates/core/src/kernel.rs",
+        suppressible: false,
+    },
+    RuleInfo {
+        id: INTRINSICS_CONFINEMENT,
+        summary: "core::arch/std::arch, feature detection, and #[target_feature] appear only in \
+                  crates/core/src/kernel.rs",
+        suppressible: false,
+    },
+    RuleInfo {
+        id: PANIC_FREE_LIBRARY,
+        summary: "no unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: UNTRUSTED_LENGTH,
+        summary: "in binary decode functions, allocations sized by decoded integers flow through \
+                  the shared division-form bound checks (checked_len)",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: ATOMIC_ORDERING,
+        summary: "Ordering::Relaxed only at allowlisted sites (kernel dispatch, generation \
+                  counter) or with a justifying suppression",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: DEPRECATED_SURFACE,
+        summary: "the retired 0.2 API surface (evaluate_rlc/evaluate_concat, #[deprecated]) \
+                  stays deleted",
+        suppressible: false,
+    },
+    RuleInfo {
+        id: SUPPRESSION_HYGIENE,
+        summary: "suppression directives parse, name a known rule, state a reason, and discharge \
+                  a real finding",
+        suppressible: false,
+    },
+];
+
+/// The ids of all suppressible rules.
+pub fn suppressible_rules() -> Vec<&'static str> {
+    RULES
+        .iter()
+        .filter(|r| r.suppressible)
+        .map(|r| r.id)
+        .collect()
+}
+
+/// Everything a rule needs to know about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Path-derived classification.
+    pub class: FileClass,
+    /// The token stream.
+    pub tokens: &'a [Token],
+    /// Test and function spans.
+    pub scopes: &'a Scopes,
+}
+
+impl FileContext<'_> {
+    fn finding(&self, token: &Token, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: self.path.to_owned(),
+            line: token.line,
+            col: token.col,
+            rule,
+            message,
+        }
+    }
+}
+
+/// Runs every rule over one file.
+pub fn run_rules(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    unsafe_confinement(ctx, &mut findings);
+    intrinsics_confinement(ctx, &mut findings);
+    panic_free_library(ctx, &mut findings);
+    untrusted_length(ctx, &mut findings);
+    atomic_ordering(ctx, &mut findings);
+    deprecated_surface(ctx, &mut findings);
+    findings
+}
+
+fn unsafe_confinement(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.class.is_kernel {
+        return;
+    }
+    for token in ctx.tokens {
+        if token.is_ident("unsafe") {
+            out.push(
+                ctx.finding(
+                    token,
+                    UNSAFE_CONFINEMENT,
+                    "`unsafe` outside crates/core/src/kernel.rs; unsafe code is confined to the \
+                 kernel module"
+                        .to_owned(),
+                ),
+            );
+        }
+    }
+}
+
+fn intrinsics_confinement(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.class.is_kernel {
+        return;
+    }
+    let tokens = ctx.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        let arch_path = token.is_ident("arch")
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && (tokens[i - 3].is_ident("core") || tokens[i - 3].is_ident("std"));
+        if arch_path {
+            out.push(
+                ctx.finding(
+                    token,
+                    INTRINSICS_CONFINEMENT,
+                    "architecture intrinsics path outside the kernel module; go through the \
+                 rlc_core::kernel WordOps dispatcher instead"
+                        .to_owned(),
+                ),
+            );
+        } else if token.is_ident("is_x86_feature_detected") {
+            out.push(
+                ctx.finding(
+                    token,
+                    INTRINSICS_CONFINEMENT,
+                    "feature detection outside the kernel module; the runtime dispatcher in \
+                 crates/core/src/kernel.rs owns CPU feature decisions"
+                        .to_owned(),
+                ),
+            );
+        } else if token.is_ident("target_feature") {
+            out.push(
+                ctx.finding(
+                    token,
+                    INTRINSICS_CONFINEMENT,
+                    "#[target_feature] outside the kernel module; SIMD entry points live behind \
+                 the kernel dispatcher"
+                        .to_owned(),
+                ),
+            );
+        }
+    }
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+fn panic_free_library(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !ctx.class.is_library {
+        return;
+    }
+    let tokens = ctx.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || ctx.scopes.in_test(i) {
+            continue;
+        }
+        let next_is = |ch: char| tokens.get(i + 1).map(|t| t.is_punct(ch)).unwrap_or(false);
+        if PANIC_MACROS.contains(&token.text.as_str()) && next_is('!') {
+            out.push(ctx.finding(
+                token,
+                PANIC_FREE_LIBRARY,
+                format!(
+                    "`{}!` in non-test library code; return a Result (QueryError or the \
+                     module's error type) instead",
+                    token.text
+                ),
+            ));
+        } else if PANIC_METHODS.contains(&token.text.as_str())
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && next_is('(')
+        {
+            out.push(ctx.finding(
+                token,
+                PANIC_FREE_LIBRARY,
+                format!(
+                    "`.{}(...)` in non-test library code; propagate the error, or suppress \
+                     with a stated reason if the call is genuinely infallible",
+                    token.text
+                ),
+            ));
+        }
+    }
+}
+
+/// True for functions that decode untrusted binary formats: the
+/// `from_bytes` loaders of RLC2/ETC1/RSH1 and the `from_binary_*` RLG1
+/// loader. The untrusted-length rule runs only inside these.
+fn is_decode_fn(name: &str) -> bool {
+    name == "from_bytes" || name.starts_with("from_binary")
+}
+
+fn untrusted_length(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let decode_fns: Vec<&FnSpan> = ctx
+        .scopes
+        .fns()
+        .iter()
+        .filter(|f| is_decode_fn(&f.name))
+        .collect();
+    for span in decode_fns {
+        // Nested decode helpers would be scanned twice via their parent's
+        // span; that is harmless (identical findings deduplicate later).
+        scan_decode_span(ctx, span, out);
+    }
+}
+
+fn scan_decode_span(ctx: &FileContext<'_>, span: &FnSpan, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    let mut i = span.start;
+    while i < span.end.min(tokens.len()) {
+        if ctx.scopes.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let token = &tokens[i];
+        // `Xyz::with_capacity(args)`
+        if token.is_ident("with_capacity")
+            && tokens.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false)
+        {
+            let close = close_delim(tokens, i + 1, '(', ')');
+            check_size_expr(ctx, span, i, &tokens[i + 2..close], out);
+            i = close + 1;
+            continue;
+        }
+        // `vec![value; count]`
+        if token.is_ident("vec")
+            && tokens.get(i + 1).map(|t| t.is_punct('!')).unwrap_or(false)
+            && tokens.get(i + 2).map(|t| t.is_punct('[')).unwrap_or(false)
+        {
+            let close = close_delim(tokens, i + 2, '[', ']');
+            if let Some(semi) = top_level_semi(tokens, i + 3, close) {
+                check_size_expr(ctx, span, i, &tokens[semi + 1..close], out);
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Index of the token closing the delimiter opened at `open` (exclusive
+/// bound of the contents).
+fn close_delim(tokens: &[Token], open: usize, open_ch: char, close_ch: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct(open_ch) {
+            depth += 1;
+        } else if tokens[i].is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Finds a `;` at delimiter depth zero within `start..end`.
+fn top_level_semi(tokens: &[Token], start: usize, end: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, token) in tokens
+        .iter()
+        .enumerate()
+        .take(end.min(tokens.len()))
+        .skip(start)
+    {
+        if token.is_punct('(') || token.is_punct('[') || token.is_punct('{') {
+            depth += 1;
+        } else if token.is_punct(')') || token.is_punct(']') || token.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if token.is_punct(';') && depth == 0 {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// The shared bound-check helper every decoded length must flow through.
+const BOUND_HELPER: &str = "checked_len";
+
+fn check_size_expr(
+    ctx: &FileContext<'_>,
+    span: &FnSpan,
+    alloc_idx: usize,
+    size_expr: &[Token],
+    out: &mut Vec<Finding>,
+) {
+    let idents: Vec<&str> = size_expr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    if idents.is_empty() {
+        return; // constant size: `with_capacity(16)` is not untrusted
+    }
+    // Look for an earlier `checked_len(...)` call in the same function
+    // whose arguments mention one of the identifiers sizing this
+    // allocation.
+    let tokens = ctx.tokens;
+    let mut i = span.start;
+    while i < alloc_idx.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.is_ident(BOUND_HELPER) && tokens.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false) {
+            let close = close_delim(tokens, i + 1, '(', ')');
+            let checked: Vec<&str> = tokens[i + 2..close]
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            if idents.iter().any(|id| checked.contains(id)) {
+                return;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out.push(ctx.finding(
+        &tokens[alloc_idx],
+        UNTRUSTED_LENGTH,
+        format!(
+            "allocation sized by `{}` in a binary decode function without a division-form \
+             bound check; route the length through {BOUND_HELPER}() first",
+            idents.join(" "),
+        ),
+    ));
+}
+
+/// Built-in allowlist for `atomic-ordering`: `(path suffix, identifier
+/// required on the same line)`. The kernel module is exempt wholesale (its
+/// documented-ordering discipline is enforced by review of one file); the
+/// generation counter's relaxed `fetch_add` is the one site outside it
+/// that is allowed by design rather than by suppression.
+const RELAXED_ALLOWLIST: &[(&str, &str)] = &[("crates/core/src/engine.rs", "NEXT_GENERATION")];
+
+fn atomic_ordering(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.class.is_kernel || !ctx.class.is_library {
+        return;
+    }
+    let tokens = ctx.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        let relaxed = token.is_ident("Relaxed")
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].is_ident("Ordering");
+        if !relaxed || ctx.scopes.in_test(i) {
+            continue;
+        }
+        let allowlisted = RELAXED_ALLOWLIST.iter().any(|(path, ident)| {
+            ctx.path.ends_with(path)
+                && tokens
+                    .iter()
+                    .any(|t| t.line == token.line && t.is_ident(ident))
+        });
+        if allowlisted {
+            continue;
+        }
+        out.push(
+            ctx.finding(
+                token,
+                ATOMIC_ORDERING,
+                "`Ordering::Relaxed` outside the allowlisted sites (kernel dispatch, generation \
+             counter); use a stronger ordering or justify with a suppression comment"
+                    .to_owned(),
+            ),
+        );
+    }
+}
+
+/// The retired API names from the 0.2 deprecation cycle.
+const RETIRED_IDENTS: &[&str] = &["evaluate_rlc", "evaluate_concat"];
+
+fn deprecated_surface(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind == TokenKind::Ident && RETIRED_IDENTS.contains(&token.text.as_str()) {
+            out.push(ctx.finding(
+                token,
+                DEPRECATED_SURFACE,
+                format!(
+                    "`{}` reintroduces the retired 0.2 evaluator surface; the replacement is \
+                     ReachabilityEngine::prepare/evaluate_prepared",
+                    token.text
+                ),
+            ));
+        }
+        // `#[deprecated]` / `#![deprecated]`: the deprecation cycle is
+        // closed, shims must not come back.
+        if token.is_ident("deprecated") && i >= 1 {
+            let attr = tokens[i - 1].is_punct('[')
+                && (i >= 2 && (tokens[i - 2].is_punct('#') || tokens[i - 2].is_punct('!')));
+            if attr {
+                out.push(
+                    ctx.finding(
+                        token,
+                        DEPRECATED_SURFACE,
+                        "`#[deprecated]` reintroduced; the workspace ships no transitional shims"
+                            .to_owned(),
+                    ),
+                );
+            }
+        }
+    }
+}

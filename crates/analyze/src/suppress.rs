@@ -1,0 +1,166 @@
+//! Suppression directives: `rlc-analyze: allow(<rule>) — <reason>`.
+//!
+//! A finding can be acknowledged in place with a plain `//` comment either
+//! on the offending line or on the line directly above it (its own line).
+//! The reason is mandatory: a suppression without a stated justification
+//! is itself reported. Only plain line comments carry directives — doc
+//! comments (`///`, `//!`) and block comments are documentation, so the
+//! syntax can be *described* there without being *interpreted*.
+//!
+//! Suppressions are first-class output: every one in force is counted and
+//! listed by `--json`/`--stats`, and a suppression that no longer matches
+//! any finding is flagged as stale so they cannot quietly accumulate.
+
+use crate::lexer::Comment;
+
+/// A parsed, well-formed suppression directive.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// The rule id being suppressed.
+    pub rule: String,
+    /// The stated justification (non-empty by construction).
+    pub reason: String,
+    /// 1-based line of the directive comment itself.
+    pub line: u32,
+    /// 1-based column of the directive comment.
+    pub col: u32,
+    /// The code line the directive applies to.
+    pub target_line: u32,
+    /// Set when a finding was discharged by this suppression.
+    pub used: bool,
+}
+
+/// A directive that failed to parse, with the reason it is malformed.
+#[derive(Clone, Debug)]
+pub struct MalformedSuppression {
+    /// What is wrong with the directive.
+    pub problem: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// 1-based column of the directive comment.
+    pub col: u32,
+}
+
+/// Result of scanning one comment.
+pub enum Scan {
+    /// Not a directive at all (ordinary comment or doc comment).
+    NotDirective,
+    /// A well-formed directive (target line not yet resolved).
+    Directive {
+        /// The rule id named in `allow(...)`.
+        rule: String,
+        /// The stated justification.
+        reason: String,
+    },
+    /// Something that tried to be a directive and failed.
+    Malformed(String),
+}
+
+/// Scans one comment for a suppression directive.
+///
+/// `known_rules` is the rule catalog; directives naming an unknown rule
+/// are malformed (a typoed rule id must not silently suppress nothing).
+pub fn scan_comment(comment: &Comment, known_rules: &[&str]) -> Scan {
+    let text = comment.text.as_str();
+    let Some(rest) = text.strip_prefix("//") else {
+        return Scan::NotDirective;
+    };
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return Scan::NotDirective; // doc comment: documentation, not directive
+    }
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("rlc-analyze:") else {
+        return Scan::NotDirective;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Scan::Malformed(
+            "expected `rlc-analyze: allow(<rule>) — <reason>` after the directive prefix"
+                .to_owned(),
+        );
+    };
+    let Some(close) = rest.find(')') else {
+        return Scan::Malformed("unclosed `allow(` in suppression directive".to_owned());
+    };
+    let rule = rest[..close].trim();
+    if !known_rules.contains(&rule) {
+        return Scan::Malformed(format!(
+            "unknown rule `{rule}` in suppression directive (known rules: {})",
+            known_rules.join(", ")
+        ));
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix('\u{2014}') // em dash
+        .or_else(|| after.strip_prefix("--"))
+        .or_else(|| after.strip_prefix('-'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Scan::Malformed(format!(
+            "suppression of `{rule}` has no reason; write `rlc-analyze: allow({rule}) — <why \
+             this site is sound>`"
+        ));
+    }
+    Scan::Directive {
+        rule: rule.to_owned(),
+        reason: reason.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const KNOWN: &[&str] = &["panic-free-library", "atomic-ordering"];
+
+    fn scan(text: &str) -> Scan {
+        let lexed = lex(text);
+        scan_comment(&lexed.comments[0], KNOWN)
+    }
+
+    #[test]
+    fn parses_em_dash_and_ascii_separators() {
+        for sep in ["—", "--", "-"] {
+            let text = format!("// rlc-analyze: allow(panic-free-library) {sep} poisoning policy");
+            match scan(&text) {
+                Scan::Directive { rule, reason } => {
+                    assert_eq!(rule, "panic-free-library");
+                    assert_eq!(reason, "poisoning policy");
+                }
+                _ => panic!("expected directive for separator {sep:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_documentation() {
+        let text = "/// `// rlc-analyze: allow(panic-free-library) — example`";
+        assert!(matches!(scan(text), Scan::NotDirective));
+        let text = "//! rlc-analyze: allow(panic-free-library) — example";
+        assert!(matches!(scan(text), Scan::NotDirective));
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let text = "// rlc-analyze: allow(no-such-rule) — whatever";
+        assert!(matches!(scan(text), Scan::Malformed(_)));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        for text in [
+            "// rlc-analyze: allow(panic-free-library)",
+            "// rlc-analyze: allow(panic-free-library) —",
+            "// rlc-analyze: allow(panic-free-library) -- ",
+        ] {
+            assert!(matches!(scan(text), Scan::Malformed(_)), "{text}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_pass_through() {
+        assert!(matches!(scan("// just a comment"), Scan::NotDirective));
+    }
+}

@@ -1,0 +1,54 @@
+//! Workspace file discovery.
+//!
+//! The analyzer covers the workspace's own sources: `crates/`, `src/`,
+//! `tests/`, and `examples/` under the root. `vendor/` is out of scope
+//! (stand-in code for external crates), `target/` is build output, and
+//! any directory named `fixtures` holds deliberately-violating analyzer
+//! test corpora.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory roots scanned relative to the workspace root.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Directory names skipped wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Collects every `.rs` file under the scan roots, returning
+/// `(workspace-relative path with forward slashes, absolute path)` pairs
+/// in sorted order.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            collect(&dir, scan_root, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, rel: &str, files: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        let path = entry.path();
+        let rel_child = format!("{rel}/{name}");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(&path, &rel_child, files)?;
+        } else if name.ends_with(".rs") {
+            files.push((rel_child, path));
+        }
+    }
+    Ok(())
+}

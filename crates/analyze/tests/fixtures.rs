@@ -1,0 +1,161 @@
+//! Fixture corpus: one known-good and one known-bad file per rule,
+//! checked under virtual paths and asserted against exact diagnostic
+//! spans. The `fixtures/` directory is excluded from `check`'s walk, so
+//! the deliberately bad files never pollute a real run.
+
+use rlc_analyze::analyze::analyze_source;
+use rlc_analyze::rules;
+
+/// Virtual path of ordinary library code.
+const LIB: &str = "crates/demo/src/lib.rs";
+/// Virtual path of the one module where unsafe and intrinsics live.
+const KERNEL: &str = "crates/core/src/kernel.rs";
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Runs the full per-file analysis and returns `(line, col, rule)` spans.
+fn spans(name: &str, virtual_path: &str) -> Vec<(u32, u32, &'static str)> {
+    analyze_source(virtual_path, &fixture(name))
+        .findings
+        .into_iter()
+        .map(|f| (f.line, f.col, f.rule))
+        .collect()
+}
+
+#[test]
+fn unsafe_good_kernel_path_is_clean() {
+    assert_eq!(spans("unsafe_good.rs", KERNEL), vec![]);
+}
+
+#[test]
+fn unsafe_bad_is_flagged_at_the_block() {
+    assert_eq!(
+        spans("unsafe_bad.rs", LIB),
+        vec![(5, 5, rules::UNSAFE_CONFINEMENT)]
+    );
+}
+
+#[test]
+fn intrinsics_good_docs_may_mention_arch() {
+    assert_eq!(spans("intrinsics_good.rs", LIB), vec![]);
+}
+
+#[test]
+fn intrinsics_bad_flags_arch_path_and_feature_detection() {
+    assert_eq!(
+        spans("intrinsics_bad.rs", LIB),
+        vec![
+            (4, 11, rules::INTRINSICS_CONFINEMENT),
+            (7, 5, rules::INTRINSICS_CONFINEMENT),
+        ]
+    );
+}
+
+#[test]
+fn panic_good_tests_may_unwrap() {
+    assert_eq!(spans("panic_good.rs", LIB), vec![]);
+}
+
+#[test]
+fn panic_bad_flags_unwrap_and_todo() {
+    assert_eq!(
+        spans("panic_bad.rs", LIB),
+        vec![
+            (5, 31, rules::PANIC_FREE_LIBRARY),
+            (10, 5, rules::PANIC_FREE_LIBRARY),
+        ]
+    );
+}
+
+#[test]
+fn untrusted_good_checked_len_flow_is_clean() {
+    assert_eq!(spans("untrusted_good.rs", LIB), vec![]);
+}
+
+#[test]
+fn untrusted_bad_flags_both_allocation_forms() {
+    assert_eq!(
+        spans("untrusted_bad.rs", LIB),
+        vec![
+            (6, 24, rules::UNTRUSTED_LENGTH),
+            (13, 5, rules::UNTRUSTED_LENGTH),
+        ]
+    );
+}
+
+#[test]
+fn atomic_good_acquire_release_and_justified_relaxed() {
+    let report = analyze_source(LIB, &fixture("atomic_good.rs"));
+    assert_eq!(report.findings, vec![]);
+    assert_eq!(report.suppressions.len(), 1);
+    assert!(report.suppressions[0].used);
+    assert_eq!(report.suppressions[0].rule, rules::ATOMIC_ORDERING);
+}
+
+#[test]
+fn atomic_bad_flags_unjustified_relaxed() {
+    assert_eq!(
+        spans("atomic_bad.rs", LIB),
+        vec![(7, 28, rules::ATOMIC_ORDERING)]
+    );
+}
+
+#[test]
+fn deprecated_good_docs_may_name_retired_api() {
+    assert_eq!(spans("deprecated_good.rs", LIB), vec![]);
+}
+
+#[test]
+fn deprecated_bad_flags_attribute_and_retired_name() {
+    assert_eq!(
+        spans("deprecated_bad.rs", LIB),
+        vec![
+            (4, 3, rules::DEPRECATED_SURFACE),
+            (5, 8, rules::DEPRECATED_SURFACE),
+        ]
+    );
+}
+
+#[test]
+fn hygiene_good_directive_discharges_and_is_counted() {
+    let report = analyze_source(LIB, &fixture("hygiene_good.rs"));
+    assert_eq!(report.findings, vec![]);
+    assert_eq!(report.suppressions.len(), 1);
+    let s = &report.suppressions[0];
+    assert!(s.used);
+    assert_eq!(s.rule, rules::PANIC_FREE_LIBRARY);
+    assert_eq!((s.line, s.target_line), (6, 7));
+}
+
+#[test]
+fn hygiene_bad_flags_typo_missing_reason_unsuppressible_and_stale() {
+    assert_eq!(
+        spans("hygiene_bad.rs", LIB),
+        vec![
+            (5, 1, rules::SUPPRESSION_HYGIENE),
+            (8, 1, rules::SUPPRESSION_HYGIENE),
+            (11, 1, rules::SUPPRESSION_HYGIENE),
+            (14, 1, rules::SUPPRESSION_HYGIENE),
+        ]
+    );
+}
+
+#[test]
+fn confinement_is_a_property_of_the_path_not_the_text() {
+    // The same source that is clean under the kernel path is a violation
+    // everywhere else.
+    let report = analyze_source(LIB, &fixture("unsafe_good.rs"));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == rules::UNSAFE_CONFINEMENT));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == rules::INTRINSICS_CONFINEMENT));
+}

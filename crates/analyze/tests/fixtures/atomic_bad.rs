@@ -1,0 +1,8 @@
+//! Known-bad for atomic-ordering: a relaxed load in library code,
+//! outside the allowlisted sites and without a suppression.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn read(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed)
+}

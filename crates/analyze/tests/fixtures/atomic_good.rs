@@ -1,0 +1,18 @@
+//! Known-good for atomic-ordering: release/acquire pairs need no
+//! justification, and the one relaxed site carries a suppression with
+//! its reason.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish(counter: &AtomicUsize) {
+    counter.store(1, Ordering::Release);
+}
+
+pub fn ready(counter: &AtomicUsize) -> bool {
+    counter.load(Ordering::Acquire) == 1
+}
+
+pub fn hits(counter: &AtomicUsize) -> usize {
+    // rlc-analyze: allow(atomic-ordering) — observational stats counter; nothing synchronizes through it
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,5 @@
+//! Known-bad for deprecated-surface: the retired 0.2 evaluator surface
+//! creeping back, shim attribute and all.
+
+#[deprecated(note = "use prepare/evaluate_prepared")]
+pub fn evaluate_rlc() {}

@@ -1,0 +1,7 @@
+//! Known-good for deprecated-surface: docs may *mention* the retired
+//! names — `evaluate_rlc` here is comment text, not an identifier — and
+//! the live prepare/execute surface is fine.
+
+pub fn evaluate_prepared_pairs() -> usize {
+    0
+}

@@ -1,0 +1,15 @@
+//! Known-bad for suppression-hygiene: every way a directive can go
+//! wrong — a typoed rule id, a missing reason, an unsuppressible rule,
+//! and a stale directive that discharges nothing.
+
+// rlc-analyze: allow(no-such-rule) — the rule id is a typo
+pub fn a() {}
+
+// rlc-analyze: allow(panic-free-library)
+pub fn b() {}
+
+// rlc-analyze: allow(unsafe-confinement) — confinement cannot be waived
+pub fn c() {}
+
+// rlc-analyze: allow(panic-free-library) — nothing on the next line panics
+pub fn d() {}

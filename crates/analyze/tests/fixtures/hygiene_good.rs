@@ -1,0 +1,8 @@
+//! Known-good for suppression-hygiene: a directive that names a real
+//! rule, states a reason, and discharges a real finding on its target
+//! line.
+
+pub fn head(values: &[u32]) -> u32 {
+    // rlc-analyze: allow(panic-free-library) — callers pass non-empty slices by documented contract
+    *values.first().unwrap()
+}

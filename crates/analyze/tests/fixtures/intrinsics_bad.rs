@@ -1,0 +1,8 @@
+//! Known-bad for intrinsics-confinement: an arch path and feature
+//! detection outside the kernel module.
+
+use core::arch::x86_64::__m256i;
+
+pub fn has_avx2() -> bool {
+    is_x86_feature_detected!("avx2")
+}

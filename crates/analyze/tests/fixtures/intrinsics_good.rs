@@ -1,0 +1,9 @@
+//! Known-good for intrinsics-confinement: SIMD work goes through the
+//! kernel dispatcher, and documentation may *mention* `std::arch` or
+//! `#[target_feature]` freely — prose is not code.
+
+/// Returns the active kernel name; raw `core::arch` intrinsics stay
+/// behind the `rlc_core::kernel` WordOps dispatcher.
+pub fn frontier_kernel(kernel: &'static str) -> &'static str {
+    kernel
+}

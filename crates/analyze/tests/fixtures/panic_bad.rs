@@ -1,0 +1,11 @@
+//! Known-bad for panic-free-library: panic paths in non-test library
+//! code.
+
+pub fn first(values: &[u32]) -> u32 {
+    let head = values.first().unwrap();
+    *head
+}
+
+pub fn not_done() {
+    todo!("finish this")
+}

@@ -1,0 +1,14 @@
+//! Known-good for panic-free-library: library code propagates errors;
+//! `#[cfg(test)]` code may unwrap freely.
+
+pub fn first(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

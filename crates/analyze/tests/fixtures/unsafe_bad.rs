@@ -1,0 +1,6 @@
+//! Known-bad for unsafe-confinement: an `unsafe` block in ordinary
+//! library code, outside the kernel module.
+
+pub fn peek(values: &[u32]) -> u32 {
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,23 @@
+//! Known-good for unsafe-confinement and intrinsics-confinement: this
+//! file is checked under the virtual path of the kernel module, the one
+//! place where `unsafe` and the architecture intrinsics are allowed.
+
+pub fn detect() -> &'static str {
+    if is_x86_feature_detected!("avx2") {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn or_words(acc: &mut [u64], words: &[u64]) {
+    for (a, w) in acc.iter_mut().zip(words) {
+        *a |= *w;
+    }
+}
+
+pub fn splat(values: &[u32]) -> u32 {
+    // Mentioning unsafe in a comment is never a violation.
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,14 @@
+//! Known-bad for untrusted-length: decode functions sizing allocations
+//! by raw decoded counts, in both allocation forms the rule knows.
+
+pub fn from_bytes(bytes: &[u8]) -> Vec<u64> {
+    let count = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    out.resize(count, 0);
+    out
+}
+
+pub fn from_binary_edges(bytes: &[u8]) -> Vec<u8> {
+    let declared = bytes[0] as usize;
+    vec![0u8; declared]
+}

@@ -293,6 +293,7 @@ impl<'g> EtcEngine<'g> {
                 let own = self.prepare(prepared.constraint())?;
                 Ok(own
                     .artifact::<PreparedEtc>()
+                    // rlc-analyze: allow(panic-free-library) — prepare() of this engine always attaches a PreparedEtc artifact; a None is a broken engine contract, not an input error
                     .expect("EtcEngine::prepare produces a PreparedEtc artifact")
                     .last_mr)
             }

@@ -327,13 +327,14 @@ impl EtcIndex {
     pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
         use bytes::Buf;
         let mut buf = data;
+        let corrupt = |what: &str| -> String {
+            format!("truncated or corrupt ETC data while reading {what}")
+        };
         let check = |ok: bool, what: &str| -> Result<(), String> {
             if ok {
                 Ok(())
             } else {
-                Err(format!(
-                    "truncated or corrupt ETC data while reading {what}"
-                ))
+                Err(corrupt(what))
             }
         };
         check(buf.remaining() >= 33, "header")?;
@@ -363,7 +364,8 @@ impl EtcIndex {
                 ))
             }
         };
-        check(catalog_len <= buf.remaining() / 2, "catalog")?;
+        let catalog_len = rlc_graph::checked_len(catalog_len, 2, buf.remaining())
+            .map_err(|_| corrupt("catalog"))?;
         let mut catalog = MrCatalog::new();
         for i in 0..catalog_len {
             check(buf.remaining() >= 2, "catalog entry length")?;
@@ -387,7 +389,8 @@ impl EtcIndex {
             }
             catalog.intern(&seq);
         }
-        check(pair_count <= buf.remaining() / 12, "pair table")?;
+        let pair_count = rlc_graph::checked_len(pair_count, 12, buf.remaining())
+            .map_err(|_| corrupt("pair table"))?;
         let mut closure: HashMap<(VertexId, VertexId), Vec<MrId>> =
             HashMap::with_capacity(pair_count);
         let mut records = 0usize;
@@ -403,7 +406,8 @@ impl EtcIndex {
                 }
             }
             let count = buf.get_u32_le() as usize;
-            check(count <= buf.remaining() / 4, "pair MR list")?;
+            let count = rlc_graph::checked_len(count, 4, buf.remaining())
+                .map_err(|_| corrupt("pair MR list"))?;
             let mut mrs = Vec::with_capacity(count);
             for _ in 0..count {
                 let mr = MrId(buf.get_u32_le());

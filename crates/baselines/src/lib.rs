@@ -18,6 +18,7 @@
 //! * [`scratch`] — per-thread reusable traversal state backing the online
 //!   baselines, so batch evaluation allocates nothing per query.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

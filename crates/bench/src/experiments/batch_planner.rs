@@ -82,6 +82,7 @@ pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
                 rng.gen_range(0..n)
             };
             let target = rng.gen_range(0..n);
+            // rlc-analyze: allow(panic-free-library) — the pool is a hardcoded list of valid block shapes; validity is static, not data-dependent
             Query::concat(source, target, pool[which].clone()).expect("pool constraints are valid")
         })
         .collect();

@@ -66,6 +66,7 @@ pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
                     let source = rng.gen_range(0..n);
                     let target = rng.gen_range(0..n);
                     Query::concat(source, target, pool[which].clone())
+                        // rlc-analyze: allow(panic-free-library) — the pool is a hardcoded list of valid block shapes; validity is static, not data-dependent
                         .expect("pool constraints are valid")
                 })
                 .collect()

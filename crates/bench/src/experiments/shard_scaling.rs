@@ -60,6 +60,7 @@ pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
             let which = rng.gen_range(0..pool.len());
             let source = hot_sources[rng.gen_range(0..hot_sources.len())];
             let target = rng.gen_range(0..n);
+            // rlc-analyze: allow(panic-free-library) — the pool is a hardcoded list of valid block shapes; validity is static, not data-dependent
             Query::concat(source, target, pool[which].clone()).expect("pool constraints are valid")
         })
         .collect();
@@ -98,6 +99,7 @@ pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
     for (shards, strategy, strategy_name) in sweep {
         let config = ShardBuildConfig::new(2, shards).with_strategy(strategy);
         let start = Instant::now();
+        // rlc-analyze: allow(panic-free-library) — the sweep uses literal shard counts >= 1, the only build precondition
         let (sharded, _) = ShardedIndex::build(&graph, &config).expect("shard count is valid");
         let build_time = start.elapsed();
         let stats = sharded.stats();

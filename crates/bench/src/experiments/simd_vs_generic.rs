@@ -86,6 +86,7 @@ pub fn run_with(args: &CommonArgs, sizes: &[usize]) -> String {
                 let source = hot_sources[rng.gen_range(0..hot_sources.len())];
                 let target = rng.gen_range(0..n);
                 Query::concat(source, target, pool[which].clone())
+                    // rlc-analyze: allow(panic-free-library) — the pool is a hardcoded list of valid block shapes; validity is static, not data-dependent
                     .expect("pool constraints are valid")
             })
             .collect();

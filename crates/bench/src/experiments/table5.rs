@@ -35,6 +35,7 @@ pub fn run(args: &CommonArgs) -> String {
 
 /// Runs the experiment with a custom number of query instances per shape.
 pub fn run_with(args: &CommonArgs, instances_per_shape: usize) -> String {
+    // rlc-analyze: allow(panic-free-library) — "WN" is a literal code of the static dataset catalog; a miss is a broken catalog, not an input error
     let spec = dataset_by_code("WN").expect("WN is part of the catalog");
     let graph = spec.generate(args.scale, args.seed);
 
@@ -80,6 +81,7 @@ pub fn run_with(args: &CommonArgs, instances_per_shape: usize) -> String {
             instances
                 .iter()
                 .map(|&(s, t)| {
+                    // rlc-analyze: allow(panic-free-library) — the Table V shape list is hardcoded; validity is static, not data-dependent
                     Query::concat(s, t, blocks.clone()).expect("Table V shapes are valid")
                 })
                 .collect()
@@ -96,6 +98,7 @@ pub fn run_with(args: &CommonArgs, instances_per_shape: usize) -> String {
                     .iter()
                     .map(|q| {
                         let start = Instant::now();
+                        // rlc-analyze: allow(panic-free-library) — every Table V shape has blocks of length <= the k the index was just built with
                         let _ = rlc.evaluate(q).expect("Table V shapes fit the index");
                         start.elapsed()
                     })

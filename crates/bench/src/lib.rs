@@ -9,6 +9,7 @@
 //! The library part holds the pieces shared by the binaries: command-line
 //! parsing of the common `--scale`/`--seed` options and measurement helpers.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

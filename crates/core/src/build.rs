@@ -333,9 +333,12 @@ struct PooledScratch<'p> {
 
 impl<'p> PooledScratch<'p> {
     fn acquire(pool: &'p std::sync::Mutex<Vec<Scratch>>, vertices: usize, k: usize) -> Self {
+        // Poison recovery: the pool is a plain Vec of reusable buffers, and
+        // every user resets its scratch before use, so a panic between lock
+        // and pop can never leave the pool in a state worth dying over.
         let scratch = pool
             .lock()
-            .expect("scratch pool poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_else(|| Scratch::new(vertices, k));
         PooledScratch {
@@ -345,6 +348,7 @@ impl<'p> PooledScratch<'p> {
     }
 
     fn get_mut(&mut self) -> &mut Scratch {
+        // rlc-analyze: allow(panic-free-library) — the Option is Some from construction until Drop takes it; no caller can observe the in-between
         self.scratch.as_mut().expect("scratch present until drop")
     }
 }
@@ -397,6 +401,7 @@ impl<'g> Builder<'g> {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
+            // rlc-analyze: allow(panic-free-library) — the vendored stand-in's build() is documented to never fail; the Result only mirrors upstream rayon's signature
             .expect("thread pool construction cannot fail");
         // Worker scratches are pooled across blocks: the vendored rayon
         // spawns fresh scoped threads per block, so a plain `map_init` would

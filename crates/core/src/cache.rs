@@ -153,6 +153,32 @@ struct Shard {
     in_flight: HashMap<LatchKey, Latch>,
 }
 
+/// Locks a shard, recovering from lock poisoning instead of panicking.
+///
+/// Everything guarded by a shard lock is plain bookkeeping over immutable
+/// `Arc<Prepared>` values: a panic mid-section can at worst leave the
+/// byte/LRU accounting drifted, which only shifts *when* eviction triggers —
+/// it can never tear a plan. Propagating the poison would instead take the
+/// whole cache down for every later caller.
+fn lock_shard(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Bumps a monotonic statistics counter (also used for the LRU tick),
+/// returning the pre-increment value.
+fn bump(counter: &AtomicU64) -> u64 {
+    // rlc-analyze: allow(atomic-ordering) — monotonic stats/LRU counter; no memory is published through it
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Reads a monotonic statistics counter for a snapshot.
+fn read_counter(counter: &AtomicU64) -> u64 {
+    // rlc-analyze: allow(atomic-ordering) — observational stats read; approximate by design
+    counter.load(Ordering::Relaxed)
+}
+
 /// A sharded, thread-safe LRU cache of prepared constraints, shared across
 /// batches (and across engines — entries are keyed per engine kind and
 /// validated per engine identity).
@@ -272,19 +298,20 @@ impl PlanCache {
         // the entry (the publisher inserts into the map *before* removing
         // its latch, under this same lock).
         let latch: Latch = {
-            let mut guard = shard.lock().expect("plan cache shard lock poisoned");
+            let mut guard = lock_shard(shard);
             if let Some(entry) = guard.map.get_mut(&key) {
                 if entry.identity == identity {
-                    entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    entry.last_used = bump(&self.tick);
+                    bump(&self.hits);
                     return entry.plan.clone();
                 }
                 // Generation mismatch: this plan was resolved against an
                 // index that no longer exists (or a different instance of
                 // the kind). Drop it so it can never be re-served.
-                let stale = guard.map.remove(&key).expect("entry was just found");
-                guard.bytes -= stale.bytes;
-                self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                if let Some(stale) = guard.map.remove(&key) {
+                    guard.bytes -= stale.bytes;
+                }
+                bump(&self.stale_drops);
             }
             let latch_key = LatchKey {
                 key: key.clone(),
@@ -292,7 +319,7 @@ impl PlanCache {
             };
             guard.in_flight.entry(latch_key).or_default().clone()
         };
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        bump(&self.misses);
 
         // Exactly one of the coalescing workers runs the closure (outside
         // the shard lock — preparation can be expensive); the rest block
@@ -305,7 +332,7 @@ impl PlanCache {
             })
             .clone();
         if !compiled {
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            bump(&self.coalesced);
             return plan;
         }
 
@@ -315,9 +342,9 @@ impl PlanCache {
             identity: identity.clone(),
             plan: plan.clone(),
             bytes,
-            last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            last_used: bump(&self.tick),
         };
-        let mut guard = shard.lock().expect("plan cache shard lock poisoned");
+        let mut guard = lock_shard(shard);
         // A same-key entry can exist here only for a *different* identity
         // (same identities coalesced on the latch); last write wins, exactly
         // like the pre-latch behavior for competing identities.
@@ -346,21 +373,17 @@ impl PlanCache {
             else {
                 break;
             };
-            let evicted = shard
-                .map
-                .remove(&victim)
-                .expect("victim key was just found");
+            let Some(evicted) = shard.map.remove(&victim) else {
+                break;
+            };
             shard.bytes -= evicted.bytes;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            bump(&self.evictions);
         }
     }
 
     /// Number of resident entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("plan cache shard lock poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -371,7 +394,7 @@ impl PlanCache {
     /// Drops every resident entry (counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut guard = shard.lock().expect("plan cache shard lock poisoned");
+            let mut guard = lock_shard(shard);
             guard.map.clear();
             guard.bytes = 0;
         }
@@ -382,16 +405,16 @@ impl PlanCache {
         let mut entries = 0usize;
         let mut bytes = 0usize;
         for shard in &self.shards {
-            let guard = shard.lock().expect("plan cache shard lock poisoned");
+            let guard = lock_shard(shard);
             entries += guard.map.len();
             bytes += guard.bytes;
         }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            stale_drops: self.stale_drops.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+            hits: read_counter(&self.hits),
+            misses: read_counter(&self.misses),
+            evictions: read_counter(&self.evictions),
+            stale_drops: read_counter(&self.stale_drops),
+            coalesced: read_counter(&self.coalesced),
             entries,
             bytes,
         }

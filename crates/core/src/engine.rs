@@ -286,11 +286,13 @@ impl<'e> PrepareCounting<'e> {
 
     /// Number of `prepare` calls observed so far.
     pub fn prepare_count(&self) -> usize {
+        // rlc-analyze: allow(atomic-ordering) — observational measurement counter; nothing synchronizes through it
         self.prepares.load(Ordering::Relaxed)
     }
 
     /// Resets the counter (between measurement phases).
     pub fn reset(&self) {
+        // rlc-analyze: allow(atomic-ordering) — measurement-phase reset of an observational counter
         self.prepares.store(0, Ordering::Relaxed);
     }
 }
@@ -301,6 +303,7 @@ impl ReachabilityEngine for PrepareCounting<'_> {
     }
 
     fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
+        // rlc-analyze: allow(atomic-ordering) — observational measurement counter; nothing synchronizes through it
         self.prepares.fetch_add(1, Ordering::Relaxed);
         self.inner.prepare(constraint)
     }
@@ -523,6 +526,7 @@ fn hybrid_last_mr(
             let own = engine.prepare(prepared.constraint())?;
             Ok(own
                 .artifact::<PreparedHybrid>()
+                // rlc-analyze: allow(panic-free-library) — prepare() of this engine always attaches a PreparedHybrid artifact; a None here is a broken engine contract, not an input error
                 .expect("prepare_hybrid produces a PreparedHybrid artifact")
                 .last_mr)
         }

@@ -176,6 +176,7 @@ impl RlcIndex {
     /// caller must pass a minimum repeat (as [`RlcQuery::new`] enforces).
     pub fn reaches(&self, source: VertexId, target: VertexId, constraint: &[Label]) -> bool {
         let query = RlcQuery::new(source, target, constraint.to_vec())
+            // rlc-analyze: allow(panic-free-library) — documented precondition of this convenience wrapper; callers wanting an error path use RlcQuery::new directly
             .expect("constraint must be a non-empty minimum repeat");
         self.query(&query)
     }
@@ -460,6 +461,7 @@ impl RlcIndex {
     /// index beyond 2^32 entries on one vertex, so the panic is theoretical).
     pub fn to_bytes(&self) -> Vec<u8> {
         self.try_to_bytes()
+            // rlc-analyze: allow(panic-free-library) — documented panicking wrapper; the fallible twin is try_to_bytes, and overflow needs 2^32 entries on one vertex
             .expect("index exceeds binary format field widths")
     }
 
@@ -473,13 +475,14 @@ impl RlcIndex {
     pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
         use bytes::Buf;
         let mut buf = data;
+        let corrupt = |what: &str| -> String {
+            format!("truncated or corrupt index data while reading {what}")
+        };
         let check = |ok: bool, what: &str| -> Result<(), String> {
             if ok {
                 Ok(())
             } else {
-                Err(format!(
-                    "truncated or corrupt index data while reading {what}"
-                ))
+                Err(corrupt(what))
             }
         };
         check(buf.remaining() >= 24, "header")?;
@@ -504,7 +507,8 @@ impl RlcIndex {
         // Size fields come from untrusted data: bound them by the bytes
         // actually present (division form, immune to multiplication
         // overflow) before any loop or allocation sized by them.
-        check(catalog_len <= buf.remaining() / 2, "catalog")?;
+        let catalog_len = rlc_graph::checked_len(catalog_len, 2, buf.remaining())
+            .map_err(|_| corrupt("catalog"))?;
         let mut catalog = MrCatalog::new();
         for i in 0..catalog_len {
             check(buf.remaining() >= 2, "catalog entry length")?;
@@ -523,7 +527,8 @@ impl RlcIndex {
             }
             catalog.intern(&seq);
         }
-        check(n <= buf.remaining() / 4, "vertex order")?;
+        let n =
+            rlc_graph::checked_len(n, 4, buf.remaining()).map_err(|_| corrupt("vertex order"))?;
         let sequence: Vec<VertexId> = (0..n).map(|_| buf.get_u32_le()).collect();
         // The order must be a bijection between positions and vertex ids:
         // every id in range and none repeated (with exactly n positions this
@@ -548,7 +553,8 @@ impl RlcIndex {
                 for _ in 0..n {
                     check(buf.remaining() >= 4, "entry list length")?;
                     let len = buf.get_u32_le() as usize;
-                    check(len <= buf.remaining() / 8, "entry list")?;
+                    let len = rlc_graph::checked_len(len, 8, buf.remaining())
+                        .map_err(|_| corrupt("entry list"))?;
                     let mut entries = Vec::with_capacity(len);
                     for _ in 0..len {
                         let hub = buf.get_u32_le();

@@ -43,6 +43,7 @@
 //! | [`cache`] | — | the cross-batch `PlanCache` of prepared constraints |
 //! | [`verify`] | Theorems 2 & 3 | operational soundness/completeness checking |
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -52,6 +53,10 @@ pub mod catalog;
 pub mod engine;
 pub mod hybrid;
 pub mod index;
+// The one module allowed to contain unsafe code: the SIMD kernels and the
+// runtime dispatcher. `rlc-analyze`'s unsafe-confinement rule enforces the
+// same boundary textually; this is the compiler-level backstop.
+#[allow(unsafe_code)]
 pub mod kernel;
 pub mod order;
 pub mod plan;

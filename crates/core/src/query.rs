@@ -184,6 +184,7 @@ impl Constraint {
     pub fn last_block(&self) -> &[Label] {
         self.blocks
             .last()
+            // rlc-analyze: allow(panic-free-library) — every Constraint constructor rejects an empty block list, so last() is total here
             .expect("constraints have at least a block")
     }
 

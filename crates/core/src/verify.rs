@@ -102,6 +102,7 @@ pub fn verify_index(
         for constraint in &constraints {
             queries_checked += 1;
             let query = RlcQuery::new(s, t, constraint.clone())
+                // rlc-analyze: allow(panic-free-library) — the constraint enumerator above yields only non-empty minimum repeats, which RlcQuery::new accepts by definition
                 .expect("enumerated constraints are minimum repeats");
             let index_answer = index.query(&query);
             let oracle_answer = oracle_reaches(graph, s, t, constraint);

@@ -23,6 +23,7 @@
 //! See DESIGN.md ("Substitutions") for why this preserves the shape of the
 //! paper's comparison.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

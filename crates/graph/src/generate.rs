@@ -103,6 +103,7 @@ pub fn barabasi_albert(config: &SyntheticConfig) -> LabeledGraph {
         if edge_labels.is_empty() {
             *edge_labels = zipfian_labels(4096, config.labels, config.zipf_exponent, rng);
         }
+        // rlc-analyze: allow(panic-free-library) — the branch above refills the buffer with 4096 labels whenever it is empty, so pop() always has one
         edge_labels.pop().expect("label buffer refilled above")
     };
 
@@ -168,6 +169,7 @@ pub fn zipfian_labels<R: Rng>(
     if label_count == 1 {
         return vec![Label(0); count];
     }
+    // rlc-analyze: allow(panic-free-library) — label_count >= 2 is guaranteed by the assert and early return above; a non-finite exponent is a programming error in the generator config, not an input
     let zipf = Zipf::new(label_count as u64, exponent).expect("valid Zipf parameters");
     (0..count)
         .map(|_| {

@@ -387,6 +387,7 @@ fn prefix_sum(degrees: &[u32]) -> Vec<u32> {
     for &d in degrees {
         acc = acc
             .checked_add(d)
+            // rlc-analyze: allow(panic-free-library) — the CSR format caps offsets at u32 by design; a graph with more than 2^32 edges is unrepresentable and must fail loudly at build time
             .expect("edge count exceeds u32 range in CSR offsets");
         offsets.push(acc);
     }

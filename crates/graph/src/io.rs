@@ -249,7 +249,8 @@ pub fn from_binary_edge_list(data: &[u8]) -> Result<LabeledGraph, EdgeListError>
     }
     let read_names =
         |buf: &mut &[u8], count: usize, what: &str| -> Result<Vec<String>, EdgeListError> {
-            check(count <= buf.remaining() / 4, what)?;
+            let count =
+                crate::bounds::checked_len(count, 4, buf.remaining()).map_err(|_| corrupt(what))?;
             let mut names = Vec::with_capacity(count);
             let mut seen = std::collections::HashSet::with_capacity(count);
             for i in 0..count {
@@ -275,7 +276,8 @@ pub fn from_binary_edge_list(data: &[u8]) -> Result<LabeledGraph, EdgeListError>
     } else {
         None
     };
-    check(edge_count <= buf.remaining() / 10, "edge table")?;
+    let edge_count = crate::bounds::checked_len(edge_count, 10, buf.remaining())
+        .map_err(|_| corrupt("edge table"))?;
     let mut edges = Vec::with_capacity(edge_count);
     for _ in 0..edge_count {
         let source = buf.get_u32_le();

@@ -19,6 +19,8 @@
 //!   workload generation;
 //! * [`io`] — edge-list persistence: a plain-text format and a hardened
 //!   binary format whose loader validates untrusted blobs;
+//! * [`bounds`] — the shared division-form bound check (`checked_len`)
+//!   every binary decoder sizes untrusted allocations through;
 //! * [`partition`] — vertex partitioning into disjoint shards with cut-edge
 //!   enumeration and subgraph extraction (the substrate of `rlc-shard`);
 //! * [`examples`] — the two illustrative graphs of the paper (Fig. 1 and
@@ -40,9 +42,11 @@
 //! assert_eq!(g.out_edges(a).len(), 1);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bounds;
 pub mod builder;
 pub mod examples;
 pub mod generate;
@@ -53,6 +57,7 @@ pub mod partition;
 pub mod scc;
 pub mod stats;
 
+pub use bounds::{checked_len, LengthBoundError};
 pub use builder::GraphBuilder;
 pub use graph::{Edge, LabeledGraph, VertexId};
 pub use label::{Label, LabelInterner};

@@ -106,6 +106,7 @@ impl Partition {
                 for v in order {
                     let lightest = (0..shard_count)
                         .min_by_key(|&s| (load[s], s))
+                        // rlc-analyze: allow(panic-free-library) — shard_count >= 1 is validated by Partition's constructor, so the range is never empty
                         .expect("shard_count >= 1");
                     shard_of[v as usize] = lightest as u32;
                     // Count both endpoints plus one so empty vertices still

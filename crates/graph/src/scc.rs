@@ -73,7 +73,9 @@ pub fn strongly_connected_components(graph: &LabeledGraph) -> SccDecomposition {
         while let Some(&(v, edge_pos)) = call_stack.last() {
             let out = graph.out_edges(v);
             if edge_pos < out.len() {
+                // rlc-analyze: allow(panic-free-library) — the while-let above just observed this frame, and nothing pops between the observation and this access
                 call_stack.last_mut().expect("frame checked above").1 += 1;
+                // rlc-analyze: allow(panic-free-library) — guarded by the edge_pos < out.len() branch condition directly above
                 let (w, _) = out.get(edge_pos).expect("edge position in range");
                 if index[w as usize] == UNVISITED {
                     index[w as usize] = next_index;
@@ -93,6 +95,7 @@ pub fn strongly_connected_components(graph: &LabeledGraph) -> SccDecomposition {
                 if lowlink[v as usize] == index[v as usize] {
                     // v is the root of an SCC: pop the stack down to v.
                     loop {
+                        // rlc-analyze: allow(panic-free-library) — Tarjan invariant: v was pushed onto the stack when first visited and is still on it (on_stack[v]), so the pop loop terminates at v before the stack empties
                         let w = stack.pop().expect("SCC stack contains root");
                         on_stack[w as usize] = false;
                         component[w as usize] = scc_count as u32;

@@ -121,6 +121,7 @@ impl<'g> ShardedEngine<'g> {
                 let own = self.prepare(prepared.constraint())?;
                 Ok(with(
                     &own.artifact::<PreparedSharded>()
+                        // rlc-analyze: allow(panic-free-library) — prepare() of this engine always attaches a PreparedSharded artifact; a None is a broken engine contract, not an input error
                         .expect("ShardedEngine::prepare produces a PreparedSharded artifact")
                         .last_mrs,
                 ))
@@ -361,6 +362,7 @@ impl<'g> ShardedEngine<'g> {
         }
         let (_, found) = self.stitched_closure(
             &frontier,
+            // rlc-analyze: allow(panic-free-library) — every Constraint constructor rejects an empty block list, so last() is total here
             blocks.last().expect("constraints have at least a block"),
             Some(last_mrs),
             Some(target),
@@ -471,6 +473,7 @@ impl ReachabilityEngine for ShardedEngine<'_> {
                 if dead {
                     continue; // every unresolved target stays Ok(false)
                 }
+                // rlc-analyze: allow(panic-free-library) — every Constraint constructor rejects an empty block list, so last() is total here
                 let last_block = blocks.last().expect("constraints have at least a block");
                 if let [only] = unresolved[..] {
                     let (_, found) = self.stitched_closure(

@@ -44,6 +44,7 @@
 //! # let _ = answer;
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

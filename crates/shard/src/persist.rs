@@ -122,6 +122,7 @@ impl ShardedIndex {
     /// [`ShardedIndex::try_to_bytes`]).
     pub fn to_bytes(&self) -> Vec<u8> {
         self.try_to_bytes()
+            // rlc-analyze: allow(panic-free-library) — documented panicking wrapper; the fallible twin is try_to_bytes, and the overflow is theoretical
             .expect("sharded index exceeds manifest field widths")
     }
 
@@ -139,13 +140,14 @@ impl ShardedIndex {
     pub fn from_bytes(data: &[u8], graph: &LabeledGraph) -> Result<Self, String> {
         use bytes::Buf;
         let mut buf = data;
+        let corrupt = |what: &str| -> String {
+            format!("truncated or corrupt shard manifest while reading {what}")
+        };
         let check = |ok: bool, what: &str| -> Result<(), String> {
             if ok {
                 Ok(())
             } else {
-                Err(format!(
-                    "truncated or corrupt shard manifest while reading {what}"
-                ))
+                Err(corrupt(what))
             }
         };
         check(buf.remaining() >= 36, "header")?;
@@ -165,7 +167,8 @@ impl ShardedIndex {
         // lists, the shard table) before the table itself is reached:
         // bound it by the bytes present — every shard owes a 24-byte table
         // row — so a hostile header cannot drive a huge allocation.
-        check(shard_count <= buf.remaining() / 24, "shard count")?;
+        let shard_count = rlc_graph::checked_len(shard_count, 24, buf.remaining())
+            .map_err(|_| corrupt("shard count"))?;
         let n = usize::try_from(buf.get_u64_le())
             .map_err(|_| "corrupt shard manifest: vertex count exceeds usize".to_owned())?;
         if n != graph.vertex_count() {
@@ -191,11 +194,13 @@ impl ShardedIndex {
         }
         // Size fields are untrusted: bound them by the bytes present before
         // any allocation or loop they size.
-        check(n <= buf.remaining() / 4, "shard assignment")?;
+        let n = rlc_graph::checked_len(n, 4, buf.remaining())
+            .map_err(|_| corrupt("shard assignment"))?;
         let assignment: Vec<u32> = (0..n).map(|_| buf.get_u32_le()).collect();
         let partition = Partition::from_assignment(shard_count, assignment)
             .map_err(|e| format!("corrupt shard manifest: {e}"))?;
-        check(cut_count <= buf.remaining() / 10, "cut edge table")?;
+        let cut_count = rlc_graph::checked_len(cut_count, 10, buf.remaining())
+            .map_err(|_| corrupt("cut edge table"))?;
         let mut cut_edges = Vec::with_capacity(cut_count);
         for i in 0..cut_count {
             let source = buf.get_u32_le();
@@ -228,7 +233,8 @@ impl ShardedIndex {
                     .to_owned(),
             );
         }
-        check(shard_count <= buf.remaining() / 24, "shard table")?;
+        let shard_count = rlc_graph::checked_len(shard_count, 24, buf.remaining())
+            .map_err(|_| corrupt("shard table"))?;
         let mut expected_offset = 0u64;
         let mut spans: Vec<(usize, u64)> = Vec::with_capacity(shard_count);
         for i in 0..shard_count {

@@ -12,6 +12,7 @@
 //! * [`runner`] — small utilities shared by the experiment binaries: timing,
 //!   unit formatting and plain-text table rendering.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -50,6 +50,7 @@
 //! assert_eq!(cache.stats().misses, 1);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
