@@ -4,7 +4,7 @@
 
 use rlc_bench::experiments::{
     ablation, batch, batch_planner, build_scaling, fig3, fig4, fig5, fig6, fig7, plan_cache,
-    shard_scaling, simd_vs_generic, table3, table4, table5,
+    serve_latency, shard_scaling, simd_vs_generic, table3, table4, table5,
 };
 use rlc_bench::CommonArgs;
 
@@ -25,6 +25,7 @@ fn main() {
         ("Batch throughput", batch::run),
         ("Batch planner", batch_planner::run),
         ("Plan cache", plan_cache::run),
+        ("Serve latency", serve_latency::run),
         ("Build scaling", build_scaling::run),
         ("Shard scaling", shard_scaling::run),
         ("SIMD vs generic", simd_vs_generic::run),

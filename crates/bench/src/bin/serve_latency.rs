@@ -1,0 +1,15 @@
+//! Experiment binary: open-loop latency and shedding sweep of the
+//! `rlc-serve` HTTP front end — p50/p95/p99 and shed rate at three offered
+//! loads, with byte-identity of served answers asserted against direct
+//! in-process evaluation at the lowest load.
+//!
+//! See DESIGN.md for the experiment index and the common command-line
+//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+
+use rlc_bench::experiments::serve_latency;
+use rlc_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    print!("{}", serve_latency::run(&args));
+}

@@ -20,6 +20,7 @@
 //! | [`batch_planner`] | planned vs naive batch evaluation under constraint reuse (not from the paper) |
 //! | [`plan_cache`] | cross-batch plan caching over repeated mixed batches (not from the paper) |
 //! | [`build_scaling`] | parallel index-build thread sweep (not from the paper) |
+//! | [`serve_latency`] | open-loop latency/shedding sweep of the `rlc-serve` HTTP front end (not from the paper) |
 //! | [`shard_scaling`] | sharded-engine shard-count sweep with answer-identity assertions (not from the paper) |
 //! | [`simd_vs_generic`] | forced-backend frontier-kernel sweep with per-row answer-identity assertions (not from the paper) |
 
@@ -33,6 +34,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod plan_cache;
+pub mod serve_latency;
 pub mod shard_scaling;
 pub mod simd_vs_generic;
 pub mod table3;
@@ -98,6 +100,7 @@ mod tests {
             batch::run_with(&args, 400),
             batch_planner::run_with(&args, 400),
             plan_cache::run_with(&args, 400),
+            serve_latency::run_with(&args, 30),
             build_scaling::run_with(&args, 400),
             shard_scaling::run_with(&args, 400),
             simd_vs_generic::run_with(&args, &[250]),

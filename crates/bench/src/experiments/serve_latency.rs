@@ -1,0 +1,375 @@
+//! Serving latency under an open-loop load generator.
+//!
+//! Not an experiment of the paper: it characterizes this reproduction's
+//! `rlc-serve` front end. A fixed arrival schedule (open loop — send times
+//! are decided before the first request, so a slow server cannot slow the
+//! offered load down) drives single-query `POST /query` requests over
+//! loopback TCP at three offered loads:
+//!
+//! * **light** — far below capacity: every request must be answered `200`
+//!   and, asserted per request, the response body must be *byte-identical*
+//!   to the envelope rebuilt from direct in-process evaluation
+//!   ([`BatchPlan::execute_cached`]) of the same query;
+//! * **heavy** — near the micro-batcher's coalescing regime;
+//! * **overload** — offered load far above a deliberately tiny server
+//!   (one worker, queue depth 4, a wide batch window): the admission gate
+//!   must shed with preformatted `503`s while the queue high-water mark
+//!   stays within its structural bound `queue_depth + threads + 1`.
+//!
+//! Reported per load: answered/shed/deadline counts, shed rate, and
+//! p50/p95/p99 latency over the answered requests.
+
+use crate::CommonArgs;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlc_core::engine::IndexEngine;
+use rlc_core::{build_index, BatchPlan, BuildConfig, PlanCache, Query};
+use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
+use rlc_graph::Label;
+use rlc_serve::{Counter, Epoch, ServeConfig, Server};
+use rlc_workloads::{format_duration, Table};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default vertex count of the served graph.
+pub const DEFAULT_VERTICES: usize = 4_000;
+
+/// Client threads driving the arrival schedule.
+const CLIENTS: usize = 8;
+
+/// One offered load of the sweep.
+struct LoadSpec {
+    name: &'static str,
+    rate_per_sec: u64,
+    config: ServeConfig,
+    /// Lowest load: assert byte-identity against direct evaluation.
+    assert_identity: bool,
+    /// Overload: assert sheds happened and the queue bound held.
+    expect_shedding: bool,
+}
+
+/// The outcome of one request, in schedule order.
+struct Sample {
+    index: usize,
+    status: u16,
+    body: String,
+    latency: Duration,
+}
+
+/// Runs the sweep with default sizes.
+pub fn run(args: &CommonArgs) -> String {
+    let requests = if args.quick { 60 } else { 400 };
+    run_with(args, requests)
+}
+
+/// Runs the sweep with `requests` requests per offered load.
+pub fn run_with(args: &CommonArgs, requests: usize) -> String {
+    let vertices = if args.quick { 500 } else { DEFAULT_VERTICES };
+    let graph = Arc::new(erdos_renyi(&SyntheticConfig::new(
+        vertices, 4.0, 8, args.seed,
+    )));
+
+    // The query pool: random pairs over constraints within k = 2, encoded
+    // once so every load (and the direct evaluation) sees identical bytes.
+    let l = |i: u16| Label(i);
+    let pool: Vec<Vec<Vec<Label>>> = vec![
+        vec![vec![l(0)]],
+        vec![vec![l(0), l(1)]],
+        vec![vec![l(1)]],
+        vec![vec![l(0)], vec![l(1)]],
+    ];
+    let n = graph.vertex_count() as u32;
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5E74E);
+    let queries: Vec<Query> = (0..requests)
+        .map(|_| {
+            let which = rng.gen_range(0..pool.len());
+            Query::concat(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                pool[which].clone(),
+            )
+            // rlc-analyze: allow(panic-free-library) — the pool is a hardcoded list of valid block shapes; validity is static, not data-dependent
+            .expect("pool constraints are valid")
+        })
+        .collect();
+    let bodies: Vec<Vec<u8>> = queries.iter().map(encode_query).collect();
+
+    // Ground truth, evaluated directly in-process over an equal index.
+    let (direct_index, _) = build_index(&graph, &BuildConfig::new(2));
+    let direct = IndexEngine::new(&graph, &direct_index);
+    let expected: Vec<bool> = BatchPlan::new(&queries)
+        .execute_cached(&direct, &PlanCache::new())
+        .into_iter()
+        .map(|answer| {
+            // rlc-analyze: allow(panic-free-library) — every pool constraint is within k = 2, so the index engine cannot reject it
+            answer.expect("pool constraints are within k")
+        })
+        .collect();
+
+    let serving = ServeConfig {
+        threads: 4,
+        queue_depth: 64,
+        batch_window: Duration::from_micros(500),
+        ..ServeConfig::default()
+    };
+    let tiny = ServeConfig {
+        threads: 1,
+        queue_depth: 4,
+        batch_window: Duration::from_millis(20),
+        ..ServeConfig::default()
+    };
+    let loads = [
+        LoadSpec {
+            name: "light",
+            rate_per_sec: 200,
+            config: serving,
+            assert_identity: true,
+            expect_shedding: false,
+        },
+        LoadSpec {
+            name: "heavy",
+            rate_per_sec: 2_000,
+            config: serving,
+            assert_identity: false,
+            expect_shedding: false,
+        },
+        LoadSpec {
+            name: "overload",
+            rate_per_sec: 1_000,
+            config: tiny,
+            assert_identity: false,
+            expect_shedding: true,
+        },
+    ];
+
+    let mut table = Table::new(
+        &format!(
+            "Serve latency: ER graph, |V| = {vertices}, k = 2, {requests} open-loop requests \
+             per offered load over loopback TCP ({CLIENTS} clients)",
+        ),
+        &[
+            "load",
+            "offered rate",
+            "ok",
+            "shed",
+            "deadline",
+            "shed rate",
+            "p50",
+            "p95",
+            "p99",
+        ],
+    );
+
+    for load in &loads {
+        let server = Server::start(
+            load.config,
+            Epoch::rlc(
+                Arc::clone(&graph),
+                build_index(&graph, &BuildConfig::new(2)).0,
+            ),
+        )
+        // rlc-analyze: allow(panic-free-library) — a bench cannot proceed without its loopback server; failing loudly is the right report
+        .expect("server boots on an ephemeral port");
+        let generation = server.slot().generation_value();
+        let samples = run_load(server.addr(), &bodies, load.rate_per_sec);
+        assert_eq!(samples.len(), requests, "every scheduled request resolved");
+
+        let ok = samples.iter().filter(|s| s.status == 200).count();
+        let shed = samples.iter().filter(|s| s.status == 503).count();
+        let deadline = samples.iter().filter(|s| s.status == 504).count();
+        assert_eq!(
+            ok + shed + deadline,
+            requests,
+            "{}: only 200/503/504 may appear, got other statuses",
+            load.name
+        );
+
+        if load.assert_identity {
+            assert_eq!(shed + deadline, 0, "the light load must not shed");
+            for sample in &samples {
+                let expected_body = format!(
+                    "{{\"ok\":true,\"answer\":{},\"generation\":{generation}}}",
+                    expected[sample.index]
+                );
+                assert_eq!(
+                    sample.body, expected_body,
+                    "light load: served bytes must equal the direct-evaluation envelope"
+                );
+            }
+        }
+        if load.expect_shedding {
+            assert!(shed > 0, "the overload row must shed");
+            let bound = (load.config.queue_depth + load.config.threads + 1) as u64;
+            let high_water = server.metrics().queue_depth_max();
+            assert!(
+                high_water <= bound,
+                "queue high-water {high_water} exceeds the structural bound {bound}"
+            );
+        }
+        assert_eq!(server.metrics().get(Counter::Shed503), shed as u64);
+
+        let mut latencies: Vec<Duration> = samples
+            .iter()
+            .filter(|s| s.status == 200)
+            .map(|s| s.latency)
+            .collect();
+        latencies.sort_unstable();
+        table.add_row(vec![
+            load.name.to_string(),
+            format!("{}/s", load.rate_per_sec),
+            ok.to_string(),
+            shed.to_string(),
+            deadline.to_string(),
+            format!("{:.1}%", 100.0 * shed as f64 / requests as f64),
+            format_duration(percentile(&latencies, 0.50)),
+            format_duration(percentile(&latencies, 0.95)),
+            format_duration(percentile(&latencies, 0.99)),
+        ]);
+        server.shutdown();
+    }
+    table.render()
+}
+
+/// Encodes a query as the compact JSON the server parses.
+fn encode_query(query: &Query) -> Vec<u8> {
+    let blocks: Vec<String> = query
+        .constraint()
+        .blocks()
+        .iter()
+        .map(|block| {
+            let labels: Vec<String> = block.iter().map(|l| l.index().to_string()).collect();
+            format!("[{}]", labels.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"source\":{},\"target\":{},\"constraint\":{{\"blocks\":[{}]}}}}",
+        query.source,
+        query.target,
+        blocks.join(",")
+    )
+    .into_bytes()
+}
+
+/// Fires `bodies` at `rate_per_sec` on a fixed schedule shared by
+/// [`CLIENTS`] threads (client `c` owns requests `c, c + CLIENTS, …`).
+/// A client that falls behind its schedule sends immediately — the
+/// schedule itself never stretches.
+fn run_load(addr: SocketAddr, bodies: &[Vec<u8>], rate_per_sec: u64) -> Vec<Sample> {
+    let interval = Duration::from_nanos(1_000_000_000 / rate_per_sec.max(1));
+    let start = Instant::now() + Duration::from_millis(5);
+    let mut samples = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut index = client;
+                    while index < bodies.len() {
+                        let due = start + interval * index as u32;
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let sent = Instant::now();
+                        let (status, body) = exchange(addr, &bodies[index]);
+                        mine.push(Sample {
+                            index,
+                            status,
+                            body,
+                            latency: sent.elapsed(),
+                        });
+                        index += CLIENTS;
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(bodies.len());
+        for client in clients {
+            // rlc-analyze: allow(panic-free-library) — a panicked client thread already failed an assertion; propagate it
+            all.extend(client.join().expect("client thread"));
+        }
+        all
+    });
+    samples.sort_by_key(|s| s.index);
+    samples
+}
+
+/// One raw `POST /query` exchange; a transport failure reports status 0 so
+/// the caller's status accounting flags it.
+fn exchange(addr: SocketAddr, body: &[u8]) -> (u16, String) {
+    let mut raw = Vec::new();
+    // A read error after the complete response arrived (a trailing reset
+    // as the server closes a shed connection) is not a failed exchange —
+    // parse whatever arrived and let the completeness check decide.
+    let _ = TcpStream::connect(addr).and_then(|mut stream| {
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let head = format!(
+            "POST /query HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.read_to_end(&mut raw)
+    });
+    parse_response(&raw).unwrap_or((0, String::new()))
+}
+
+/// Splits a raw HTTP response into (status, body), requiring the body to
+/// match the declared `Content-Length` — a truncated response is not a
+/// response.
+fn parse_response(raw: &[u8]) -> Option<(u16, String)> {
+    let text = std::str::from_utf8(raw).ok()?;
+    let status: u16 = text.split(' ').nth(1)?.parse().ok()?;
+    let head_end = text.find("\r\n\r\n")?;
+    let (head, body) = (&text[..head_end], &text[head_end + 4..]);
+    let declared: usize = head
+        .lines()
+        .find_map(|line| {
+            let lower = line.to_ascii_lowercase();
+            lower
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().to_owned())
+        })?
+        .parse()
+        .ok()?;
+    (body.len() == declared).then(|| (status, body.to_owned()))
+}
+
+/// Nearest-rank percentile over an ascending latency list.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_asserts_identity_and_shedding() {
+        let args = CommonArgs {
+            scale: 1.0,
+            seed: 23,
+            queries: 20,
+            quick: true,
+        };
+        let report = run_with(&args, 40);
+        assert!(report.contains("light"));
+        assert!(report.contains("overload"));
+        assert!(report.contains("shed rate"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms = |v: u64| Duration::from_millis(v);
+        let sorted = vec![ms(1), ms(2), ms(3), ms(4)];
+        assert_eq!(percentile(&sorted, 0.0), ms(1));
+        assert_eq!(percentile(&sorted, 0.5), ms(3));
+        assert_eq!(percentile(&sorted, 1.0), ms(4));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+}

@@ -179,6 +179,20 @@ fn read_counter(counter: &AtomicU64) -> u64 {
     counter.load(Ordering::Relaxed)
 }
 
+/// Adds to a residency gauge (entries/bytes mirror). Always called with the
+/// owning shard's lock held, so the mirror tracks the locked state exactly;
+/// the atomic only makes the *read* side lock-free.
+fn gauge_add(gauge: &AtomicU64, delta: u64) {
+    // rlc-analyze: allow(atomic-ordering) — gauge mirror written under the shard lock; readers are observational
+    gauge.fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Subtracts from a residency gauge; see [`gauge_add`].
+fn gauge_sub(gauge: &AtomicU64, delta: u64) {
+    // rlc-analyze: allow(atomic-ordering) — gauge mirror written under the shard lock; readers are observational
+    gauge.fetch_sub(delta, Ordering::Relaxed);
+}
+
 /// A sharded, thread-safe LRU cache of prepared constraints, shared across
 /// batches (and across engines — entries are keyed per engine kind and
 /// validated per engine identity).
@@ -216,6 +230,12 @@ pub struct PlanCache {
     evictions: AtomicU64,
     stale_drops: AtomicU64,
     coalesced: AtomicU64,
+    /// Lock-free mirror of `Σ shard.map.len()`, updated under each shard's
+    /// lock at every insert/remove so [`PlanCache::counters`] never has to
+    /// stop the world.
+    resident_entries: AtomicU64,
+    /// Lock-free mirror of `Σ shard.bytes`; same discipline.
+    resident_bytes: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -252,6 +272,8 @@ impl PlanCache {
             evictions: AtomicU64::new(0),
             stale_drops: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            resident_entries: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
         }
     }
 
@@ -310,6 +332,8 @@ impl PlanCache {
                 // the kind). Drop it so it can never be re-served.
                 if let Some(stale) = guard.map.remove(&key) {
                     guard.bytes -= stale.bytes;
+                    gauge_sub(&self.resident_entries, 1);
+                    gauge_sub(&self.resident_bytes, stale.bytes as u64);
                 }
                 bump(&self.stale_drops);
             }
@@ -350,8 +374,12 @@ impl PlanCache {
         // like the pre-latch behavior for competing identities.
         if let Some(old) = guard.map.insert(key.clone(), entry) {
             guard.bytes -= old.bytes;
+            gauge_sub(&self.resident_bytes, old.bytes as u64);
+        } else {
+            gauge_add(&self.resident_entries, 1);
         }
         guard.bytes += bytes;
+        gauge_add(&self.resident_bytes, bytes as u64);
         // The resident latch is necessarily our own: only the unique
         // compiling worker removes latches, and `or_default` never replaces
         // a resident one, so waiters arriving before this removal shared
@@ -377,6 +405,8 @@ impl PlanCache {
                 break;
             };
             shard.bytes -= evicted.bytes;
+            gauge_sub(&self.resident_entries, 1);
+            gauge_sub(&self.resident_bytes, evicted.bytes as u64);
             bump(&self.evictions);
         }
     }
@@ -395,29 +425,36 @@ impl PlanCache {
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut guard = lock_shard(shard);
+            gauge_sub(&self.resident_entries, guard.map.len() as u64);
+            gauge_sub(&self.resident_bytes, guard.bytes as u64);
             guard.map.clear();
             guard.bytes = 0;
         }
     }
 
-    /// Snapshot of the hit/miss/eviction counters and resident footprint.
-    pub fn stats(&self) -> CacheStats {
-        let mut entries = 0usize;
-        let mut bytes = 0usize;
-        for shard in &self.shards {
-            let guard = lock_shard(shard);
-            entries += guard.map.len();
-            bytes += guard.bytes;
-        }
+    /// Lock-free counter snapshot: every field is read from an atomic, so a
+    /// metrics endpoint (or a test) can sample the cache without stopping a
+    /// single shard — a `prepare` storm on every shard cannot delay this.
+    /// The residency gauges are mirrors maintained under the shard locks at
+    /// each insert/remove, so concurrent snapshots are at worst one in-flight
+    /// mutation out of date, never drifted.
+    pub fn counters(&self) -> CacheStats {
         CacheStats {
             hits: read_counter(&self.hits),
             misses: read_counter(&self.misses),
             evictions: read_counter(&self.evictions),
             stale_drops: read_counter(&self.stale_drops),
             coalesced: read_counter(&self.coalesced),
-            entries,
-            bytes,
+            entries: read_counter(&self.resident_entries) as usize,
+            bytes: read_counter(&self.resident_bytes) as usize,
         }
+    }
+
+    /// Snapshot of the hit/miss/eviction counters and resident footprint.
+    /// Since the residency gauges became lock-free mirrors this is the same
+    /// snapshot as [`PlanCache::counters`]; kept as the established name.
+    pub fn stats(&self) -> CacheStats {
+        self.counters()
     }
 
     fn shard_of(&self, key: &CacheKey) -> usize {
@@ -690,6 +727,40 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().bytes, 0);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lock_free_counters_track_every_mutation_path() {
+        // `counters()` reads only atomics; `len()` walks the shard locks.
+        // Drive the cache through every residency mutation — insert,
+        // replace-by-identity, LRU eviction, stale drop, clear — and the
+        // gauge mirrors must agree with the locked ground truth at each step.
+        let graph = fig2_graph();
+        let check = |cache: &PlanCache| {
+            let c = cache.counters();
+            assert_eq!(c, cache.stats(), "stats() and counters() are one snapshot");
+            assert_eq!(c.entries, cache.len(), "entry gauge mirrors the shards");
+        };
+        let cache = one_shard(2, usize::MAX);
+        let (index_a, _) = build_index(&graph, &BuildConfig::new(2));
+        {
+            let engine = IndexEngine::new(&graph, &index_a);
+            for l in 0..4u16 {
+                cache.prepare(&engine, &constraint(&[l])).unwrap();
+                check(&cache); // inserts, then LRU evictions past entry 2
+            }
+        }
+        assert!(cache.counters().evictions >= 2);
+        drop(index_a);
+        let (index_b, _) = build_index(&graph, &BuildConfig::new(2));
+        let engine = IndexEngine::new(&graph, &index_b);
+        cache.prepare(&engine, &constraint(&[3])).unwrap();
+        check(&cache); // stale drop + re-insert under the new generation
+        assert_eq!(cache.counters().stale_drops, 1);
+        cache.clear();
+        check(&cache);
+        assert_eq!(cache.counters().entries, 0);
+        assert_eq!(cache.counters().bytes, 0);
     }
 
     #[test]

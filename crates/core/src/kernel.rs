@@ -765,6 +765,74 @@ pub fn pooled_scratch_bytes() -> usize {
     SCRATCH_POOL.with(|pool| pool.borrow().iter().map(|s| s.memory_bytes()).sum())
 }
 
+/// Heap-allocation counting for allocation-freedom proofs.
+///
+/// The serve crate's load-shedding path promises to write its preformatted
+/// 503/504 responses without touching the allocator — a server already out
+/// of memory headroom must be able to say "go away" without asking for more.
+/// "No allocation" is a claim only the allocator itself can certify, so this
+/// module provides a counting [`GlobalAlloc`] wrapper around [`System`]: a
+/// test binary installs it via `#[global_allocator]`, snapshots
+/// [`allocation_count`] around the path under test, and asserts the delta is
+/// zero. Counter-based, not heuristic.
+///
+/// It lives here because implementing [`GlobalAlloc`] is necessarily
+/// `unsafe`, and this kernel module is the one place the workspace confines
+/// `unsafe` code to (enforced by `rlc-analyze`'s unsafe-confinement rule).
+/// The wrapper adds one relaxed atomic increment per allocation and
+/// delegates everything else verbatim, so installing it does not change
+/// allocation behavior — only observes it.
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Process-wide count of allocation calls (`alloc`, `alloc_zeroed`,
+    /// and growing/shrinking via `realloc`) since process start. Only ever
+    /// incremented; deallocations are not tracked because allocation-freedom
+    /// proofs only care that nothing was *requested*.
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// The observed allocation-call total. Meaningful only in a binary that
+    /// installed [`CountingAllocator`] as its `#[global_allocator]`;
+    /// elsewhere it stays zero.
+    pub fn allocation_count() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// A [`System`]-delegating allocator that counts allocation calls.
+    ///
+    /// ```ignore
+    /// #[global_allocator]
+    /// static ALLOC: rlc_core::kernel::alloc_count::CountingAllocator =
+    ///     rlc_core::kernel::alloc_count::CountingAllocator;
+    /// ```
+    pub struct CountingAllocator;
+
+    // SAFETY: every method delegates verbatim to `System`, which upholds the
+    // `GlobalAlloc` contract; the only addition is a relaxed counter bump,
+    // which cannot affect the returned pointers or layouts.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

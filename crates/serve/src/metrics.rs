@@ -1,0 +1,222 @@
+//! Server counters and the `GET /metrics` text exposition.
+//!
+//! Counters follow the cache's discipline: monotonic `AtomicU64`s bumped
+//! with relaxed ordering (no memory is published through them) and read
+//! observationally. The queue-depth pair is the one gauge: `queue_depth`
+//! tracks jobs currently admitted-but-unfinished and `queue_depth_max`
+//! records its high-water mark — the bench harness asserts the high-water
+//! mark stays within the configured bound to prove shedding (not queue
+//! growth) absorbs overload.
+
+use rlc_core::CacheStats;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Names of the monotonic server counters (the queue gauges are managed by
+/// [`ServerMetrics::queue_enter`]/[`ServerMetrics::queue_leave`] instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Connections accepted off the listener.
+    Accepted,
+    /// Responses answered `200`.
+    Ok200,
+    /// Responses answered `400` (malformed JSON, constraint rejections,
+    /// bad framing, failed reloads).
+    BadRequest400,
+    /// Responses answered `404`.
+    NotFound404,
+    /// Responses answered `405` (known path, wrong method).
+    MethodNotAllowed405,
+    /// Responses answered `408` (slow-loris read deadline).
+    Timeout408,
+    /// Responses answered `413` (declared body over the cap).
+    BodyTooLarge413,
+    /// Responses answered `431` (head over the cap).
+    HeadersTooLarge431,
+    /// Connections shed with the preformatted `503` (queue full).
+    Shed503,
+    /// Requests answered the preformatted `504` (deadline exceeded).
+    Deadline504,
+    /// Single queries admitted to the micro-batcher.
+    Queries,
+    /// `POST /batch` requests executed.
+    BatchRequests,
+    /// Micro-batches executed by the batcher thread.
+    Microbatches,
+    /// Queries carried by those micro-batches (ratio to `Microbatches` is
+    /// the realized coalescing factor).
+    MicrobatchedQueries,
+    /// Successful `POST /admin/reload` swaps.
+    Reloads,
+    /// Rejected `POST /admin/reload` blobs.
+    ReloadFailures,
+}
+
+/// All counters, in exposition order.
+const ALL: [(Counter, &str); 16] = [
+    (Counter::Accepted, "rlc_serve_accepted_total"),
+    (Counter::Ok200, "rlc_serve_ok_total"),
+    (Counter::BadRequest400, "rlc_serve_bad_request_total"),
+    (Counter::NotFound404, "rlc_serve_not_found_total"),
+    (
+        Counter::MethodNotAllowed405,
+        "rlc_serve_method_not_allowed_total",
+    ),
+    (Counter::Timeout408, "rlc_serve_read_timeout_total"),
+    (Counter::BodyTooLarge413, "rlc_serve_body_too_large_total"),
+    (
+        Counter::HeadersTooLarge431,
+        "rlc_serve_headers_too_large_total",
+    ),
+    (Counter::Shed503, "rlc_serve_shed_total"),
+    (Counter::Deadline504, "rlc_serve_deadline_total"),
+    (Counter::Queries, "rlc_serve_queries_total"),
+    (Counter::BatchRequests, "rlc_serve_batch_requests_total"),
+    (Counter::Microbatches, "rlc_serve_microbatches_total"),
+    (
+        Counter::MicrobatchedQueries,
+        "rlc_serve_microbatched_queries_total",
+    ),
+    (Counter::Reloads, "rlc_serve_reloads_total"),
+    (Counter::ReloadFailures, "rlc_serve_reload_failures_total"),
+];
+
+/// Shared counter block of one [`crate::Server`].
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    counters: [AtomicU64; ALL.len()],
+    queue_depth: AtomicU64,
+    queue_depth_max: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    fn cell(&self, which: Counter) -> &AtomicU64 {
+        // Position of `which` in the exposition table; the table is the
+        // single source of truth for both rendering and storage layout.
+        let idx = ALL
+            .iter()
+            .position(|(c, _)| *c == which)
+            .unwrap_or_default();
+        &self.counters[idx]
+    }
+
+    /// Increments `which` by one.
+    pub fn bump(&self, which: Counter) {
+        self.add(which, 1);
+    }
+
+    /// Increments `which` by `n`.
+    pub fn add(&self, which: Counter, n: u64) {
+        // rlc-analyze: allow(atomic-ordering) — monotonic stats counter; no memory is published through it
+        self.cell(which).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads `which` observationally.
+    pub fn get(&self, which: Counter) -> u64 {
+        // rlc-analyze: allow(atomic-ordering) — observational stats read; approximate by design
+        self.cell(which).load(Ordering::Relaxed)
+    }
+
+    /// Records one job admitted to the worker queue, updating the
+    /// high-water mark. Called *before* the queue insert so the gauge is an
+    /// upper bound on true depth, never an undercount.
+    pub fn queue_enter(&self) {
+        // rlc-analyze: allow(atomic-ordering) — gauge + high-water mark; observational, no memory published
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        // rlc-analyze: allow(atomic-ordering) — monotonic max of an observational gauge
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a job leaving the queue (picked up by a worker, or bounced
+    /// by admission control).
+    pub fn queue_leave(&self) {
+        // rlc-analyze: allow(atomic-ordering) — observational gauge decrement
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Jobs currently admitted and unfinished.
+    pub fn queue_depth(&self) -> u64 {
+        // rlc-analyze: allow(atomic-ordering) — observational gauge read
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`ServerMetrics::queue_depth`] since start.
+    pub fn queue_depth_max(&self) -> u64 {
+        // rlc-analyze: allow(atomic-ordering) — observational gauge read
+        self.queue_depth_max.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `GET /metrics` text format: one `name value` line per
+    /// counter, then the queue gauges, the serving generation, and the
+    /// plan cache's lock-free counter snapshot.
+    pub fn render(&self, cache: CacheStats, generation: u64) -> String {
+        let mut out = String::with_capacity(1024);
+        for (counter, name) in ALL {
+            let _ = writeln!(out, "{name} {}", self.get(counter));
+        }
+        let _ = writeln!(out, "rlc_serve_queue_depth {}", self.queue_depth());
+        let _ = writeln!(out, "rlc_serve_queue_depth_max {}", self.queue_depth_max());
+        let _ = writeln!(out, "rlc_serve_generation {generation}");
+        let _ = writeln!(out, "plan_cache_hits_total {}", cache.hits);
+        let _ = writeln!(out, "plan_cache_misses_total {}", cache.misses);
+        let _ = writeln!(out, "plan_cache_evictions_total {}", cache.evictions);
+        let _ = writeln!(out, "plan_cache_stale_drops_total {}", cache.stale_drops);
+        let _ = writeln!(out, "plan_cache_coalesced_total {}", cache.coalesced);
+        let _ = writeln!(out, "plan_cache_entries {}", cache.entries);
+        let _ = writeln!(out, "plan_cache_bytes {}", cache.bytes);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_counter_has_its_own_cell() {
+        let metrics = ServerMetrics::new();
+        for (i, (counter, _)) in ALL.iter().enumerate() {
+            metrics.add(*counter, i as u64 + 1);
+        }
+        for (i, (counter, _)) in ALL.iter().enumerate() {
+            assert_eq!(metrics.get(*counter), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn queue_gauges_track_depth_and_high_water() {
+        let metrics = ServerMetrics::new();
+        metrics.queue_enter();
+        metrics.queue_enter();
+        metrics.queue_enter();
+        metrics.queue_leave();
+        assert_eq!(metrics.queue_depth(), 2);
+        assert_eq!(metrics.queue_depth_max(), 3);
+        metrics.queue_leave();
+        metrics.queue_leave();
+        assert_eq!(metrics.queue_depth(), 0);
+        assert_eq!(metrics.queue_depth_max(), 3, "the mark is sticky");
+    }
+
+    #[test]
+    fn render_emits_one_line_per_series() {
+        let metrics = ServerMetrics::new();
+        metrics.bump(Counter::Accepted);
+        let text = metrics.render(CacheStats::default(), 42);
+        assert!(text.contains("rlc_serve_accepted_total 1\n"));
+        assert!(text.contains("rlc_serve_generation 42\n"));
+        assert!(text.contains("plan_cache_hits_total 0\n"));
+        assert_eq!(text.lines().count(), ALL.len() + 3 + 7);
+        for line in text.lines() {
+            let mut parts = line.split(' ');
+            assert!(parts.next().is_some_and(|n| !n.is_empty()));
+            assert!(parts.next().is_some_and(|v| v.parse::<u64>().is_ok()));
+            assert!(parts.next().is_none());
+        }
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`shard`] — the vertex-partitioned sharded engine: per-shard indexes,
 //!   boundary-hub stitching, and the `RSH1` manifest format;
 //! * [`workloads`] — query-set generation and the Table III dataset catalog;
-//! * [`engines`] — the simulated graph engines used as Table V comparators.
+//! * [`engines`] — the simulated graph engines used as Table V comparators;
+//! * [`serve`] — the long-running HTTP query service: admission control,
+//!   micro-batching through the shared `PlanCache`, and hot index swap.
 //!
 //! Every evaluator implements `ReachabilityEngine`, so the same code drives
 //! the index, the online baselines and the simulated engines. The API is a
@@ -72,6 +74,9 @@ pub use rlc_workloads as workloads;
 /// Simulated graph engines (re-export of [`rlc_engine_sim`]).
 pub use rlc_engine_sim as engines;
 
+/// The HTTP query service (re-export of [`rlc_serve`]).
+pub use rlc_serve as serve;
+
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use rlc_baselines::{
@@ -85,6 +90,7 @@ pub mod prelude {
         PlanCache, Query, QueryError, RlcIndex, RlcQuery,
     };
     pub use rlc_graph::{GraphBuilder, Label, LabeledGraph, PartitionStrategy, VertexId};
+    pub use rlc_serve::{Epoch, IndexSlot, ServeConfig, Server};
     pub use rlc_shard::{ShardBuildConfig, ShardedEngine, ShardedIndex};
     pub use rlc_workloads::{generate_query_set, QueryGenConfig};
 }
