@@ -8,11 +8,19 @@
 //! grep gates and reviewer memory; this crate turns them into checked
 //! tooling.
 //!
-//! The analyzer is a hand-rolled Rust lexer (comments, nested block
-//! comments, string/char/raw-string literals, lifetimes — so a banned
-//! construct in documentation is *not* a violation) feeding a small rule
-//! engine that walks every `.rs` file under `crates/`, `src/`, `tests/`,
-//! and `examples/` and emits `file:line:col` diagnostics with rule ids.
+//! The analyzer is a three-layer pipeline:
+//!
+//! 1. a hand-rolled Rust **lexer** ([`lexer`]) — comments, nested block
+//!    comments, string/char/raw-string literals, lifetimes — so a banned
+//!    construct in documentation is *not* a violation;
+//! 2. a **token-tree parser** ([`parse`]) — balanced `{}/()/[]` nesting,
+//!    fn/impl/mod item extraction with spans, statement segmentation,
+//!    and a by-name call-graph approximation;
+//! 3. the **rules** — lexical rules plus an intra-procedural taint
+//!    engine ([`dataflow`]) behind `untrusted-length-flow`, and the
+//!    workspace-global `lock-order` / `atomic-pairing` rules
+//!    ([`locks`]), which run over concurrency facts merged from every
+//!    file.
 //!
 //! Run it from the workspace root:
 //!
@@ -25,14 +33,18 @@
 //! The rule catalog lives in [`rules::RULES`]; findings can be
 //! acknowledged in place with `rlc-analyze: allow(<rule>) — <reason>`
 //! suppression directives (see [`suppress`]), which are themselves
-//! counted, reported, and flagged when stale.
+//! counted, reported, and flagged when stale. Dataflow findings carry
+//! machine-readable traces (JSON schema version 2).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod analyze;
+pub mod dataflow;
 pub mod lexer;
+pub mod locks;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scope;
@@ -42,34 +54,38 @@ pub mod walk;
 use std::io;
 use std::path::Path;
 
-pub use analyze::{analyze_source, FileReport};
+pub use analyze::{analyze_file, analyze_source, resolve, FileAnalysis, FileReport};
 pub use report::{CheckOutcome, SuppressionRecord};
 pub use rules::{Finding, RULES};
 
 /// Analyzes every workspace source file under `root`.
 ///
 /// I/O errors (unreadable file, missing root) surface as `Err`; rule
-/// findings are data, not errors.
+/// findings are data, not errors. Phase one runs per file, phase two
+/// resolves the workspace-global rules and suppressions over all of
+/// them.
 pub fn run_check(root: &Path) -> io::Result<CheckOutcome> {
     let files = walk::workspace_files(root)?;
-    let mut outcome = CheckOutcome {
+    let mut analyses = Vec::with_capacity(files.len());
+    for (rel, abs) in &files {
+        let source = std::fs::read_to_string(abs)?;
+        analyses.push(analyze::analyze_file(rel, &source));
+    }
+    let report = analyze::resolve(analyses);
+    Ok(CheckOutcome {
         files_scanned: files.len(),
-        ..Default::default()
-    };
-    for (rel, abs) in files {
-        let source = std::fs::read_to_string(&abs)?;
-        let report = analyze_source(&rel, &source);
-        outcome.findings.extend(report.findings);
-        outcome
+        findings: report.findings,
+        shadow_findings: report.shadow,
+        suppressions: report
             .suppressions
-            .extend(report.suppressions.into_iter().map(|s| SuppressionRecord {
-                file: rel.clone(),
+            .into_iter()
+            .map(|(file, s)| SuppressionRecord {
+                file,
                 line: s.line,
                 rule: s.rule,
                 reason: s.reason,
                 used: s.used,
-            }));
-    }
-    outcome.findings.sort();
-    Ok(outcome)
+            })
+            .collect(),
+    })
 }

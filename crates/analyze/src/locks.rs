@@ -1,0 +1,775 @@
+//! Layer 3b of the pipeline: workspace-global concurrency rules.
+//!
+//! This module extracts per-file *concurrency facts* — lock acquisition
+//! sites, call sites, atomic operations — and runs the two rules that
+//! need a whole-workspace view over the merged facts:
+//!
+//! * **`lock-order`**: build a global lock-ordering digraph and report
+//!   every cycle as a potential deadlock, with a witness path for each
+//!   edge of the cycle.
+//! * **`atomic-pairing`**: every `Ordering::Release` store must have a
+//!   matching `Acquire`/`SeqCst` load of the same identity somewhere in
+//!   the workspace (and vice versa), and every `Ordering::Relaxed` site
+//!   must carry a reasoned suppression.
+//!
+//! ## How lock identities are derived
+//!
+//! A lock site is either a zero-argument `.lock()` method call or a call
+//! to a configured *lock primitive* (`lock_recover`, `lock_shard` — the
+//! workspace's poison-recovering wrappers). The identity is the **final
+//! path segment** of the receiver (for `.lock()`) or of the first
+//! argument (for primitives), with subscripts and call parentheses
+//! stripped: `self.state.pending` → `pending`, `self.shards[i]` →
+//! `shards`, `lock_recover(&gate)` → `gate`. Identities are *static*: two
+//! runtime instances behind the same field name share one node, so
+//! self-edges (`A → A`) are excluded from cycle reporting — sharded
+//! same-field locking is ubiquitous and ordered by disjointness, not
+//! acquisition order. The bodies of the lock primitives themselves are
+//! skipped (their `mutex.lock()` would otherwise conflate every caller
+//! under one generic identity), and only library non-test code
+//! contributes facts.
+//!
+//! The ordering edges come from two places: two acquisitions in the same
+//! function (`A` then `B` ⇒ `A → B`), and one call-graph hop — a
+//! function that acquires `A` and then calls `g`, for every workspace
+//! function named `g` that acquires `B` (`A → B`). The call graph is a
+//! by-name approximation from the parser layer.
+
+use crate::dataflow::TraceStep;
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{call_sites, matching, ParseFile};
+use crate::rules::{Finding, ATOMIC_PAIRING, LOCK_ORDER};
+use crate::scope::{FileClass, Scopes};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Functions whose *call* is itself a lock acquisition and whose bodies
+/// are skipped during extraction.
+pub const LOCK_PRIMITIVES: &[&str] = &["lock_recover", "lock_shard"];
+
+/// One lock acquisition site.
+#[derive(Clone, Debug)]
+pub struct LockSite {
+    /// Derived static lock identity.
+    pub identity: String,
+    /// Token index of the site (for ordering within the function).
+    pub pos: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// What an atomic operation does to its memory location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// `.load(...)`.
+    Load,
+    /// `.store(...)`.
+    Store,
+    /// Read-modify-write: `fetch_*`, `swap`, `compare_exchange*`.
+    Rmw,
+}
+
+/// One atomic operation site with its ordering.
+#[derive(Clone, Debug)]
+pub struct AtomicSite {
+    /// Derived identity (final path segment of the receiver).
+    pub identity: String,
+    /// Load, store, or RMW.
+    pub kind: AtomicKind,
+    /// The `Ordering::` variant named in the arguments.
+    pub ordering: String,
+    /// 1-based line of the `Ordering::X` token.
+    pub line: u32,
+    /// 1-based column of the `Ordering::X` token.
+    pub col: u32,
+}
+
+/// The acquisitions and outgoing calls of one function.
+#[derive(Clone, Debug, Default)]
+pub struct FnFacts {
+    /// The function's name (call-graph node key).
+    pub name: String,
+    /// Lock acquisitions in source order.
+    pub acquisitions: Vec<LockSite>,
+    /// Outgoing calls: `(callee name, token index)`.
+    pub calls: Vec<(String, usize)>,
+}
+
+/// Concurrency facts extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileFacts {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Per-function lock/call facts.
+    pub fns: Vec<FnFacts>,
+    /// Atomic operation sites.
+    pub atomics: Vec<AtomicSite>,
+}
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Extracts the concurrency facts of one file. Only library non-test
+/// code contributes; other files yield empty facts.
+pub fn extract(
+    path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    scopes: &Scopes,
+    parsed: &ParseFile,
+) -> FileFacts {
+    if !class.is_library {
+        return FileFacts {
+            path: path.to_owned(),
+            ..Default::default()
+        };
+    }
+    // Body ranges of named fns, innermost-attribution: a token belongs to
+    // the smallest enclosing body. Lock-primitive bodies are excluded
+    // wholesale.
+    struct FnRange {
+        name: String,
+        open: usize,
+        end: usize,
+        primitive: bool,
+    }
+    let mut ranges: Vec<FnRange> = Vec::new();
+    for (item, name, _, body) in parsed.fns() {
+        let Some(open) = body else { continue };
+        ranges.push(FnRange {
+            name: name.to_owned(),
+            open,
+            end: item.end,
+            primitive: LOCK_PRIMITIVES.contains(&name),
+        });
+    }
+    let innermost = |idx: usize| -> Option<usize> {
+        ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.open < idx && idx < r.end)
+            .min_by_key(|(_, r)| r.end - r.open)
+            .map(|(i, _)| i)
+    };
+
+    let mut fns: Vec<FnFacts> = ranges
+        .iter()
+        .map(|r| FnFacts {
+            name: r.name.clone(),
+            ..Default::default()
+        })
+        .collect();
+    let mut atomics = Vec::new();
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || scopes.in_test(i) {
+            continue;
+        }
+        let owner = innermost(i);
+        let in_primitive = owner.map(|o| ranges[o].primitive).unwrap_or(false);
+        let next_is_paren = tokens.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false);
+        if !next_is_paren {
+            continue;
+        }
+        let after_dot = i > 0 && tokens[i - 1].is_punct('.');
+
+        // `.lock()` with no arguments: a std Mutex/RwLock-style acquire.
+        if t.text == "lock" && after_dot && !in_primitive {
+            let close = matching(tokens, i + 1, '(', ')') - 1;
+            if close == i + 2 {
+                if let Some(identity) = receiver_identity(tokens, i - 1) {
+                    if let Some(o) = owner {
+                        fns[o].acquisitions.push(LockSite {
+                            identity,
+                            pos: i,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+                continue;
+            }
+        }
+
+        // A call to a lock primitive: identity from the first argument.
+        if LOCK_PRIMITIVES.contains(&t.text.as_str()) && !in_primitive {
+            let close = matching(tokens, i + 1, '(', ')') - 1;
+            if let Some(identity) = argument_identity(tokens, i + 2, close) {
+                if let Some(o) = owner {
+                    fns[o].acquisitions.push(LockSite {
+                        identity,
+                        pos: i,
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+            continue;
+        }
+
+        // Atomic operations: `.method(…, Ordering::X, …)`.
+        if after_dot && ATOMIC_METHODS.contains(&t.text.as_str()) {
+            let close = matching(tokens, i + 1, '(', ')') - 1;
+            let ordering = (i + 2..close).find_map(|j| {
+                let ord = tokens[j].kind == TokenKind::Ident
+                    && j >= 3
+                    && tokens[j - 1].is_punct(':')
+                    && tokens[j - 2].is_punct(':')
+                    && tokens[j - 3].is_ident("Ordering");
+                ord.then(|| tokens[j].clone())
+            });
+            if let (Some(ord), Some(identity)) = (ordering, receiver_identity(tokens, i - 1)) {
+                let kind = match t.text.as_str() {
+                    "load" => AtomicKind::Load,
+                    "store" => AtomicKind::Store,
+                    _ => AtomicKind::Rmw,
+                };
+                atomics.push(AtomicSite {
+                    identity,
+                    kind,
+                    ordering: ord.text.clone(),
+                    line: ord.line,
+                    col: ord.col,
+                });
+            }
+        }
+    }
+
+    // Call sites, attributed innermost, primitives excluded (their call
+    // is an acquisition, recorded above).
+    for call in call_sites(tokens, 0, tokens.len()) {
+        if LOCK_PRIMITIVES.contains(&call.callee.as_str()) || scopes.in_test(call.pos) {
+            continue;
+        }
+        if let Some(o) = innermost(call.pos) {
+            if !ranges[o].primitive {
+                fns[o].calls.push((call.callee, call.pos));
+            }
+        }
+    }
+
+    FileFacts {
+        path: path.to_owned(),
+        fns,
+        atomics,
+    }
+}
+
+/// The final path segment of the receiver ending at the `.` at `dot_idx`:
+/// walks left over trailing `(...)`/`[...]` groups and returns the first
+/// identifier (`self.shards[i].lock()` → `shards`).
+fn receiver_identity(tokens: &[Token], dot_idx: usize) -> Option<String> {
+    let mut j = dot_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.is_punct(')') || t.is_punct(']') {
+            let (open, close) = if t.is_punct(')') {
+                ('(', ')')
+            } else {
+                ('[', ']')
+            };
+            let mut depth = 0usize;
+            loop {
+                let u = &tokens[j];
+                if u.is_punct(close) {
+                    depth += 1;
+                } else if u.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            if matches!(t.text.as_str(), "self" | "Self") {
+                return None;
+            }
+            return Some(t.text.clone());
+        }
+        return None;
+    }
+    None
+}
+
+/// The final path segment of a primitive's first argument: the last
+/// identifier of the first top-level-comma-delimited argument
+/// (`lock_recover(&self.state.pending)` → `pending`).
+fn argument_identity(tokens: &[Token], start: usize, end: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut last = None;
+    for t in tokens.iter().take(end.min(tokens.len())).skip(start) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(',') && depth == 0 {
+            break;
+        } else if depth == 0
+            && t.kind == TokenKind::Ident
+            && !matches!(t.text.as_str(), "mut" | "self" | "Self" | "ref")
+        {
+            last = Some(t.text.clone());
+        }
+    }
+    last
+}
+
+/// One ordering edge `from → to` with its witness path.
+#[derive(Clone, Debug)]
+struct Edge {
+    witness: Vec<TraceStep>,
+}
+
+/// Runs the `lock-order` rule over the merged workspace facts.
+pub fn lock_order(files: &[FileFacts]) -> Vec<Finding> {
+    // fns by name for the one-hop expansion.
+    let mut by_name: BTreeMap<&str, Vec<(&str, &FnFacts)>> = BTreeMap::new();
+    for file in files {
+        for f in &file.fns {
+            by_name.entry(&f.name).or_default().push((&file.path, f));
+        }
+    }
+
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let mut add_edge = |from: &LockSite, to_id: &str, witness: Vec<TraceStep>| {
+        edges
+            .entry((from.identity.clone(), to_id.to_owned()))
+            .or_insert(Edge { witness });
+    };
+
+    for file in files {
+        for f in &file.fns {
+            // Intra-function ordering: A acquired, then B while A held.
+            for (i, a) in f.acquisitions.iter().enumerate() {
+                for b in &f.acquisitions[i + 1..] {
+                    if a.identity == b.identity {
+                        continue;
+                    }
+                    add_edge(
+                        a,
+                        &b.identity,
+                        vec![
+                            trace(
+                                &file.path,
+                                a,
+                                format!("`{}` acquires `{}`", f.name, a.identity),
+                            ),
+                            trace(
+                                &file.path,
+                                b,
+                                format!(
+                                    "`{}` then acquires `{}` while holding `{}`",
+                                    f.name, b.identity, a.identity
+                                ),
+                            ),
+                        ],
+                    );
+                }
+            }
+            // One call-graph hop: A acquired, then a call to g which
+            // acquires B.
+            for (callee, call_pos) in &f.calls {
+                let Some(targets) = by_name.get(callee.as_str()) else {
+                    continue;
+                };
+                for a in &f.acquisitions {
+                    if a.pos >= *call_pos {
+                        continue;
+                    }
+                    for (callee_path, g) in targets {
+                        for b in &g.acquisitions {
+                            if a.identity == b.identity {
+                                continue;
+                            }
+                            add_edge(
+                                a,
+                                &b.identity,
+                                vec![
+                                    trace(
+                                        &file.path,
+                                        a,
+                                        format!("`{}` acquires `{}`", f.name, a.identity),
+                                    ),
+                                    TraceStep {
+                                        file: file.path.clone(),
+                                        line: a.line,
+                                        col: a.col,
+                                        note: format!(
+                                            "`{}` calls `{}` while holding `{}`",
+                                            f.name, callee, a.identity
+                                        ),
+                                    },
+                                    trace(
+                                        callee_path,
+                                        b,
+                                        format!("`{}` acquires `{}`", g.name, b.identity),
+                                    ),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: for each node (in order), BFS for the shortest
+    // path back to itself; report the cycle once, anchored at its
+    // lexicographically smallest member.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().insert(to);
+    }
+    let mut findings = Vec::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let Some(cycle) = shortest_cycle(&adj, start) else {
+            continue;
+        };
+        if cycle.iter().any(|n| *n < start) {
+            continue; // reported anchored at the smaller node
+        }
+        let mut message = format!("potential deadlock: lock-order cycle `{}`", cycle[0]);
+        for n in &cycle[1..] {
+            message.push_str(&format!(" -> `{n}`"));
+        }
+        message.push_str(&format!(" -> `{}`", cycle[0]));
+        let mut steps = Vec::new();
+        for w in 0..cycle.len() {
+            let from = cycle[w];
+            let to = cycle[(w + 1) % cycle.len()];
+            if let Some(edge) = edges.get(&(from.to_owned(), to.to_owned())) {
+                message.push_str(&format!(
+                    "; witness {}: {}",
+                    w + 1,
+                    witness_summary(&edge.witness)
+                ));
+                steps.extend(edge.witness.iter().cloned());
+            }
+        }
+        let head = steps.first().cloned();
+        findings.push(Finding {
+            file: head.as_ref().map(|s| s.file.clone()).unwrap_or_default(),
+            line: head.as_ref().map(|s| s.line).unwrap_or(1),
+            col: head.as_ref().map(|s| s.col).unwrap_or(1),
+            rule: LOCK_ORDER,
+            message,
+            trace: steps,
+        });
+    }
+    findings
+}
+
+fn trace(file: &str, site: &LockSite, note: String) -> TraceStep {
+    TraceStep {
+        file: file.to_owned(),
+        line: site.line,
+        col: site.col,
+        note,
+    }
+}
+
+fn witness_summary(witness: &[TraceStep]) -> String {
+    witness
+        .iter()
+        .map(|s| format!("{} ({}:{})", s.note, s.file, s.line))
+        .collect::<Vec<_>>()
+        .join(", then ")
+}
+
+/// Shortest cycle through `start` (BFS over successors), as the node
+/// sequence starting at `start`, or `None` when start is acyclic.
+fn shortest_cycle<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    start: &'a str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(node) = queue.pop_front() {
+        for succ in adj.get(node).into_iter().flatten() {
+            if *succ == start {
+                // Reconstruct start → … → node, then the closing edge.
+                let mut path = vec![node];
+                let mut cur = node;
+                while cur != start {
+                    cur = prev[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if !prev.contains_key(succ) && *succ != start {
+                prev.insert(succ, node);
+                queue.push_back(succ);
+            }
+        }
+    }
+    None
+}
+
+/// Runs the `atomic-pairing` rule over the merged workspace facts.
+pub fn atomic_pairing(files: &[FileFacts]) -> Vec<Finding> {
+    let all: Vec<(&str, &AtomicSite)> = files
+        .iter()
+        .flat_map(|f| f.atomics.iter().map(move |s| (f.path.as_str(), s)))
+        .collect();
+    let has_partner = |identity: &str, want_kind: &[AtomicKind], want_ord: &[&str]| {
+        all.iter().any(|(_, s)| {
+            s.identity == identity
+                && want_kind.contains(&s.kind)
+                && want_ord.contains(&s.ordering.as_str())
+        })
+    };
+    let mut findings = Vec::new();
+    for (path, site) in &all {
+        let problem = match site.ordering.as_str() {
+            "Relaxed" => Some(format!(
+                "`Ordering::Relaxed` on `{}`: unordered atomic access needs a reasoned \
+                 suppression stating why no cross-thread ordering is required",
+                site.identity
+            )),
+            "Release" => (!has_partner(
+                &site.identity,
+                &[AtomicKind::Load, AtomicKind::Rmw],
+                &["Acquire", "AcqRel", "SeqCst"],
+            ))
+            .then(|| {
+                format!(
+                    "`Ordering::Release` write to `{}` has no matching Acquire/SeqCst read of \
+                     `{}` anywhere in the workspace; nothing can synchronize with this write",
+                    site.identity, site.identity
+                )
+            }),
+            "Acquire" => (!has_partner(
+                &site.identity,
+                &[AtomicKind::Store, AtomicKind::Rmw],
+                &["Release", "AcqRel", "SeqCst"],
+            ))
+            .then(|| {
+                format!(
+                    "`Ordering::Acquire` read of `{}` has no matching Release/SeqCst write to \
+                     `{}` anywhere in the workspace; this read synchronizes with nothing",
+                    site.identity, site.identity
+                )
+            }),
+            // AcqRel RMWs pair with each other; SeqCst is always paired.
+            _ => None,
+        };
+        if let Some(message) = problem {
+            findings.push(Finding {
+                file: (*path).to_owned(),
+                line: site.line,
+                col: site.col,
+                rule: ATOMIC_PAIRING,
+                message,
+                trace: vec![TraceStep {
+                    file: (*path).to_owned(),
+                    line: site.line,
+                    col: site.col,
+                    note: format!(
+                        "atomic {:?} of `{}` with Ordering::{}",
+                        site.kind, site.identity, site.ordering
+                    ),
+                }],
+            });
+        }
+    }
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+    use crate::scope::{classify, Scopes};
+
+    fn facts(path: &str, src: &str) -> FileFacts {
+        let lexed = lex(src);
+        let scopes = Scopes::compute(&lexed.tokens);
+        let parsed = parse(&lexed.tokens);
+        extract(path, classify(path), &lexed.tokens, &scopes, &parsed)
+    }
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    #[test]
+    fn method_lock_identity_is_final_segment() {
+        let f = facts(LIB, "fn f(&self) { let g = self.state.pool.lock(); }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].acquisitions.len(), 1);
+        assert_eq!(f.fns[0].acquisitions[0].identity, "pool");
+    }
+
+    #[test]
+    fn subscripted_receiver_drops_the_index() {
+        let f = facts(
+            LIB,
+            "fn f(&self, i: usize) { let g = self.shards[i].lock(); }",
+        );
+        assert_eq!(f.fns[0].acquisitions[0].identity, "shards");
+    }
+
+    #[test]
+    fn primitive_call_takes_argument_identity() {
+        let f = facts(
+            LIB,
+            "fn f(&self) { let a = lock_recover(&self.state.pending); let b = lock_shard(shard); }",
+        );
+        let ids: Vec<_> = f.fns[0]
+            .acquisitions
+            .iter()
+            .map(|a| a.identity.clone())
+            .collect();
+        assert_eq!(ids, vec!["pending", "shard"]);
+    }
+
+    #[test]
+    fn primitive_bodies_are_skipped() {
+        let f = facts(
+            LIB,
+            "fn lock_recover(mutex: &Mutex<u32>) -> Guard { mutex.lock().unwrap_or_else(p) }",
+        );
+        assert!(f.fns.iter().all(|g| g.acquisitions.is_empty()), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_contributes_no_facts() {
+        let f = facts(
+            LIB,
+            "#[cfg(test)] mod tests { fn f(&self) { let g = self.a.lock(); } }",
+        );
+        assert!(f.fns.iter().all(|g| g.acquisitions.is_empty()));
+    }
+
+    #[test]
+    fn two_fn_cycle_is_reported_with_both_witnesses() {
+        let a = facts(
+            LIB,
+            "fn forward(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }",
+        );
+        let b = facts(
+            "crates/demo/src/other.rs",
+            "fn backward(&self) { let g = self.beta.lock(); let h = self.alpha.lock(); }",
+        );
+        let findings = lock_order(&[a, b]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, LOCK_ORDER);
+        assert!(
+            f.message.contains("witness 1") && f.message.contains("witness 2"),
+            "{}",
+            f.message
+        );
+        assert!(f.trace.len() >= 4, "{:?}", f.trace);
+    }
+
+    #[test]
+    fn call_graph_hop_builds_edges() {
+        let a = facts(
+            LIB,
+            "fn outer(&self) { let g = self.alpha.lock(); helper(self); }\n\
+             fn helper(&self) { let g = self.beta.lock(); }\n\
+             fn reverse(&self) { let g = self.beta.lock(); let h = self.alpha.lock(); }",
+        );
+        let findings = lock_order(&[a]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("`alpha` -> `beta` -> `alpha`")
+                || findings[0].message.contains("`beta` -> `alpha` -> `beta`")
+        );
+    }
+
+    #[test]
+    fn same_identity_nesting_is_not_a_cycle() {
+        let a = facts(
+            LIB,
+            "fn f(&self, i: usize, j: usize) { let g = self.shards[i].lock(); let h = self.shards[j].lock(); }",
+        );
+        assert!(lock_order(&[a]).is_empty());
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let a = facts(
+            LIB,
+            "fn f(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }\n\
+             fn g(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }",
+        );
+        assert!(lock_order(&[a]).is_empty());
+    }
+
+    #[test]
+    fn unpaired_release_and_acquire_are_reported() {
+        let f = facts(
+            LIB,
+            "fn f(&self) { self.gen.store(1, Ordering::Release); self.other.load(Ordering::Acquire); }",
+        );
+        let findings = atomic_pairing(&[f]);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("no matching"));
+    }
+
+    #[test]
+    fn release_acquire_pair_across_files_is_clean() {
+        let a = facts(LIB, "fn w(&self) { self.gen.store(1, Ordering::Release); }");
+        let b = facts(
+            "crates/demo/src/reader.rs",
+            "fn r(&self) -> u64 { self.gen.load(Ordering::Acquire) }",
+        );
+        assert!(atomic_pairing(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn seqcst_partner_satisfies_release() {
+        let a = facts(
+            LIB,
+            "fn w(&self) { self.gen.store(1, Ordering::Release); }\n\
+             fn r(&self) -> u64 { self.gen.load(Ordering::SeqCst) }",
+        );
+        assert!(atomic_pairing(&[a]).is_empty());
+    }
+
+    #[test]
+    fn relaxed_always_requires_suppression() {
+        let f = facts(
+            LIB,
+            "fn f(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }",
+        );
+        let findings = atomic_pairing(&[f]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("reasoned suppression"));
+        assert_eq!(findings[0].rule, ATOMIC_PAIRING);
+    }
+
+    #[test]
+    fn seqcst_alone_is_clean() {
+        let f = facts(
+            LIB,
+            "fn f(&self) { self.n.fetch_add(1, Ordering::SeqCst); }",
+        );
+        assert!(atomic_pairing(&[f]).is_empty());
+    }
+}

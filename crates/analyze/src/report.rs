@@ -1,4 +1,10 @@
 //! Workspace-level check outcome and its human/JSON renderings.
+//!
+//! The JSON schema is **version 2**: findings carry a machine-readable
+//! `trace` array (source → steps → sink spans) for the dataflow rules,
+//! rules carry a `shadow` flag, and the shadow rules' differential
+//! findings are reported in a top-level `shadow_findings` array that
+//! never affects the exit code.
 
 use crate::rules::{Finding, RULES};
 
@@ -22,6 +28,8 @@ pub struct SuppressionRecord {
 pub struct CheckOutcome {
     /// Surviving findings across all files, sorted by file/line/col.
     pub findings: Vec<Finding>,
+    /// Shadow-rule findings (differential channel; never gate).
+    pub shadow_findings: Vec<Finding>,
     /// Every suppression directive encountered.
     pub suppressions: Vec<SuppressionRecord>,
     /// Number of `.rs` files scanned.
@@ -34,12 +42,13 @@ impl CheckOutcome {
         self.suppressions.iter().filter(|s| s.used).count()
     }
 
-    /// `true` when the tree is clean.
+    /// `true` when the tree is clean (shadow findings do not gate).
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
 
-    /// One human line per finding: `file:line:col: rule: message`.
+    /// One human line per finding: `file:line:col: rule: message`, with
+    /// indented trace steps for dataflow findings.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
@@ -47,6 +56,12 @@ impl CheckOutcome {
                 "{}:{}:{}: {}: {}\n",
                 f.file, f.line, f.col, f.rule, f.message
             ));
+            for step in &f.trace {
+                out.push_str(&format!(
+                    "    trace: {}:{}:{}: {}\n",
+                    step.file, step.line, step.col, step.note
+                ));
+            }
         }
         out
     }
@@ -54,11 +69,18 @@ impl CheckOutcome {
     /// The `--stats` summary line CI logs show even on a clean tree.
     pub fn render_stats(&self) -> String {
         format!(
-            "rlc-analyze: {} files scanned, {} rules run, {} finding{}, {} suppression{} in force",
+            "rlc-analyze: {} files scanned, {} rules run, {} finding{}, {} shadow finding{}, \
+             {} suppression{} in force",
             self.files_scanned,
             RULES.len(),
             self.findings.len(),
             if self.findings.len() == 1 { "" } else { "s" },
+            self.shadow_findings.len(),
+            if self.shadow_findings.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
             self.suppressions_in_force(),
             if self.suppressions_in_force() == 1 {
                 ""
@@ -68,10 +90,10 @@ impl CheckOutcome {
         )
     }
 
-    /// Machine-readable rendering of the whole outcome (schema version 1).
+    /// Machine-readable rendering of the whole outcome (schema version 2).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
-        out.push_str("\"version\":1,");
+        out.push_str("\"version\":2,");
         out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
         out.push_str("\"rules\":[");
         for (i, rule) in RULES.iter().enumerate() {
@@ -79,26 +101,17 @@ impl CheckOutcome {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"id\":{},\"summary\":{},\"suppressible\":{}}}",
+                "{{\"id\":{},\"summary\":{},\"suppressible\":{},\"shadow\":{}}}",
                 json_str(rule.id),
                 json_str(rule.summary),
-                rule.suppressible
+                rule.suppressible,
+                rule.shadow
             ));
         }
         out.push_str("],\"findings\":[");
-        for (i, f) in self.findings.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
-                json_str(&f.file),
-                f.line,
-                f.col,
-                json_str(f.rule),
-                json_str(&f.message)
-            ));
-        }
+        render_findings(&mut out, &self.findings);
+        out.push_str("],\"shadow_findings\":[");
+        render_findings(&mut out, &self.shadow_findings);
         out.push_str("],\"suppressions\":[");
         for (i, s) in self.suppressions.iter().enumerate() {
             if i > 0 {
@@ -114,11 +127,41 @@ impl CheckOutcome {
             ));
         }
         out.push_str(&format!(
-            "],\"summary\":{{\"findings\":{},\"suppressions_in_force\":{}}}}}",
+            "],\"summary\":{{\"findings\":{},\"shadow_findings\":{},\"suppressions_in_force\":{}}}}}",
             self.findings.len(),
+            self.shadow_findings.len(),
             self.suppressions_in_force()
         ));
         out
+    }
+}
+
+fn render_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"trace\":[",
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message)
+        ));
+        for (j, step) in f.trace.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"note\":{},\"file\":{},\"line\":{},\"col\":{}}}",
+                json_str(&step.note),
+                json_str(&step.file),
+                step.line,
+                step.col
+            ));
+        }
+        out.push_str("]}");
     }
 }
 
@@ -144,6 +187,7 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataflow::TraceStep;
 
     #[test]
     fn json_escaping() {
@@ -159,6 +203,7 @@ mod tests {
         let line = outcome.render_stats();
         assert!(line.contains("3 files scanned"));
         assert!(line.contains("0 findings"));
+        assert!(line.contains("0 shadow findings"));
     }
 
     #[test]
@@ -168,13 +213,27 @@ mod tests {
                 file: "crates/x/src/lib.rs".to_owned(),
                 line: 3,
                 col: 7,
-                rule: crate::rules::PANIC_FREE_LIBRARY,
+                rule: crate::rules::UNTRUSTED_LENGTH_FLOW,
                 message: "msg with \"quotes\"".to_owned(),
+                trace: vec![TraceStep {
+                    file: "crates/x/src/lib.rs".to_owned(),
+                    line: 2,
+                    col: 5,
+                    note: "untrusted byte-slice parameter `data`".to_owned(),
+                }],
+            }],
+            shadow_findings: vec![Finding {
+                file: "crates/x/src/lib.rs".to_owned(),
+                line: 3,
+                col: 7,
+                rule: crate::rules::UNTRUSTED_LENGTH,
+                message: "v1 shadow".to_owned(),
+                trace: Vec::new(),
             }],
             suppressions: vec![SuppressionRecord {
                 file: "crates/x/src/lib.rs".to_owned(),
                 line: 9,
-                rule: "atomic-ordering".to_owned(),
+                rule: "atomic-pairing".to_owned(),
                 reason: "stats counter".to_owned(),
                 used: true,
             }],
@@ -182,8 +241,35 @@ mod tests {
         };
         let json = outcome.render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"version\":2,"));
         assert!(json.contains("\"findings\":["));
+        assert!(json.contains("\"shadow_findings\":["));
+        assert!(json.contains("\"trace\":[{\"note\":"));
         assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"shadow\":true"));
         assert!(json.contains("\"suppressions_in_force\":1"));
+    }
+
+    #[test]
+    fn human_rendering_indents_trace_steps() {
+        let outcome = CheckOutcome {
+            findings: vec![Finding {
+                file: "a.rs".to_owned(),
+                line: 1,
+                col: 1,
+                rule: crate::rules::UNTRUSTED_LENGTH_FLOW,
+                message: "m".to_owned(),
+                trace: vec![TraceStep {
+                    file: "a.rs".to_owned(),
+                    line: 1,
+                    col: 2,
+                    note: "n".to_owned(),
+                }],
+            }],
+            ..Default::default()
+        };
+        let human = outcome.render_human();
+        assert!(human.contains("a.rs:1:1: untrusted-length-flow: m"));
+        assert!(human.contains("    trace: a.rs:1:2: n"));
     }
 }

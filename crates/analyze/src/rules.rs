@@ -1,12 +1,24 @@
-//! The rule catalog and the lexical rule implementations.
+//! The rule catalog and the per-file rule implementations.
 //!
-//! Each rule walks the classified token stream of one file and emits
-//! [`Finding`]s. Rules never see comment or string-literal text — the
-//! lexer already classified those — so, unlike the grep gates these rules
-//! replaced, a banned construct mentioned in documentation is not a
-//! violation.
+//! Each per-file rule walks one file's classified token stream (plus, for
+//! the dataflow rules, its parsed structure) and emits [`Finding`]s.
+//! Rules never see comment or string-literal text — the lexer already
+//! classified those — so, unlike the grep gates these rules replaced, a
+//! banned construct mentioned in documentation is not a violation.
+//!
+//! Two rules need a whole-workspace view (`lock-order`,
+//! `atomic-pairing`); their implementations live in [`crate::locks`] and
+//! run during [`crate::analyze::resolve`] over the merged facts.
+//!
+//! The v1 lexical `untrusted-length` heuristic is kept for one release
+//! as a **shadow rule**: it still runs and its findings are reported in
+//! the `shadow_findings` channel for differential comparison against the
+//! taint-tracking `untrusted-length-flow`, but they never fail the check
+//! and cannot be suppressed.
 
+use crate::dataflow::{self, TaintSpec, TraceStep};
 use crate::lexer::{Token, TokenKind};
+use crate::parse::{matching, ParseFile};
 use crate::scope::{FileClass, FnSpan, Scopes};
 
 /// One diagnostic: a rule violated at a source position.
@@ -22,6 +34,9 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Machine-readable dataflow trace (source → steps → sink); empty
+    /// for purely lexical findings.
+    pub trace: Vec<TraceStep>,
 }
 
 /// `unsafe` is confined to `crates/core/src/kernel.rs`.
@@ -30,10 +45,14 @@ pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
 pub const INTRINSICS_CONFINEMENT: &str = "intrinsics-confinement";
 /// Library surfaces are panic-free outside `#[cfg(test)]`.
 pub const PANIC_FREE_LIBRARY: &str = "panic-free-library";
-/// Decoded lengths must flow through the division-form bound checks.
+/// Taint-tracked decoded lengths must be sanitized before sizing allocations.
+pub const UNTRUSTED_LENGTH_FLOW: &str = "untrusted-length-flow";
+/// The v1 lexical untrusted-length heuristic (shadow only).
 pub const UNTRUSTED_LENGTH: &str = "untrusted-length";
-/// `Ordering::Relaxed` only at allowlisted or justified sites.
-pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+/// The global lock-ordering graph is acyclic.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Release/Acquire atomics pair up; Relaxed carries a reasoned suppression.
+pub const ATOMIC_PAIRING: &str = "atomic-pairing";
 /// The 0.2 deprecation cycle stays closed.
 pub const DEPRECATED_SURFACE: &str = "deprecated-surface";
 /// Suppression directives must be well-formed and in use.
@@ -48,6 +67,9 @@ pub struct RuleInfo {
     pub summary: &'static str,
     /// Whether `rlc-analyze: allow(...)` directives can discharge it.
     pub suppressible: bool,
+    /// Shadow rules report differentially (never fail the check, never
+    /// suppressible).
+    pub shadow: bool,
 }
 
 /// The rule catalog, in reporting order.
@@ -56,41 +78,63 @@ pub const RULES: &[RuleInfo] = &[
         id: UNSAFE_CONFINEMENT,
         summary: "`unsafe` appears only in crates/core/src/kernel.rs",
         suppressible: false,
+        shadow: false,
     },
     RuleInfo {
         id: INTRINSICS_CONFINEMENT,
         summary: "core::arch/std::arch, feature detection, and #[target_feature] appear only in \
                   crates/core/src/kernel.rs",
         suppressible: false,
+        shadow: false,
     },
     RuleInfo {
         id: PANIC_FREE_LIBRARY,
         summary: "no unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
         suppressible: true,
+        shadow: false,
+    },
+    RuleInfo {
+        id: UNTRUSTED_LENGTH_FLOW,
+        summary: "forward taint dataflow in binary decode functions: no allocation sized by a \
+                  value derived from the input bytes unless it flowed through checked_len",
+        suppressible: true,
+        shadow: false,
     },
     RuleInfo {
         id: UNTRUSTED_LENGTH,
-        summary: "in binary decode functions, allocations sized by decoded integers flow through \
-                  the shared division-form bound checks (checked_len)",
-        suppressible: true,
+        summary: "shadow of the v1 identifier-sharing untrusted-length heuristic, kept one \
+                  release for differential comparison against untrusted-length-flow",
+        suppressible: false,
+        shadow: true,
     },
     RuleInfo {
-        id: ATOMIC_ORDERING,
-        summary: "Ordering::Relaxed only at allowlisted sites (kernel dispatch, generation \
-                  counter) or with a justifying suppression",
+        id: LOCK_ORDER,
+        summary: "the workspace-global lock-ordering graph (per-function nesting plus one \
+                  call-graph hop, over static lock identities) has no cycles",
         suppressible: true,
+        shadow: false,
+    },
+    RuleInfo {
+        id: ATOMIC_PAIRING,
+        summary: "every Release write pairs with an Acquire/SeqCst read of the same identity \
+                  somewhere in the workspace (and vice versa); Relaxed requires a reasoned \
+                  suppression",
+        suppressible: true,
+        shadow: false,
     },
     RuleInfo {
         id: DEPRECATED_SURFACE,
         summary: "the retired 0.2 API surface (evaluate_rlc/evaluate_concat, #[deprecated]) \
                   stays deleted",
         suppressible: false,
+        shadow: false,
     },
     RuleInfo {
         id: SUPPRESSION_HYGIENE,
         summary: "suppression directives parse, name a known rule, state a reason, and discharge \
                   a real finding",
         suppressible: false,
+        shadow: false,
     },
 ];
 
@@ -103,7 +147,7 @@ pub fn suppressible_rules() -> Vec<&'static str> {
         .collect()
 }
 
-/// Everything a rule needs to know about one file.
+/// Everything a per-file rule needs to know about one file.
 pub struct FileContext<'a> {
     /// Workspace-relative path.
     pub path: &'a str,
@@ -113,6 +157,8 @@ pub struct FileContext<'a> {
     pub tokens: &'a [Token],
     /// Test and function spans.
     pub scopes: &'a Scopes,
+    /// Token tree and extracted items.
+    pub parsed: &'a ParseFile,
 }
 
 impl FileContext<'_> {
@@ -123,20 +169,22 @@ impl FileContext<'_> {
             col: token.col,
             rule,
             message,
+            trace: Vec::new(),
         }
     }
 }
 
-/// Runs every rule over one file.
-pub fn run_rules(ctx: &FileContext<'_>) -> Vec<Finding> {
+/// Runs every per-file rule over one file; returns `(findings, shadow)`.
+pub fn run_rules(ctx: &FileContext<'_>) -> (Vec<Finding>, Vec<Finding>) {
     let mut findings = Vec::new();
+    let mut shadow = Vec::new();
     unsafe_confinement(ctx, &mut findings);
     intrinsics_confinement(ctx, &mut findings);
     panic_free_library(ctx, &mut findings);
-    untrusted_length(ctx, &mut findings);
-    atomic_ordering(ctx, &mut findings);
+    untrusted_length_flow(ctx, &mut findings);
+    untrusted_length(ctx, &mut shadow);
     deprecated_surface(ctx, &mut findings);
-    findings
+    (findings, shadow)
 }
 
 fn unsafe_confinement(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
@@ -246,11 +294,56 @@ fn panic_free_library(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 
 /// True for functions that decode untrusted binary formats: the
 /// `from_bytes` loaders of RLC2/ETC1/RSH1 and the `from_binary_*` RLG1
-/// loader. The untrusted-length rule runs only inside these.
+/// loader. Both untrusted-length rules run only inside these.
 fn is_decode_fn(name: &str) -> bool {
     name == "from_bytes" || name.starts_with("from_binary")
 }
 
+/// The shared bound-check helper every decoded length must flow through.
+const BOUND_HELPER: &str = "checked_len";
+
+/// The v2 rule: forward taint dataflow from the decoder's byte-slice
+/// parameter to allocation-size sinks, sanitized only by `checked_len`.
+fn untrusted_length_flow(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for (item, name, params, body) in ctx.parsed.fns() {
+        if !is_decode_fn(name) || ctx.scopes.in_test(item.start) {
+            continue;
+        }
+        let Some(open) = body else { continue };
+        let sources: Vec<(String, usize)> = params
+            .iter()
+            .filter(|p| p.is_byte_slice)
+            .map(|p| (p.name.clone(), p.name_idx))
+            .collect();
+        if sources.is_empty() {
+            continue;
+        }
+        let close = matching(ctx.tokens, open, '{', '}') - 1;
+        let spec = TaintSpec {
+            file: ctx.path,
+            fn_name: name,
+            sources,
+            sanitizers: &[BOUND_HELPER],
+        };
+        for flow in dataflow::taint_fn(ctx.tokens, open, close, &spec) {
+            let sink = &ctx.tokens[flow.sink_idx];
+            out.push(Finding {
+                file: ctx.path.to_owned(),
+                line: sink.line,
+                col: sink.col,
+                rule: UNTRUSTED_LENGTH_FLOW,
+                message: format!(
+                    "`{}` sized by `{}`, which derives from the untrusted input of `{name}` \
+                     without flowing through {BOUND_HELPER}(); sanitize the length first",
+                    flow.sink_kind, flow.ident
+                ),
+                trace: flow.trace,
+            });
+        }
+    }
+}
+
+/// The v1 shadow rule: the identifier-sharing heuristic, unchanged.
 fn untrusted_length(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     let decode_fns: Vec<&FnSpan> = ctx
         .scopes
@@ -338,9 +431,6 @@ fn top_level_semi(tokens: &[Token], start: usize, end: usize) -> Option<usize> {
     None
 }
 
-/// The shared bound-check helper every decoded length must flow through.
-const BOUND_HELPER: &str = "checked_len";
-
 fn check_size_expr(
     ctx: &FileContext<'_>,
     span: &FnSpan,
@@ -387,48 +477,6 @@ fn check_size_expr(
             idents.join(" "),
         ),
     ));
-}
-
-/// Built-in allowlist for `atomic-ordering`: `(path suffix, identifier
-/// required on the same line)`. The kernel module is exempt wholesale (its
-/// documented-ordering discipline is enforced by review of one file); the
-/// generation counter's relaxed `fetch_add` is the one site outside it
-/// that is allowed by design rather than by suppression.
-const RELAXED_ALLOWLIST: &[(&str, &str)] = &[("crates/core/src/engine.rs", "NEXT_GENERATION")];
-
-fn atomic_ordering(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
-    if ctx.class.is_kernel || !ctx.class.is_library {
-        return;
-    }
-    let tokens = ctx.tokens;
-    for (i, token) in tokens.iter().enumerate() {
-        let relaxed = token.is_ident("Relaxed")
-            && i >= 3
-            && tokens[i - 1].is_punct(':')
-            && tokens[i - 2].is_punct(':')
-            && tokens[i - 3].is_ident("Ordering");
-        if !relaxed || ctx.scopes.in_test(i) {
-            continue;
-        }
-        let allowlisted = RELAXED_ALLOWLIST.iter().any(|(path, ident)| {
-            ctx.path.ends_with(path)
-                && tokens
-                    .iter()
-                    .any(|t| t.line == token.line && t.is_ident(ident))
-        });
-        if allowlisted {
-            continue;
-        }
-        out.push(
-            ctx.finding(
-                token,
-                ATOMIC_ORDERING,
-                "`Ordering::Relaxed` outside the allowlisted sites (kernel dispatch, generation \
-             counter); use a stronger ordering or justify with a suppression comment"
-                    .to_owned(),
-            ),
-        );
-    }
 }
 
 /// The retired API names from the 0.2 deprecation cycle.

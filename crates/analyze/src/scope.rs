@@ -11,7 +11,7 @@
 //! * **test spans** — token ranges under `#[cfg(test)]` / `#[test]`,
 //!   exempt from the library-surface rules;
 //! * **function spans** — the innermost named `fn` containing a token,
-//!   which the untrusted-length rule uses to find binary decode functions
+//!   which the untrusted-length rules use to find binary decode functions
 //!   and to scope its search for bound checks.
 
 use crate::lexer::{Token, TokenKind};

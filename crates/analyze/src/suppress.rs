@@ -113,7 +113,7 @@ mod tests {
     use super::*;
     use crate::lexer::lex;
 
-    const KNOWN: &[&str] = &["panic-free-library", "atomic-ordering"];
+    const KNOWN: &[&str] = &["panic-free-library", "atomic-pairing"];
 
     fn scan(text: &str) -> Scan {
         let lexed = lex(text);

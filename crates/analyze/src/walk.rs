@@ -5,7 +5,19 @@
 //! (stand-in code for external crates), `target/` is build output, and
 //! any directory named `fixtures` holds deliberately-violating analyzer
 //! test corpora.
+//!
+//! Two hardening guarantees:
+//!
+//! * **symlink cycles terminate**: directories are tracked by
+//!   canonicalized path and each real directory is visited once, so a
+//!   symlink loop (`a/loop -> a`) cannot recurse forever or scan a file
+//!   twice under different names;
+//! * **non-UTF-8 names are skipped explicitly**: a file name that is not
+//!   valid UTF-8 cannot be reported in diagnostics faithfully, so it is
+//!   excluded from the scan rather than lossy-converted into a path that
+//!   does not exist.
 
+use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -21,34 +33,105 @@ const SKIP_DIRS: &[&str] = &["target", "fixtures"];
 /// in sorted order.
 pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     let mut files = Vec::new();
+    let mut visited = HashSet::new();
     for scan_root in SCAN_ROOTS {
         let dir = root.join(scan_root);
         if dir.is_dir() {
-            collect(&dir, scan_root, &mut files)?;
+            collect(&dir, scan_root, &mut files, &mut visited)?;
         }
     }
     files.sort();
     Ok(files)
 }
 
-fn collect(dir: &Path, rel: &str, files: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+fn collect(
+    dir: &Path,
+    rel: &str,
+    files: &mut Vec<(String, PathBuf)>,
+    visited: &mut HashSet<PathBuf>,
+) -> io::Result<()> {
+    // Symlink-cycle guard: canonicalize and visit each real directory
+    // once. A dir that fails to canonicalize (dangling symlink, raced
+    // removal) is skipped rather than recursed into.
+    let Ok(real) = fs::canonicalize(dir) else {
+        return Ok(());
+    };
+    if !visited.insert(real) {
+        return Ok(());
+    }
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
-        let name = name.to_string_lossy();
+        let Some(name) = name.to_str() else {
+            continue; // non-UTF-8 name: cannot be reported faithfully
+        };
         if name.starts_with('.') {
             continue;
         }
         let path = entry.path();
         let rel_child = format!("{rel}/{name}");
         if path.is_dir() {
-            if SKIP_DIRS.contains(&name.as_ref()) {
+            if SKIP_DIRS.contains(&name) {
                 continue;
             }
-            collect(&path, &rel_child, files)?;
+            collect(&path, &rel_child, files, visited)?;
         } else if name.ends_with(".rs") {
             files.push((rel_child, path));
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rlc-analyze-walk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/demo/src")).expect("mkdir");
+        fs::write(dir.join("crates/demo/src/lib.rs"), "fn x() {}\n").expect("write");
+        dir
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn symlink_cycle_terminates_and_scans_once() {
+        let dir = temp_dir("cycle");
+        // crates/demo/loop -> crates/demo: a directory cycle.
+        std::os::unix::fs::symlink(dir.join("crates/demo"), dir.join("crates/demo/loop"))
+            .expect("symlink");
+        let files = workspace_files(&dir).expect("walk");
+        let names: Vec<&str> = files.iter().map(|(rel, _)| rel.as_str()).collect();
+        assert_eq!(names, vec!["crates/demo/src/lib.rs"], "{names:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn non_utf8_names_are_skipped() {
+        use std::ffi::OsStr;
+        use std::os::unix::ffi::OsStrExt;
+        let dir = temp_dir("nonutf8");
+        let bad = dir
+            .join("crates/demo/src")
+            .join(OsStr::from_bytes(b"bad\xffname.rs"));
+        fs::write(&bad, "fn y() {}\n").expect("write non-utf8");
+        let files = workspace_files(&dir).expect("walk");
+        let names: Vec<&str> = files.iter().map(|(rel, _)| rel.as_str()).collect();
+        assert_eq!(names, vec!["crates/demo/src/lib.rs"], "{names:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn dangling_symlink_is_skipped() {
+        let dir = temp_dir("dangling");
+        std::os::unix::fs::symlink(dir.join("no-such-dir"), dir.join("crates/gone"))
+            .expect("symlink");
+        let files = workspace_files(&dir).expect("walk");
+        assert_eq!(files.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

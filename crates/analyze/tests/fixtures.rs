@@ -1,7 +1,13 @@
-//! Fixture corpus: one known-good and one known-bad file per rule,
-//! checked under virtual paths and asserted against exact diagnostic
-//! spans. The `fixtures/` directory is excluded from `check`'s walk, so
-//! the deliberately bad files never pollute a real run.
+//! Fixture corpus: known-good and known-bad files per rule, checked
+//! under virtual paths and asserted against exact diagnostic spans.
+//! The `fixtures/` directory is excluded from `check`'s walk, so the
+//! deliberately bad files never pollute a real run.
+//!
+//! The `flow_launder_bad` / `flow_const_good` pair is the differential
+//! regression for the v1 → v2 untrusted-length migration: the first is
+//! a false negative of the identifier-sharing heuristic (v1 silent, v2
+//! flags with a trace), the second a false positive (v1 flags, v2
+//! silent). Both directions are asserted via the shadow channel.
 
 use rlc_analyze::analyze::analyze_source;
 use rlc_analyze::rules;
@@ -18,10 +24,19 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// Runs the full per-file analysis and returns `(line, col, rule)` spans.
+/// Runs the full analysis and returns `(line, col, rule)` finding spans.
 fn spans(name: &str, virtual_path: &str) -> Vec<(u32, u32, &'static str)> {
     analyze_source(virtual_path, &fixture(name))
         .findings
+        .into_iter()
+        .map(|f| (f.line, f.col, f.rule))
+        .collect()
+}
+
+/// Same, for the shadow (v1 differential) channel.
+fn shadow_spans(name: &str, virtual_path: &str) -> Vec<(u32, u32, &'static str)> {
+    analyze_source(virtual_path, &fixture(name))
+        .shadow
         .into_iter()
         .map(|f| (f.line, f.col, f.rule))
         .collect()
@@ -73,14 +88,24 @@ fn panic_bad_flags_unwrap_and_todo() {
 }
 
 #[test]
-fn untrusted_good_checked_len_flow_is_clean() {
+fn untrusted_good_checked_len_flow_is_clean_in_both_engines() {
     assert_eq!(spans("untrusted_good.rs", LIB), vec![]);
+    assert_eq!(shadow_spans("untrusted_good.rs", LIB), vec![]);
 }
 
 #[test]
-fn untrusted_bad_flags_both_allocation_forms() {
+fn untrusted_bad_flags_every_sink_form() {
     assert_eq!(
         spans("untrusted_bad.rs", LIB),
+        vec![
+            (6, 24, rules::UNTRUSTED_LENGTH_FLOW),
+            (7, 9, rules::UNTRUSTED_LENGTH_FLOW),
+            (13, 5, rules::UNTRUSTED_LENGTH_FLOW),
+        ]
+    );
+    // v1 knew with_capacity and vec![_; n] but not Vec::resize.
+    assert_eq!(
+        shadow_spans("untrusted_bad.rs", LIB),
         vec![
             (6, 24, rules::UNTRUSTED_LENGTH),
             (13, 5, rules::UNTRUSTED_LENGTH),
@@ -89,19 +114,116 @@ fn untrusted_bad_flags_both_allocation_forms() {
 }
 
 #[test]
-fn atomic_good_acquire_release_and_justified_relaxed() {
+fn laundered_length_is_a_v1_false_negative_v2_catches() {
+    // v1: `n` appears inside a checked_len call, so identifier sharing
+    // calls the sink sanitized — silence.
+    assert_eq!(shadow_spans("flow_launder_bad.rs", LIB), vec![]);
+    // v2: the dataflow sees the final `n` rebound from the unchecked
+    // `declared`, and reports the provenance chain.
+    let report = analyze_source(LIB, &fixture("flow_launder_bad.rs"));
+    let flow: Vec<(u32, u32, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.col, f.rule))
+        .collect();
+    assert_eq!(flow, vec![(13, 5, rules::UNTRUSTED_LENGTH_FLOW)]);
+    let trace = &report.findings[0].trace;
+    assert!(
+        trace.len() >= 2,
+        "expected a multi-step provenance trace, got {trace:?}"
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|s| s.note.contains("`n` derives from tainted `declared`")),
+        "trace must name the laundering rebind: {trace:?}"
+    );
+}
+
+#[test]
+fn constant_rebind_is_a_v1_false_positive_v2_accepts() {
+    // v1: `count` shares no identifier with a checked_len call — flagged.
+    assert_eq!(
+        shadow_spans("flow_const_good.rs", LIB),
+        vec![(9, 10, rules::UNTRUSTED_LENGTH)]
+    );
+    // v2: the binding is rebound to a constant before the sink.
+    assert_eq!(spans("flow_const_good.rs", LIB), vec![]);
+}
+
+#[test]
+fn lock_order_good_consistent_order_is_clean() {
+    assert_eq!(spans("lock_order_good.rs", LIB), vec![]);
+}
+
+#[test]
+fn lock_order_bad_reports_the_cycle_with_both_witnesses() {
+    let report = analyze_source(LIB, &fixture("lock_order_bad.rs"));
+    let got: Vec<(u32, u32, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.col, f.rule))
+        .collect();
+    assert_eq!(got, vec![(14, 20, rules::LOCK_ORDER)]);
+    let f = &report.findings[0];
+    assert!(
+        f.message.contains("cycle `left` -> `right` -> `left`"),
+        "{}",
+        f.message
+    );
+    assert!(f.message.contains("witness 1:"), "{}", f.message);
+    assert!(f.message.contains("witness 2:"), "{}", f.message);
+    // The forward witness goes through the one-hop call edge.
+    assert!(
+        f.trace.iter().any(|s| s
+            .note
+            .contains("`forward` calls `take_right` while holding `left`")),
+        "{:?}",
+        f.trace
+    );
+    // The backward witness is the direct nesting.
+    assert!(
+        f.trace.iter().any(|s| s
+            .note
+            .contains("`backward` then acquires `left` while holding `right`")),
+        "{:?}",
+        f.trace
+    );
+}
+
+#[test]
+fn pairing_good_acqrel_seqcst_and_matched_pairs_are_clean() {
+    assert_eq!(spans("pairing_good.rs", LIB), vec![]);
+}
+
+#[test]
+fn pairing_bad_flags_unpaired_release_acquire_and_relaxed() {
+    assert_eq!(
+        spans("pairing_bad.rs", LIB),
+        vec![
+            (7, 29, rules::ATOMIC_PAIRING),
+            (11, 26, rules::ATOMIC_PAIRING),
+            (15, 26, rules::ATOMIC_PAIRING),
+        ]
+    );
+}
+
+#[test]
+fn atomic_good_paired_orderings_and_justified_relaxed() {
     let report = analyze_source(LIB, &fixture("atomic_good.rs"));
     assert_eq!(report.findings, vec![]);
     assert_eq!(report.suppressions.len(), 1);
-    assert!(report.suppressions[0].used);
-    assert_eq!(report.suppressions[0].rule, rules::ATOMIC_ORDERING);
+    let (file, s) = &report.suppressions[0];
+    assert_eq!(file, LIB);
+    assert!(s.used);
+    assert_eq!(s.rule, rules::ATOMIC_PAIRING);
 }
 
 #[test]
 fn atomic_bad_flags_unjustified_relaxed() {
     assert_eq!(
         spans("atomic_bad.rs", LIB),
-        vec![(7, 28, rules::ATOMIC_ORDERING)]
+        vec![(7, 28, rules::ATOMIC_PAIRING)]
     );
 }
 
@@ -126,7 +248,7 @@ fn hygiene_good_directive_discharges_and_is_counted() {
     let report = analyze_source(LIB, &fixture("hygiene_good.rs"));
     assert_eq!(report.findings, vec![]);
     assert_eq!(report.suppressions.len(), 1);
-    let s = &report.suppressions[0];
+    let (_, s) = &report.suppressions[0];
     assert!(s.used);
     assert_eq!(s.rule, rules::PANIC_FREE_LIBRARY);
     assert_eq!((s.line, s.target_line), (6, 7));
@@ -158,4 +280,43 @@ fn confinement_is_a_property_of_the_path_not_the_text() {
         .findings
         .iter()
         .any(|f| f.rule == rules::INTRINSICS_CONFINEMENT));
+}
+
+/// The corpus-wide contract CI pins: every known-bad fixture produces
+/// exactly this many findings, every known-good fixture none.
+#[test]
+fn corpus_exact_finding_counts() {
+    let bad: &[(&str, usize)] = &[
+        ("unsafe_bad.rs", 1),
+        ("intrinsics_bad.rs", 2),
+        ("panic_bad.rs", 2),
+        ("untrusted_bad.rs", 3),
+        ("flow_launder_bad.rs", 1),
+        ("lock_order_bad.rs", 1),
+        ("pairing_bad.rs", 3),
+        ("atomic_bad.rs", 1),
+        ("deprecated_bad.rs", 2),
+        ("hygiene_bad.rs", 4),
+    ];
+    for (name, expect) in bad {
+        let got = spans(name, LIB).len();
+        assert_eq!(
+            got, *expect,
+            "{name}: expected {expect} findings, got {got}"
+        );
+    }
+    let good: &[&str] = &[
+        "intrinsics_good.rs",
+        "panic_good.rs",
+        "untrusted_good.rs",
+        "flow_const_good.rs",
+        "lock_order_good.rs",
+        "pairing_good.rs",
+        "atomic_good.rs",
+        "deprecated_good.rs",
+        "hygiene_good.rs",
+    ];
+    for name in good {
+        assert_eq!(spans(name, LIB), vec![], "{name} must be clean");
+    }
 }

@@ -1,5 +1,5 @@
-//! Known-bad for atomic-ordering: a relaxed load in library code,
-//! outside the allowlisted sites and without a suppression.
+//! Known-bad for atomic-pairing: a relaxed load in library code
+//! without a reasoned suppression.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,6 +1,6 @@
-//! Known-good for atomic-ordering: release/acquire pairs need no
-//! justification, and the one relaxed site carries a suppression with
-//! its reason.
+//! Known-good for atomic-pairing: the release store and acquire load
+//! pair on the same identity, and the one relaxed site carries a
+//! suppression with its reason.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -13,6 +13,6 @@ pub fn ready(counter: &AtomicUsize) -> bool {
 }
 
 pub fn hits(counter: &AtomicUsize) -> usize {
-    // rlc-analyze: allow(atomic-ordering) — observational stats counter; nothing synchronizes through it
+    // rlc-analyze: allow(atomic-pairing) — observational stats counter; nothing synchronizes through it
     counter.load(Ordering::Relaxed)
 }

@@ -1,0 +1,31 @@
+//! Known-bad for lock-order: `forward` takes `left` and then reaches
+//! `right` through a call to `take_right` (the one-hop edge), while
+//! `backward` takes `right` then `left` directly — a two-node ordering
+//! cycle with a witness path in each direction.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub left: Mutex<u32>,
+    pub right: Mutex<u32>,
+}
+
+pub fn forward(p: &Pair) -> u32 {
+    let a = p.left.lock();
+    let b = take_right(p);
+    drop(a);
+    b
+}
+
+fn take_right(p: &Pair) -> u32 {
+    let _b = p.right.lock();
+    0
+}
+
+pub fn backward(p: &Pair) -> u32 {
+    let b = p.right.lock();
+    let a = p.left.lock();
+    drop(a);
+    drop(b);
+    0
+}

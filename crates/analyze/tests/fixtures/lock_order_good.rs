@@ -1,0 +1,29 @@
+//! Known-good for lock-order: every path that holds both locks takes
+//! `left` before `right`, including the path through one call hop.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub left: Mutex<u32>,
+    pub right: Mutex<u32>,
+}
+
+pub fn both(p: &Pair) -> u32 {
+    let a = p.left.lock();
+    let b = finish(p);
+    drop(a);
+    b
+}
+
+fn finish(p: &Pair) -> u32 {
+    let _b = p.right.lock();
+    0
+}
+
+pub fn direct(p: &Pair) -> u32 {
+    let a = p.left.lock();
+    let b = p.right.lock();
+    drop(b);
+    drop(a);
+    0
+}

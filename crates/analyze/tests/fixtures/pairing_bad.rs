@@ -1,0 +1,16 @@
+//! Known-bad for atomic-pairing: a Release store nothing acquires, an
+//! Acquire load nothing releases, and an unjustified Relaxed access.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn consume(state: &AtomicUsize) -> usize {
+    state.load(Ordering::Acquire)
+}
+
+pub fn peek(stats: &AtomicUsize) -> usize {
+    stats.load(Ordering::Relaxed)
+}

@@ -1,0 +1,21 @@
+//! Known-good for atomic-pairing: an AcqRel read-modify-write pairs
+//! with itself, SeqCst is always paired, and the Release/Acquire
+//! partners on `gate` satisfy each other.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(shared: &AtomicUsize) -> usize {
+    shared.fetch_add(1, Ordering::AcqRel)
+}
+
+pub fn snapshot(shared: &AtomicUsize) -> usize {
+    shared.load(Ordering::SeqCst)
+}
+
+pub fn publish(gate: &AtomicUsize) {
+    gate.store(1, Ordering::Release);
+}
+
+pub fn wait(gate: &AtomicUsize) -> bool {
+    gate.load(Ordering::Acquire) == 1
+}

@@ -1,0 +1,19 @@
+//! Adversarial parser fixture: nested generics whose closing `>>`
+//! lexes as two glued `>` tokens, a genuine right-shift that must NOT
+//! be treated as generics, and a where clause between the return type
+//! and the body.
+
+pub fn nested(rows: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    rows
+}
+
+pub fn shift(x: u64, n: u32) -> u64 {
+    x >> n
+}
+
+pub fn bounded<T>(items: &[T], bytes: &[u8]) -> usize
+where
+    T: Clone,
+{
+    items.len() + bytes.len()
+}

@@ -1,0 +1,17 @@
+//! Adversarial parser fixture: a macro body opens a brace it never
+//! closes and a stray closer follows a valid item. The token-tree
+//! forest must stay total (unmatched closers become leaves, unmatched
+//! openers become groups running to EOF) and must flatten back to the
+//! exact lexer token stream.
+
+macro_rules! broken {
+    () => {
+        { never closed
+    };
+}
+
+pub fn after() -> u32 {
+    1
+}
+
+} // stray closer: a leaf, not a parse error

@@ -1,5 +1,5 @@
-//! Known-bad for untrusted-length: decode functions sizing allocations
-//! by raw decoded counts, in both allocation forms the rule knows.
+//! Known-bad for untrusted-length-flow: decode functions sizing
+//! allocations by raw decoded counts, in every sink form it knows.
 
 pub fn from_bytes(bytes: &[u8]) -> Vec<u64> {
     let count = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;

@@ -169,13 +169,13 @@ fn lock_shard(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
 /// Bumps a monotonic statistics counter (also used for the LRU tick),
 /// returning the pre-increment value.
 fn bump(counter: &AtomicU64) -> u64 {
-    // rlc-analyze: allow(atomic-ordering) — monotonic stats/LRU counter; no memory is published through it
+    // rlc-analyze: allow(atomic-pairing) — monotonic stats/LRU counter; no memory is published through it
     counter.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Reads a monotonic statistics counter for a snapshot.
 fn read_counter(counter: &AtomicU64) -> u64 {
-    // rlc-analyze: allow(atomic-ordering) — observational stats read; approximate by design
+    // rlc-analyze: allow(atomic-pairing) — observational stats read; approximate by design
     counter.load(Ordering::Relaxed)
 }
 
@@ -183,13 +183,13 @@ fn read_counter(counter: &AtomicU64) -> u64 {
 /// owning shard's lock held, so the mirror tracks the locked state exactly;
 /// the atomic only makes the *read* side lock-free.
 fn gauge_add(gauge: &AtomicU64, delta: u64) {
-    // rlc-analyze: allow(atomic-ordering) — gauge mirror written under the shard lock; readers are observational
+    // rlc-analyze: allow(atomic-pairing) — gauge mirror written under the shard lock; readers are observational
     gauge.fetch_add(delta, Ordering::Relaxed);
 }
 
 /// Subtracts from a residency gauge; see [`gauge_add`].
 fn gauge_sub(gauge: &AtomicU64, delta: u64) {
-    // rlc-analyze: allow(atomic-ordering) — gauge mirror written under the shard lock; readers are observational
+    // rlc-analyze: allow(atomic-pairing) — gauge mirror written under the shard lock; readers are observational
     gauge.fetch_sub(delta, Ordering::Relaxed);
 }
 

@@ -286,13 +286,13 @@ impl<'e> PrepareCounting<'e> {
 
     /// Number of `prepare` calls observed so far.
     pub fn prepare_count(&self) -> usize {
-        // rlc-analyze: allow(atomic-ordering) — observational measurement counter; nothing synchronizes through it
+        // rlc-analyze: allow(atomic-pairing) — observational measurement counter; nothing synchronizes through it
         self.prepares.load(Ordering::Relaxed)
     }
 
     /// Resets the counter (between measurement phases).
     pub fn reset(&self) {
-        // rlc-analyze: allow(atomic-ordering) — measurement-phase reset of an observational counter
+        // rlc-analyze: allow(atomic-pairing) — measurement-phase reset of an observational counter
         self.prepares.store(0, Ordering::Relaxed);
     }
 }
@@ -303,7 +303,7 @@ impl ReachabilityEngine for PrepareCounting<'_> {
     }
 
     fn prepare(&self, constraint: &Constraint) -> Result<Prepared, QueryError> {
-        // rlc-analyze: allow(atomic-ordering) — observational measurement counter; nothing synchronizes through it
+        // rlc-analyze: allow(atomic-pairing) — observational measurement counter; nothing synchronizes through it
         self.prepares.fetch_add(1, Ordering::Relaxed);
         self.inner.prepare(constraint)
     }
@@ -376,6 +376,7 @@ pub struct Generation(u64);
 impl Generation {
     /// Mints the next stamp from the process-wide counter.
     pub fn fresh() -> Self {
+        // rlc-analyze: allow(atomic-pairing) — monotonic stamp mint; uniqueness only, no data published
         Generation(NEXT_GENERATION.fetch_add(1, Ordering::Relaxed))
     }
 

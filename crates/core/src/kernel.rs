@@ -535,9 +535,11 @@ fn backend_for(id: u8) -> &'static dyn WordOps {
 /// detection (AVX2 on `x86_64`, NEON on `aarch64`, generic elsewhere).
 /// After that the hot path is a single relaxed atomic load.
 pub fn kernel() -> &'static dyn WordOps {
+    // rlc-analyze: allow(atomic-pairing) — any value read is a valid backend tag; races re-resolve
     let mut id = BACKEND.load(Ordering::Relaxed);
     if id == BACKEND_UNSET {
         id = resolve(env_choice());
+        // rlc-analyze: allow(atomic-pairing) — idempotent resolution; concurrent stores agree
         BACKEND.store(id, Ordering::Relaxed);
     }
     backend_for(id)
@@ -549,6 +551,7 @@ pub fn kernel() -> &'static dyn WordOps {
 /// detection default). Intended for tests and benches that compare lanes.
 pub fn set_kernel(choice: KernelChoice) -> &'static str {
     let id = resolve(choice);
+    // rlc-analyze: allow(atomic-pairing) — backend id is a self-contained tag; no data is published
     BACKEND.store(id, Ordering::Relaxed);
     backend_for(id).name()
 }
@@ -796,6 +799,7 @@ pub mod alloc_count {
     /// installed [`CountingAllocator`] as its `#[global_allocator]`;
     /// elsewhere it stays zero.
     pub fn allocation_count() -> u64 {
+        // rlc-analyze: allow(atomic-pairing) — count read for reporting; exactness not required
         ALLOCATIONS.load(Ordering::Relaxed)
     }
 
@@ -813,11 +817,13 @@ pub mod alloc_count {
     // which cannot affect the returned pointers or layouts.
     unsafe impl GlobalAlloc for CountingAllocator {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // rlc-analyze: allow(atomic-pairing) — observational counter bump; nothing is published
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
             System.alloc(layout)
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            // rlc-analyze: allow(atomic-pairing) — observational counter bump; nothing is published
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
             System.alloc_zeroed(layout)
         }
@@ -827,6 +833,7 @@ pub mod alloc_count {
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // rlc-analyze: allow(atomic-pairing) — observational counter bump; nothing is published
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
             System.realloc(ptr, layout, new_size)
         }

@@ -5,7 +5,7 @@
 //! loops and allocations with them. The safe pattern — bound the count by
 //! the bytes actually present, in division form so multiplication can
 //! never overflow — used to be re-implemented inline at every site; this
-//! module is the single shared helper, and the `untrusted-length` rule of
+//! module is the single shared helper, and the `untrusted-length-flow` rule of
 //! `rlc-analyze` checks that every decode-path allocation flows through
 //! it.
 

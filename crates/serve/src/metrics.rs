@@ -112,13 +112,13 @@ impl ServerMetrics {
 
     /// Increments `which` by `n`.
     pub fn add(&self, which: Counter, n: u64) {
-        // rlc-analyze: allow(atomic-ordering) — monotonic stats counter; no memory is published through it
+        // rlc-analyze: allow(atomic-pairing) — monotonic stats counter; no memory is published through it
         self.cell(which).fetch_add(n, Ordering::Relaxed);
     }
 
     /// Reads `which` observationally.
     pub fn get(&self, which: Counter) -> u64 {
-        // rlc-analyze: allow(atomic-ordering) — observational stats read; approximate by design
+        // rlc-analyze: allow(atomic-pairing) — observational stats read; approximate by design
         self.cell(which).load(Ordering::Relaxed)
     }
 
@@ -126,28 +126,28 @@ impl ServerMetrics {
     /// high-water mark. Called *before* the queue insert so the gauge is an
     /// upper bound on true depth, never an undercount.
     pub fn queue_enter(&self) {
-        // rlc-analyze: allow(atomic-ordering) — gauge + high-water mark; observational, no memory published
+        // rlc-analyze: allow(atomic-pairing) — gauge + high-water mark; observational, no memory published
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        // rlc-analyze: allow(atomic-ordering) — monotonic max of an observational gauge
+        // rlc-analyze: allow(atomic-pairing) — monotonic max of an observational gauge
         self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Records a job leaving the queue (picked up by a worker, or bounced
     /// by admission control).
     pub fn queue_leave(&self) {
-        // rlc-analyze: allow(atomic-ordering) — observational gauge decrement
+        // rlc-analyze: allow(atomic-pairing) — observational gauge decrement
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Jobs currently admitted and unfinished.
     pub fn queue_depth(&self) -> u64 {
-        // rlc-analyze: allow(atomic-ordering) — observational gauge read
+        // rlc-analyze: allow(atomic-pairing) — observational gauge read
         self.queue_depth.load(Ordering::Relaxed)
     }
 
     /// High-water mark of [`ServerMetrics::queue_depth`] since start.
     pub fn queue_depth_max(&self) -> u64 {
-        // rlc-analyze: allow(atomic-ordering) — observational gauge read
+        // rlc-analyze: allow(atomic-pairing) — observational gauge read
         self.queue_depth_max.load(Ordering::Relaxed)
     }
 
