@@ -1,12 +1,12 @@
 //! Experiment binary: Ablation A1 — pruning rules.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::ablation;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", ablation::run_pruning_default(&args));
+    rlc_bench::run_experiment("ablation_pruning", &args, ablation::run_pruning_default);
 }

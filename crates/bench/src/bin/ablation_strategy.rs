@@ -1,12 +1,12 @@
 //! Experiment binary: Ablation A2 — KBS strategy and vertex ordering.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::ablation;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", ablation::run_strategy_default(&args));
+    rlc_bench::run_experiment("ablation_strategy", &args, ablation::run_strategy_default);
 }

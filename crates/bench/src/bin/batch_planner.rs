@@ -3,12 +3,12 @@
 //! one-prepare-per-group contract of `BatchPlan`.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::batch_planner;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", batch_planner::run(&args));
+    rlc_bench::run_experiment("batch_planner", &args, batch_planner::run);
 }

@@ -3,12 +3,12 @@
 //! sequential baseline.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::build_scaling;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", build_scaling::run(&args));
+    rlc_bench::run_experiment("build_scaling", &args, build_scaling::run);
 }

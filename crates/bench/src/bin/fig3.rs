@@ -1,12 +1,12 @@
 //! Experiment binary: Fig. 3 — query time of the true/false query sets.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::fig3;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", fig3::run(&args));
+    rlc_bench::run_experiment("fig3", &args, fig3::run);
 }

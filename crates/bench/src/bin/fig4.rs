@@ -1,12 +1,12 @@
 //! Experiment binary: Fig. 4 — impact of the recursive k on real-graph stand-ins.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::fig4;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", fig4::run(&args));
+    rlc_bench::run_experiment("fig4", &args, fig4::run);
 }

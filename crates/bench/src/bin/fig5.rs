@@ -1,12 +1,12 @@
 //! Experiment binary: Fig. 5 — label-set size and average degree sweep.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::fig5;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", fig5::run(&args));
+    rlc_bench::run_experiment("fig5", &args, fig5::run);
 }

@@ -1,12 +1,12 @@
 //! Experiment binary: Fig. 6 — scalability in the number of vertices.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::fig6;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", fig6::run(&args));
+    rlc_bench::run_experiment("fig6", &args, fig6::run);
 }

@@ -1,12 +1,12 @@
 //! Experiment binary: Fig. 7 — impact of the recursive k on synthetic graphs.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::fig7;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", fig7::run(&args));
+    rlc_bench::run_experiment("fig7", &args, fig7::run);
 }

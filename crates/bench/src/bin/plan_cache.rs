@@ -3,12 +3,12 @@
 //! of `PlanCache` (vs once-per-batch without it).
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::plan_cache;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", plan_cache::run(&args));
+    rlc_bench::run_experiment("plan_cache", &args, plan_cache::run);
 }

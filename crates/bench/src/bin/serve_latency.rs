@@ -4,12 +4,12 @@
 //! in-process evaluation at the lowest load.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::serve_latency;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", serve_latency::run(&args));
+    rlc_bench::run_experiment("serve_latency", &args, serve_latency::run);
 }

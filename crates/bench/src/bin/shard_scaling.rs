@@ -7,5 +7,7 @@ use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    println!("{}", shard_scaling::run(&args));
+    rlc_bench::run_experiment("shard_scaling", &args, |args| {
+        format!("{}\n", shard_scaling::run(args))
+    });
 }

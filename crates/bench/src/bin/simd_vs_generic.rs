@@ -8,5 +8,7 @@ use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    println!("{}", simd_vs_generic::run(&args));
+    rlc_bench::run_experiment("simd_vs_generic", &args, |args| {
+        format!("{}\n", simd_vs_generic::run(args))
+    });
 }

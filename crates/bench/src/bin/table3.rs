@@ -1,12 +1,12 @@
 //! Experiment binary: Table III — dataset overview.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::table3;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", table3::run(&args));
+    rlc_bench::run_experiment("table3", &args, table3::run);
 }

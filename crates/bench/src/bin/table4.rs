@@ -1,12 +1,12 @@
 //! Experiment binary: Table IV — indexing time and index size (RLC vs ETC).
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::table4;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", table4::run(&args));
+    rlc_bench::run_experiment("table4", &args, table4::run);
 }

@@ -1,12 +1,12 @@
 //! Experiment binary: Table V — speed-ups and break-even points over graph engines.
 //!
 //! See DESIGN.md for the experiment index and the common command-line
-//! options (`--scale`, `--seed`, `--queries`, `--quick`).
+//! options (`--scale`, `--seed`, `--queries`, `--quick`, `--json`).
 
 use rlc_bench::experiments::table5;
 use rlc_bench::CommonArgs;
 
 fn main() {
     let args = CommonArgs::from_env();
-    print!("{}", table5::run(&args));
+    rlc_bench::run_experiment("table5", &args, table5::run);
 }

@@ -6,7 +6,10 @@
 //!   the real-graph stand-ins (default `1/64`);
 //! * `--seed <n>` — RNG seed (default 42);
 //! * `--queries <n>` — queries per query set (default 1000, as in the paper);
-//! * `--quick` — shrink everything aggressively for a smoke run.
+//! * `--quick` — shrink everything aggressively for a smoke run;
+//! * `--json` — additionally write a machine-readable `BENCH_<name>.json`
+//!   sidecar (experiment name, arguments, kernel lane, thread count, and
+//!   every report table) next to the plain-text report.
 //!
 //! A tiny hand-rolled parser keeps the workspace free of an argument-parsing
 //! dependency.
@@ -22,6 +25,8 @@ pub struct CommonArgs {
     pub queries: usize,
     /// Quick mode: shrink sizes so every experiment finishes in seconds.
     pub quick: bool,
+    /// Write a `BENCH_<name>.json` sidecar with the structured results.
+    pub json: bool,
 }
 
 impl Default for CommonArgs {
@@ -31,6 +36,7 @@ impl Default for CommonArgs {
             seed: 42,
             queries: 1000,
             quick: false,
+            json: false,
         }
     }
 }
@@ -43,7 +49,7 @@ impl CommonArgs {
             Err(message) => {
                 eprintln!("{message}");
                 eprintln!(
-                    "usage: <experiment> [--scale <f>] [--seed <n>] [--queries <n>] [--quick]"
+                    "usage: <experiment> [--scale <f>] [--seed <n>] [--queries <n>] [--quick] [--json]"
                 );
                 std::process::exit(2);
             }
@@ -78,6 +84,7 @@ impl CommonArgs {
                         .map_err(|_| format!("invalid --queries value {value:?}"))?;
                 }
                 "--quick" => parsed.quick = true,
+                "--json" => parsed.json = true,
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -118,6 +125,13 @@ mod tests {
         assert!(args.quick);
         assert!(args.scale <= 1.0 / 256.0);
         assert!(args.queries <= 100);
+    }
+
+    #[test]
+    fn json_flag_is_off_by_default_and_parses() {
+        assert!(!parse(&[]).unwrap().json);
+        assert!(parse(&["--json"]).unwrap().json);
+        assert!(parse(&["--quick", "--json"]).unwrap().json);
     }
 
     #[test]

@@ -158,6 +158,7 @@ mod tests {
             seed: 6,
             queries: 3,
             quick: true,
+            json: false,
         }
     }
 

@@ -13,9 +13,10 @@ use crate::measure::{evaluate_query_set, evaluate_query_set_batch};
 use crate::CommonArgs;
 use rlc_baselines::{BfsEngine, BiBfsEngine};
 use rlc_core::engine::{batch_threads, IndexEngine, ReachabilityEngine};
-use rlc_core::{build_index, BuildConfig};
+use rlc_core::{build_index, BatchPlan, BuildConfig, Query};
 use rlc_graph::generate::{erdos_renyi, SyntheticConfig};
 use rlc_workloads::{generate_query_set, QueryGenConfig, Table};
+use std::time::{Duration, Instant};
 
 /// Default vertex count (the acceptance bar for the batch path is a ≥ 10K
 /// vertex graph).
@@ -121,6 +122,60 @@ pub fn run_with(args: &CommonArgs, vertices: usize) -> String {
         }
     }
     rayon::set_thread_override(None);
+
+    // Observability overhead differential. The plan executor carries span
+    // sites (prepare/execute/scatter phase histograms, cache hit/miss
+    // latency): with the global registry disabled — the library default —
+    // each site is one relaxed load, so the instrumented path must cost
+    // what the uninstrumented one did. Measure the same planned batch with
+    // observation off and on; min-of-N tames scheduler noise. The < 2%
+    // bound is asserted at full scale only — quick smoke batches are too
+    // short to time against a percentage.
+    let combined: Vec<Query> = queries
+        .true_queries
+        .iter()
+        .chain(queries.false_queries.iter())
+        .map(Query::from)
+        .collect();
+    let reps = if args.quick { 3 } else { 12 };
+    let obs_was_enabled = rlc_obs::global_enabled();
+    let measure = |enabled: bool| {
+        rlc_obs::set_global_enabled(enabled);
+        let mut best = Duration::MAX;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let answers = BatchPlan::new(&combined).execute(&rlc);
+            std::hint::black_box(&answers);
+            best = best.min(started.elapsed());
+        }
+        best
+    };
+    let disabled = measure(false);
+    let enabled = measure(true);
+    rlc_obs::set_global_enabled(obs_was_enabled);
+    let overhead = enabled.as_secs_f64() / disabled.as_secs_f64().max(1e-12) - 1.0;
+    for (label, best) in [("obs disabled", disabled), ("obs enabled", enabled)] {
+        table.add_row(vec![
+            rlc.name().to_string(),
+            format!("plan, {label}"),
+            "1".into(),
+            rlc_workloads::format_duration(best),
+            throughput(combined.len(), best.as_secs_f64()),
+            if label == "obs disabled" {
+                "baseline".into()
+            } else {
+                format!("{:+.2}% overhead", overhead * 100.0)
+            },
+        ]);
+    }
+    if !args.quick {
+        assert!(
+            overhead < 0.02,
+            "observation overhead contract broken: enabled {enabled:?} vs disabled {disabled:?} \
+             ({:.2}% > 2%)",
+            overhead * 100.0
+        );
+    }
     table.render()
 }
 
@@ -142,6 +197,7 @@ mod tests {
             seed: 8,
             queries: 10,
             quick: true,
+            json: false,
         };
         let report = run_with(&args, 400);
         assert!(report.contains("BFS"));
@@ -149,5 +205,7 @@ mod tests {
         assert!(report.contains("RLC"));
         assert!(report.contains("batch"));
         assert!(report.contains("sequential"));
+        assert!(report.contains("obs disabled"));
+        assert!(report.contains("% overhead"));
     }
 }

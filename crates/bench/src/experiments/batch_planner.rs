@@ -177,6 +177,7 @@ mod tests {
             seed: 13,
             queries: 40,
             quick: true,
+            json: false,
         };
         let report = run_with(&args, 300);
         assert!(report.contains("BFS"));

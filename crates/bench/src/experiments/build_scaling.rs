@@ -104,6 +104,7 @@ mod tests {
             seed: 4,
             queries: 5,
             quick: true,
+            json: false,
         };
         let report = run_with(&args, 400);
         assert!(report.contains("sequential"));

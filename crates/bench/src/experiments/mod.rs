@@ -71,6 +71,7 @@ mod tests {
             seed: 1,
             queries: 5,
             quick: true,
+            json: false,
         }
     }
 

@@ -356,6 +356,7 @@ mod tests {
             seed: 23,
             queries: 20,
             quick: true,
+            json: false,
         };
         let report = run_with(&args, 40);
         assert!(report.contains("light"));

@@ -145,6 +145,7 @@ mod tests {
             seed: 33,
             queries: 60,
             quick: true,
+            json: false,
         };
         let report = run_with(&args, 300);
         assert!(report.contains("Shard scaling"));

@@ -259,6 +259,7 @@ mod tests {
             seed: 19,
             queries: 60,
             quick: true,
+            json: false,
         };
         let report = run_with(&args, &[250]);
         assert!(report.contains("Frontier kernels"));

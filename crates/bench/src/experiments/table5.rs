@@ -182,6 +182,7 @@ mod tests {
             seed: 11,
             queries: 1,
             quick: true,
+            json: false,
         };
         let report = run_with(&args, 4);
         assert!(report.contains("Sys1"));

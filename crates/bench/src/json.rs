@@ -1,0 +1,131 @@
+//! The `--json` sidecar: machine-readable experiment results.
+//!
+//! Every experiment binary funnels through [`run_experiment`]: the
+//! plain-text report prints exactly as before, and when the common
+//! `--json` flag is set, the run additionally writes `BENCH_<name>.json`
+//! in the working directory with the experiment name, the parsed
+//! arguments, the runtime kernel lane ([`rlc_core::kernel_name`]), the
+//! rayon worker count, the wall-clock time, and every report table as
+//! structured `title`/`header`/`rows` (captured via
+//! [`rlc_workloads::capture_tables`] while the experiment runs).
+//!
+//! The JSON is hand-rendered — tables are strings all the way down, so
+//! the only machinery needed is [`rlc_obs::json_escape`].
+
+use crate::CommonArgs;
+use rlc_obs::json_escape;
+use rlc_workloads::{capture_tables, drain_tables, TableSnapshot};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Runs one experiment end to end: captures its tables, prints its
+/// plain-text report, and (with `--json`) writes the `BENCH_<name>.json`
+/// sidecar.
+pub fn run_experiment(name: &str, args: &CommonArgs, run: impl FnOnce(&CommonArgs) -> String) {
+    if args.json {
+        capture_tables();
+    }
+    let started = Instant::now();
+    let report = run(args);
+    let elapsed = started.elapsed();
+    print!("{report}");
+    if args.json {
+        let tables = drain_tables();
+        let path = format!("BENCH_{name}.json");
+        match std::fs::write(&path, render_report(name, args, &tables, elapsed)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(error) => eprintln!("could not write {path}: {error}"),
+        }
+    }
+}
+
+/// Renders the sidecar document. Separated from the I/O so tests can
+/// validate the JSON without touching the filesystem.
+pub fn render_report(
+    name: &str,
+    args: &CommonArgs,
+    tables: &[TableSnapshot],
+    elapsed: Duration,
+) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"experiment\":\"{}\",\"scale\":{},\"seed\":{},\"queries\":{},\"quick\":{},\
+         \"kernel_lane\":\"{}\",\"threads\":{},\"elapsed_seconds\":{:.6},\"tables\":[",
+        json_escape(name),
+        args.scale,
+        args.seed,
+        args.queries,
+        args.quick,
+        json_escape(rlc_core::kernel_name()),
+        rayon::current_num_threads(),
+        elapsed.as_secs_f64(),
+    );
+    for (i, table) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"title\":\"{}\",\"header\":",
+            json_escape(&table.title)
+        );
+        write_string_array(&mut out, &table.header);
+        out.push_str(",\"rows\":[");
+        for (j, row) in table.rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_string_array(&mut out, row);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_string_array(out: &mut String, cells: &[String]) {
+    out.push('[');
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", json_escape(cell));
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecar_is_valid_json_with_the_promised_fields() {
+        let args = CommonArgs {
+            json: true,
+            ..CommonArgs::default()
+        };
+        let tables = vec![TableSnapshot {
+            title: "Fig. 3 \"probe\"".to_owned(),
+            header: vec!["graph".to_owned(), "time".to_owned()],
+            rows: vec![vec!["AD".to_owned(), "0.7 s".to_owned()]],
+        }];
+        let doc = render_report("fig3", &args, &tables, Duration::from_millis(1500));
+        // The vendored serde_json lives downstream; validate shape by
+        // re-parsing with it in the e2e suite — here, structural greps.
+        assert!(doc.starts_with("{\"experiment\":\"fig3\","));
+        assert!(doc.contains("\"seed\":42"));
+        assert!(doc.contains("\"quick\":false"));
+        assert!(doc.contains(&format!("\"kernel_lane\":\"{}\"", rlc_core::kernel_name())));
+        assert!(doc.contains("\"elapsed_seconds\":1.500000"));
+        assert!(doc.contains("\"title\":\"Fig. 3 \\\"probe\\\"\""));
+        assert!(doc.contains("\"rows\":[[\"AD\",\"0.7 s\"]]"));
+        assert!(doc.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_capture_renders_an_empty_table_list() {
+        let doc = render_report("t", &CommonArgs::default(), &[], Duration::ZERO);
+        assert!(doc.ends_with("\"tables\":[]}"));
+    }
+}

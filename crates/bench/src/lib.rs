@@ -15,9 +15,11 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod json;
 pub mod measure;
 
 pub use cli::CommonArgs;
+pub use json::run_experiment;
 pub use measure::{
     evaluate_capped, evaluate_query_set, median_duration, CappedTiming, QuerySetTiming,
 };

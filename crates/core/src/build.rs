@@ -415,6 +415,10 @@ impl<'g> Builder<'g> {
                 break;
             }
             let records: Vec<RootRecord> = {
+                // Spans (inert unless the global observability registry is
+                // enabled) split the block-parallel build's wall-time into
+                // its two phases: speculative exploration vs merge replay.
+                let _span = rlc_obs::span!("rlc_build_explore_seconds");
                 let graph = self.graph;
                 let config = self.config;
                 let deadline = self.deadline;
@@ -442,6 +446,7 @@ impl<'g> Builder<'g> {
                         .collect()
                 })
             };
+            let _span = rlc_obs::span!("rlc_build_merge_seconds");
             for record in &records {
                 if self.budget_exhausted() {
                     self.stats.timed_out = true;

@@ -111,6 +111,19 @@ pub struct CacheStats {
     pub bytes: usize,
 }
 
+/// How one [`PlanCache::prepare_outcome`] call was resolved — the per-call
+/// view the EXPLAIN path attaches to its trace, where [`CacheStats`] is the
+/// process-lifetime aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrepareOutcome {
+    /// The plan was served from a resident entry.
+    pub hit: bool,
+    /// The miss waited on another worker's in-flight compilation.
+    pub coalesced: bool,
+    /// A resident entry with a mismatched identity was dropped on the way.
+    pub stale_drop: bool,
+}
+
 /// Cache key: the engine kind bucketing interchangeable instances together,
 /// plus the constraint the plan was compiled from.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -308,6 +321,41 @@ impl PlanCache {
         engine: &dyn ReachabilityEngine,
         constraint: &Constraint,
     ) -> Result<Arc<Prepared>, QueryError> {
+        self.prepare_outcome(engine, constraint).0
+    }
+
+    /// [`PlanCache::prepare`], additionally reporting how this particular
+    /// call was resolved. When the global observability registry is enabled
+    /// the call's latency is recorded into the `rlc_plan_cache_hit_seconds`
+    /// / `rlc_plan_cache_miss_seconds` histograms — the hit/miss latency
+    /// split that makes cache efficacy visible as a distribution rather
+    /// than a ratio.
+    pub fn prepare_outcome(
+        &self,
+        engine: &dyn ReachabilityEngine,
+        constraint: &Constraint,
+    ) -> (Result<Arc<Prepared>, QueryError>, PrepareOutcome) {
+        let timed = rlc_obs::global_enabled().then(std::time::Instant::now);
+        let (plan, outcome) = self.prepare_inner(engine, constraint);
+        if let Some(started) = timed {
+            static HIT_SITE: OnceLock<Arc<rlc_obs::Histogram>> = OnceLock::new();
+            static MISS_SITE: OnceLock<Arc<rlc_obs::Histogram>> = OnceLock::new();
+            let hist = if outcome.hit {
+                HIT_SITE.get_or_init(|| rlc_obs::global().histogram("rlc_plan_cache_hit_seconds"))
+            } else {
+                MISS_SITE.get_or_init(|| rlc_obs::global().histogram("rlc_plan_cache_miss_seconds"))
+            };
+            hist.record_duration(started.elapsed());
+        }
+        (plan, outcome)
+    }
+
+    fn prepare_inner(
+        &self,
+        engine: &dyn ReachabilityEngine,
+        constraint: &Constraint,
+    ) -> (Result<Arc<Prepared>, QueryError>, PrepareOutcome) {
+        let mut outcome = PrepareOutcome::default();
         let identity = engine.plan_identity();
         let key = CacheKey {
             kind: engine.name().to_owned(),
@@ -325,7 +373,8 @@ impl PlanCache {
                 if entry.identity == identity {
                     entry.last_used = bump(&self.tick);
                     bump(&self.hits);
-                    return entry.plan.clone();
+                    outcome.hit = true;
+                    return (entry.plan.clone(), outcome);
                 }
                 // Generation mismatch: this plan was resolved against an
                 // index that no longer exists (or a different instance of
@@ -336,6 +385,7 @@ impl PlanCache {
                     gauge_sub(&self.resident_bytes, stale.bytes as u64);
                 }
                 bump(&self.stale_drops);
+                outcome.stale_drop = true;
             }
             let latch_key = LatchKey {
                 key: key.clone(),
@@ -357,7 +407,8 @@ impl PlanCache {
             .clone();
         if !compiled {
             bump(&self.coalesced);
-            return plan;
+            outcome.coalesced = true;
+            return (plan, outcome);
         }
 
         // The compiling worker publishes the entry and retires its latch.
@@ -386,7 +437,7 @@ impl PlanCache {
         // `latch` and waiters after it hit the map entry published above.
         guard.in_flight.remove(&LatchKey { key, identity });
         self.evict_over_budget(&mut guard);
-        plan
+        (plan, outcome)
     }
 
     /// Evicts least-recently-used entries until the shard is within both

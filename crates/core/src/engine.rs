@@ -38,6 +38,7 @@ use crate::index::RlcIndex;
 use crate::query::{Constraint, Query, QueryError};
 use rayon::prelude::*;
 use rlc_graph::{LabeledGraph, VertexId};
+use rlc_obs::TraceNode;
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -201,6 +202,36 @@ pub trait ReachabilityEngine: Sync {
             .iter()
             .map(|&(s, t)| self.evaluate_prepared(s, t, prepared))
             .collect()
+    }
+
+    /// Evaluates one `(source, target)` pair under a prepared constraint
+    /// *and explains it*: the returned [`TraceNode`] records the routing
+    /// decisions the evaluation made (engine kind, and for engines that
+    /// override this, shard route, stitch counters, per-phase timings).
+    ///
+    /// The contract is that explaining is observation only: the answer (and
+    /// any error) must be identical to [`Self::evaluate_prepared`] on the
+    /// same inputs. The default delegates to `evaluate_prepared` and
+    /// reports the engine name, so every engine explains correctly even if
+    /// shallowly.
+    fn explain_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> (Result<bool, QueryError>, TraceNode) {
+        let started = std::time::Instant::now();
+        let answer = self.evaluate_prepared(source, target, prepared);
+        let mut node = TraceNode::new("query");
+        node.attr("engine", self.name())
+            .attr("source", source)
+            .attr("target", target)
+            .attr("evaluate_ns", started.elapsed().as_nanos());
+        match &answer {
+            Ok(reachable) => node.attr("answer", reachable),
+            Err(error) => node.attr("error", error),
+        };
+        (answer, node)
     }
 
     /// Evaluates a batch of queries, fanning out across CPU cores with

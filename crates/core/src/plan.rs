@@ -15,13 +15,15 @@
 //!    answer all pairs sharing a source with one product-graph search;
 //! 4. answers are scattered back in submission order.
 
-use crate::cache::PlanCache;
+use crate::cache::{PlanCache, PrepareOutcome};
 use crate::engine::{Prepared, ReachabilityEngine};
 use crate::query::{Constraint, Query, QueryError};
 use rayon::prelude::*;
 use rlc_graph::VertexId;
+use rlc_obs::TraceNode;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One group of the plan: every query of the batch sharing `constraint`.
 struct PlanGroup<'q> {
@@ -145,6 +147,90 @@ impl<'q> BatchPlan<'q> {
         self.execute_with(engine, |constraint| cache.prepare(engine, constraint))
     }
 
+    /// Executes the plan **and explains it**: returns the submission-order
+    /// answers together with a machine-readable [`TraceNode`] tree — one
+    /// `batch` root carrying plan-level decisions (group count, kernel
+    /// lane, per-phase wall-clock) with one `query` child per submitted
+    /// query, produced by the engine's
+    /// [`ReachabilityEngine::explain_prepared`].
+    ///
+    /// This is a diagnosis path, not a throughput path: queries evaluate
+    /// sequentially so each trace reflects one uncontended evaluation. The
+    /// answers are the contract: they are identical — including errors —
+    /// to [`BatchPlan::execute`] (or [`BatchPlan::execute_cached`] when
+    /// `cache` is `Some`, whose hit/coalesced outcome is recorded on each
+    /// query node).
+    pub fn execute_explained(
+        &self,
+        engine: &dyn ReachabilityEngine,
+        cache: Option<&PlanCache>,
+    ) -> (Vec<Result<bool, QueryError>>, TraceNode) {
+        let mut root = TraceNode::new("batch");
+        root.attr("engine", engine.name())
+            .attr("queries", self.query_count)
+            .attr("groups", self.groups.len())
+            .attr("kernel_lane", crate::kernel::kernel_name());
+
+        // Phase 1: prepare each group once, through the cache when given.
+        type ExplainedPrepare = (Result<Arc<Prepared>, QueryError>, Option<PrepareOutcome>);
+        let prepare_started = Instant::now();
+        let prepared: Vec<ExplainedPrepare> = self
+            .groups
+            .iter()
+            .map(|group| match cache {
+                Some(cache) => {
+                    let (plan, outcome) = cache.prepare_outcome(engine, group.constraint);
+                    (plan, Some(outcome))
+                }
+                None => (engine.prepare(group.constraint).map(Arc::new), None),
+            })
+            .collect();
+        let prepare_ns = prepare_started.elapsed().as_nanos();
+
+        // Phase 2: sequential per-query explained evaluation.
+        let execute_started = Instant::now();
+        let mut answers: Vec<Result<bool, QueryError>> = vec![Ok(false); self.query_count];
+        let mut children: Vec<(usize, TraceNode)> = Vec::with_capacity(self.query_count);
+        for (slot, group) in self.groups.iter().enumerate() {
+            let (plan, outcome) = &prepared[slot];
+            for (&index, &(source, target)) in group.indices.iter().zip(&group.pairs) {
+                let (answer, mut node) = match plan {
+                    Ok(artifact) => engine.explain_prepared(source, target, artifact),
+                    Err(error) => {
+                        let mut node = TraceNode::new("query");
+                        node.attr("engine", engine.name())
+                            .attr("source", source)
+                            .attr("target", target)
+                            .attr("error", error);
+                        (Err(error.clone()), node)
+                    }
+                };
+                node.attr("batch_index", index)
+                    .attr("group", slot)
+                    .attr("group_size", group.pairs.len());
+                if let Some(outcome) = outcome {
+                    node.attr("cache_hit", outcome.hit)
+                        .attr("cache_coalesced", outcome.coalesced)
+                        .attr("cache_stale_drop", outcome.stale_drop);
+                }
+                answers[index] = answer;
+                children.push((index, node));
+            }
+        }
+        let execute_ns = execute_started.elapsed().as_nanos();
+
+        // Phase 3: scatter trace children back into submission order.
+        let scatter_started = Instant::now();
+        children.sort_by_key(|&(index, _)| index);
+        for (_, node) in children {
+            root.child(node);
+        }
+        root.attr("prepare_ns", prepare_ns)
+            .attr("execute_ns", execute_ns)
+            .attr("scatter_ns", scatter_started.elapsed().as_nanos());
+        (answers, root)
+    }
+
     /// Shared execute skeleton over a pluggable preparation source.
     fn execute_with(
         &self,
@@ -152,14 +238,17 @@ impl<'q> BatchPlan<'q> {
         prepare: impl Fn(&Constraint) -> Result<Arc<Prepared>, QueryError> + Sync,
     ) -> Vec<Result<bool, QueryError>> {
         // Phase 1: one prepare per distinct constraint.
-        let prepared: Vec<Result<Arc<Prepared>, QueryError>> = self
-            .groups
-            .par_iter()
-            .map(|group| prepare(group.constraint))
-            .collect();
+        let prepared: Vec<Result<Arc<Prepared>, QueryError>> = {
+            let _span = rlc_obs::span!("rlc_plan_prepare_seconds");
+            self.groups
+                .par_iter()
+                .map(|group| prepare(group.constraint))
+                .collect()
+        };
 
         // Phase 2: chunk every successfully prepared group and evaluate all
         // chunks in one parallel wave.
+        let execute_span = rlc_obs::span!("rlc_plan_execute_seconds");
         let workers = crate::engine::batch_threads().max(1);
         let mut chunks: Vec<(usize, usize, usize)> = Vec::new();
         for (slot, group) in self.groups.iter().enumerate() {
@@ -185,8 +274,10 @@ impl<'q> BatchPlan<'q> {
                 engine.evaluate_prepared_group(&self.groups[slot].pairs[start..end], artifact)
             })
             .collect();
+        drop(execute_span);
 
         // Scatter back in submission order.
+        let _span = rlc_obs::span!("rlc_plan_scatter_seconds");
         let mut answers: Vec<Result<bool, QueryError>> = vec![Ok(false); self.query_count];
         for (slot, group) in self.groups.iter().enumerate() {
             if let Err(error) = &prepared[slot] {

@@ -1,0 +1,420 @@
+//! The `/metrics` text exposition: rendering and a validating parser.
+//!
+//! The grammar is the familiar one: `# TYPE <name> <kind>` declares a
+//! family, then samples `name{label="value",...} value` follow. Histogram
+//! families expose **cumulative** `<name>_bucket{le="..."}` series (each
+//! bucket counts every observation at or below its edge), a terminal
+//! `le="+Inf"` bucket equal to `<name>_count`, and `<name>_sum` /
+//! `<name>_count` series. Histograms record nanoseconds internally;
+//! `_seconds` families are rendered in seconds.
+//!
+//! [`parse`] is the validating inverse used by the e2e metrics-smoke
+//! test: it rejects samples of undeclared families, duplicate series
+//! (same name and label set), non-cumulative buckets, and histograms
+//! whose `+Inf` bucket disagrees with their count.
+
+use crate::hist::HistogramSnapshot;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// Bucket edges rendered for histogram families: every second power of
+/// two from 2^10 ns (≈ 1 µs) to 2^34 ns (≈ 17 s). Observations outside
+/// the range still count — below lands in the first bucket, above only
+/// in `+Inf` — so the cumulative invariant holds for any value.
+const RENDERED_EDGES: [usize; 13] = [10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34];
+
+fn render_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", crate::json_escape(v));
+    }
+    out.push('}');
+}
+
+/// Appends a `# TYPE` family declaration.
+pub fn write_type(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends one sample line.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: impl Display) {
+    out.push_str(name);
+    render_labels(out, labels);
+    let _ = writeln!(out, " {value}");
+}
+
+/// Appends the cumulative bucket / sum / count series of one histogram
+/// series (the `# TYPE <name> histogram` line is the caller's, written
+/// once per family). `labels` are the series labels without `le`.
+pub fn write_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+) {
+    let bucket = format!("{name}_bucket");
+    for edge in RENDERED_EDGES {
+        let le = format!("{}", (1u64 << edge) as f64 * 1e-9);
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", le.as_str()));
+        write_sample(out, &bucket, &with_le, snap.cumulative(edge));
+    }
+    let mut inf: Vec<(&str, &str)> = labels.to_vec();
+    inf.push(("le", "+Inf"));
+    write_sample(out, &bucket, &inf, snap.count);
+    write_sample(
+        out,
+        &format!("{name}_sum"),
+        labels,
+        format!("{:.9}", snap.sum as f64 * 1e-9),
+    );
+    write_sample(out, &format!("{name}_count"), labels, snap.count);
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The series name (for histograms, the `_bucket`/`_sum`/`_count`
+    /// member name).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A canonical `name{sorted labels}` series key for duplicate checks.
+    fn series_key(&self) -> String {
+        let mut labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        labels.sort();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// A parsed, validated exposition.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    /// Declared families: name → kind (`counter`, `gauge`, `histogram`).
+    pub families: BTreeMap<String, String>,
+    /// Every sample line, in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Names of the declared histogram families.
+    pub fn histogram_families(&self) -> Vec<&str> {
+        self.families
+            .iter()
+            .filter(|(_, kind)| kind.as_str() == "histogram")
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// The value of the unlabelled series `name`, if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let err = |what: &str| format!("line {lineno}: {what}: {line:?}");
+    let (series, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| err("sample line has no value"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| err("sample value is not a number"))?;
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_owned(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| err("unterminated label set"))?;
+            let mut labels = Vec::new();
+            if !body.is_empty() {
+                for pair in body.split("\",") {
+                    let pair = pair.strip_suffix('"').unwrap_or(pair);
+                    let (k, v) = pair
+                        .split_once("=\"")
+                        .ok_or_else(|| err("malformed label pair"))?;
+                    if !valid_metric_name(k) {
+                        return Err(err("invalid label name"));
+                    }
+                    labels.push((k.to_owned(), v.to_owned()));
+                }
+            }
+            (name.to_owned(), labels)
+        }
+    };
+    if !valid_metric_name(&name) {
+        return Err(err("invalid metric name"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Family a sample belongs to, given the declared family set: exact name
+/// for counters/gauges, the `_bucket`/`_sum`/`_count` stem for
+/// histograms.
+fn family_of<'a>(name: &'a str, families: &BTreeMap<String, String>) -> Option<(&'a str, &'a str)> {
+    if families.contains_key(name) {
+        return Some((name, "self"));
+    }
+    for (suffix, member) in [("_bucket", "bucket"), ("_sum", "sum"), ("_count", "count")] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if families.get(stem).map(String::as_str) == Some("histogram") {
+                return Some((stem, member));
+            }
+        }
+    }
+    None
+}
+
+/// Parses and validates an exposition document. See the module docs for
+/// what is rejected.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::default();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split_whitespace();
+            let (name, kind) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(k), None) => (n, k),
+                _ => return Err(format!("line {lineno}: malformed # TYPE line: {line:?}")),
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: invalid family name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {lineno}: unknown family kind {kind:?}"));
+            }
+            if expo
+                .families
+                .insert(name.to_owned(), kind.to_owned())
+                .is_some()
+            {
+                return Err(format!("line {lineno}: family {name:?} declared twice"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments (e.g. # HELP) are legal and ignored
+        }
+        let sample = parse_sample(line, lineno)?;
+        if family_of(&sample.name, &expo.families).is_none() {
+            return Err(format!(
+                "line {lineno}: sample {:?} has no preceding # TYPE family",
+                sample.name
+            ));
+        }
+        if !seen_series.insert(sample.series_key()) {
+            return Err(format!(
+                "line {lineno}: duplicate series {}",
+                sample.series_key()
+            ));
+        }
+        expo.samples.push(sample);
+    }
+    validate_histograms(&expo)?;
+    Ok(expo)
+}
+
+/// Cross-sample histogram checks: cumulative non-decreasing buckets in
+/// `le` order, a `+Inf` terminal, and `+Inf == count`, per label set.
+fn validate_histograms(expo: &Exposition) -> Result<(), String> {
+    for family in expo.histogram_families() {
+        // Group the family's bucket samples by their non-`le` labels.
+        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+        for sample in &expo.samples {
+            let non_le: Vec<String> = sample
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let group = non_le.join(",");
+            if sample.name == format!("{family}_bucket") {
+                let le = sample
+                    .label("le")
+                    .ok_or_else(|| format!("{family}: bucket sample without le label"))?;
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>()
+                        .map_err(|_| format!("{family}: unparseable le {le:?}"))?
+                };
+                groups.entry(group).or_default().push((le, sample.value));
+            } else if sample.name == format!("{family}_count") {
+                counts.insert(group, sample.value);
+            }
+        }
+        if groups.is_empty() {
+            return Err(format!("{family}: histogram family has no bucket samples"));
+        }
+        for (group, mut buckets) in groups {
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut prev = -1.0f64;
+            for &(le, v) in &buckets {
+                if v < prev {
+                    return Err(format!(
+                        "{family}{{{group}}}: bucket le={le} count {v} below predecessor {prev}"
+                    ));
+                }
+                prev = v;
+            }
+            let Some(&(last_le, inf_count)) = buckets.last() else {
+                return Err(format!("{family}{{{group}}}: empty bucket set"));
+            };
+            if last_le != f64::INFINITY {
+                return Err(format!("{family}{{{group}}}: missing le=\"+Inf\" bucket"));
+            }
+            match counts.get(&group) {
+                Some(&count) if count == inf_count => {}
+                Some(&count) => {
+                    return Err(format!(
+                        "{family}{{{group}}}: +Inf bucket {inf_count} != count {count}"
+                    ))
+                }
+                None => return Err(format!("{family}{{{group}}}: missing _count sample")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn rendered() -> String {
+        let h = Histogram::new();
+        for v in [800u64, 90_000, 90_000, 40_000_000] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        write_type(&mut out, "t_total", "counter");
+        write_sample(&mut out, "t_total", &[], 3u64);
+        write_type(&mut out, "t_depth", "gauge");
+        write_sample(&mut out, "t_depth", &[("pool", "a")], 2u64);
+        write_type(&mut out, "t_seconds", "histogram");
+        write_histogram(&mut out, "t_seconds", &[("route", "/query")], &h.snapshot());
+        write_histogram(&mut out, "t_seconds", &[("route", "/batch")], &h.snapshot());
+        out
+    }
+
+    #[test]
+    fn rendered_output_parses_and_validates() {
+        let text = rendered();
+        let expo = parse(&text).expect("the renderer speaks the grammar");
+        assert_eq!(expo.families.len(), 3);
+        assert_eq!(expo.histogram_families(), vec!["t_seconds"]);
+        assert_eq!(expo.value("t_total"), Some(3.0));
+        // Two label sets × (13 edges + Inf + sum + count) histogram lines.
+        let hist_lines = expo
+            .samples
+            .iter()
+            .filter(|s| s.name.starts_with("t_seconds"))
+            .count();
+        assert_eq!(hist_lines, 2 * (RENDERED_EDGES.len() + 3));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_inf_terminated() {
+        let text = rendered();
+        let expo = parse(&text).unwrap();
+        let buckets: Vec<f64> = expo
+            .samples
+            .iter()
+            .filter(|s| s.name == "t_seconds_bucket" && s.label("route") == Some("/query"))
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(buckets.len(), RENDERED_EDGES.len() + 1);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+        assert_eq!(*buckets.last().unwrap(), 4.0, "+Inf bucket == count");
+        // 800 ns is below the first rendered edge (1 µs): already counted.
+        assert_eq!(buckets[0], 1.0);
+    }
+
+    #[test]
+    fn hostile_documents_are_rejected() {
+        for (doc, why) in [
+            ("x_total 1", "undeclared family"),
+            ("# TYPE x_total counter\nx_total 1\nx_total 2", "duplicate series"),
+            (
+                "# TYPE x_total counter\n# TYPE x_total counter\nx_total 1",
+                "duplicate family",
+            ),
+            ("# TYPE x_total widget\nx_total 1", "unknown kind"),
+            ("# TYPE x_total counter\nx_total nope", "bad value"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1",
+                "missing count",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_count 1\nh_sum 0.1",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_count 1\nh_sum 0.1",
+                "missing +Inf",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 2\nh_sum 0.1",
+                "count mismatch",
+            ),
+        ] {
+            assert!(parse(doc).is_err(), "{why} must be rejected: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn labels_and_comments_parse() {
+        let doc = "# HELP x_total something\n# TYPE x_total counter\nx_total{a=\"1\",b=\"two words\"} 7\n";
+        let expo = parse(doc).unwrap();
+        assert_eq!(expo.samples[0].label("b"), Some("two words"));
+        assert_eq!(expo.samples[0].value, 7.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Log-bucketed power-of-two latency histograms, sharded per thread.
+//!
+//! A recorded value `v` (nanoseconds by convention) lands in the bucket
+//! indexed by its bit length: bucket 0 holds exactly `0`, bucket `b`
+//! holds `[2^(b-1), 2^b - 1]`, and bucket 63 absorbs everything from
+//! `2^62` up. The scheme needs no configuration, never rebuckets, and
+//! bounds every quantile estimate by a factor of two of the true value —
+//! the property test pins that bound against a sorted-vector oracle.
+//!
+//! Recording is `fetch_add` on a per-thread shard (threads are assigned
+//! shards round-robin on first use), so concurrent recorders do not
+//! contend on one cache line; reading merges the shards observationally.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of buckets: one per possible bit length of a `u64`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Number of per-thread shards. A small power of two: enough to spread
+/// the workspace's worker pools, cheap enough to merge on every read.
+const SHARDS: usize = 8;
+
+/// Round-robin assignment of threads to shards, made once per thread.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn shard_index() -> usize {
+    MY_SHARD.with(|cell| {
+        let mut s = cell.get();
+        if s == usize::MAX {
+            // rlc-analyze: allow(atomic-pairing) — round-robin ticket for shard assignment; no memory is published through it
+            s = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            cell.set(s);
+        }
+        s
+    })
+}
+
+/// Bucket index of a value: its bit length, clamped to the last bucket.
+#[inline]
+pub(crate) fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper edge of bucket `b` in recorded units.
+pub(crate) fn bucket_edge(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ if b >= HIST_BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+/// One shard's cells, padded out by its own allocation granularity.
+struct Shard {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent power-of-two histogram. See the module docs for the
+/// bucket scheme; recording is four relaxed atomic adds plus one
+/// `fetch_max` on the caller's thread shard.
+pub struct Histogram {
+    shards: Vec<Shard>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, all-zero histogram.
+    pub fn new() -> Self {
+        Histogram {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[shard_index() % self.shards.len()];
+        // rlc-analyze: allow(atomic-pairing) — observational histogram cells; merged reads tolerate torn cross-cell moments
+        shard.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        // rlc-analyze: allow(atomic-pairing) — observational histogram count
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        // rlc-analyze: allow(atomic-pairing) — observational histogram sum; wrapping is acceptable for ~584 years of nanoseconds
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        // rlc-analyze: allow(atomic-pairing) — monotonic max of an observational histogram
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.record(nanos);
+    }
+
+    /// Merges every thread shard into one observational snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::default();
+        for shard in &self.shards {
+            for (b, cell) in shard.buckets.iter().enumerate() {
+                // rlc-analyze: allow(atomic-pairing) — observational snapshot read
+                snap.buckets[b] += cell.load(Ordering::Relaxed);
+            }
+            // rlc-analyze: allow(atomic-pairing) — observational snapshot read
+            snap.count += shard.count.load(Ordering::Relaxed);
+            // rlc-analyze: allow(atomic-pairing) — observational snapshot read
+            snap.sum = snap.sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+            // rlc-analyze: allow(atomic-pairing) — observational snapshot read
+            snap.max = snap.max.max(shard.max.load(Ordering::Relaxed));
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// A merged, plain-data view of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`Histogram`] for the scheme).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping).
+    pub sum: u64,
+    /// Largest recorded value, tracked exactly.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges `other` into `self`. Merging is associative and commutative
+    /// (bucket-wise sums and a max) — the property tests pin that.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations at or below bucket `b`'s upper edge (cumulative count,
+    /// as the exposition's `le` buckets report).
+    pub fn cumulative(&self, b: usize) -> u64 {
+        self.buckets[..=b.min(HIST_BUCKETS - 1)].iter().sum()
+    }
+
+    /// Upper bound on the `q`-quantile (0.0 ≤ q ≤ 1.0): the upper edge of
+    /// the bucket holding the rank-`⌈q·count⌉` observation, except the
+    /// topmost rank which reports the exactly-tracked [`max`]. The
+    /// estimate `e` of a true value `x` satisfies `x ≤ e ≤ 2x`.
+    ///
+    /// [`max`]: HistogramSnapshot::max
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_edge(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_the_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Edges are inclusive and consistent with bucket_of.
+        for b in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_edge(b)), b, "edge of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 1000, 1_000_000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 2_001_006);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.cumulative(HIST_BUCKETS - 1), 6);
+        assert_eq!(s.buckets[0], 1, "zero has its own bucket");
+    }
+
+    #[test]
+    fn quantiles_of_a_point_mass_report_the_point_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(700);
+        }
+        let s = h.snapshot();
+        let (p50, p99) = (s.p50(), s.p99());
+        assert!((700..=1023).contains(&p50), "p50 {p50}");
+        assert!((700..=1023).contains(&p99), "p99 {p99}");
+        assert_eq!(s.quantile(1.0), 700, "the top rank reports the true max");
+    }
+}

@@ -1,0 +1,223 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Registration (name → handle) takes a mutex, but it happens once per
+//! call site — hot paths hold `Arc` handles (usually cached in a
+//! `OnceLock`, as [`crate::span!`] does) and never touch the map again.
+//! Reading snapshots walks the map observationally.
+//!
+//! The process-wide [`global`] registry is what library crates instrument
+//! against. It starts **disabled**: a guarded site costs one relaxed load
+//! until [`set_global_enabled`] turns recording on. Per-component
+//! registries (e.g. one per `rlc-serve` server, so concurrent servers in
+//! one test process don't share series) are just `Registry::new()`.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::lock_recover;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Observational read.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Observational read.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named-metric registry. See the module docs for the usage model.
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty, **enabled** registry (explicit-handle registries are
+    /// always live; only the [`global`] one starts disabled).
+    pub fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether guarded instrumentation should record.
+    pub fn enabled(&self) -> bool {
+        // rlc-analyze: allow(atomic-pairing) — observational on/off flag; recording a beat late/early is fine
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns guarded instrumentation on or off.
+    pub fn set_enabled(&self, on: bool) {
+        // rlc-analyze: allow(atomic-pairing) — observational on/off flag
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Gets or registers the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = lock_recover(&self.inner);
+        Arc::clone(
+            inner
+                .counters
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Gets or registers the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = lock_recover(&self.inner);
+        Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Gets or registers the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = lock_recover(&self.inner);
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Name-sorted observational counter values.
+    pub fn counter_snapshots(&self) -> Vec<(String, u64)> {
+        let inner = lock_recover(&self.inner);
+        inner
+            .counters
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// Name-sorted observational gauge values.
+    pub fn gauge_snapshots(&self) -> Vec<(String, i64)> {
+        let inner = lock_recover(&self.inner);
+        inner
+            .gauges
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect()
+    }
+
+    /// Name-sorted merged histogram snapshots.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        let inner = lock_recover(&self.inner);
+        inner
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry library crates instrument against. Starts
+/// disabled; see the module docs.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new();
+        registry.set_enabled(false);
+        registry
+    })
+}
+
+/// Fast path for guarded sites: is the global registry recording?
+pub fn global_enabled() -> bool {
+    global().enabled()
+}
+
+/// Turns the global registry's recording on or off (process-wide).
+pub fn set_global_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(r.counter("x_total").get(), 3);
+        assert_eq!(r.counter_snapshots(), vec![("x_total".to_owned(), 3)]);
+
+        let g = r.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(r.gauge_snapshots(), vec![("depth".to_owned(), 3)]);
+
+        r.histogram("lat").record(9);
+        let snaps = r.histogram_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].0, "lat");
+        assert_eq!(snaps[0].1.count, 1);
+    }
+
+    #[test]
+    fn snapshots_come_back_name_sorted() {
+        let r = Registry::new();
+        r.counter("zz").inc();
+        r.counter("aa").inc();
+        let names: Vec<String> = r.counter_snapshots().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+}

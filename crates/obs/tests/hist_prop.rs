@@ -1,0 +1,169 @@
+//! Property tests of the histogram, following the repo's
+//! deterministic-randomness discipline: every random stream is a seeded
+//! xorshift, so a failure reproduces bit-for-bit.
+
+use rlc_obs::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+
+/// Seeded xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A value whose magnitude is itself random (uniform bit length), so
+    /// every bucket regime gets exercised — uniform u64s would pile into
+    /// the top buckets.
+    fn latency(&mut self) -> u64 {
+        let bits = self.next() % 40; // 0 ns ..= ~550 s in nanoseconds
+        if bits == 0 {
+            0
+        } else {
+            let span = 1u64 << (bits - 1);
+            span + self.next() % span
+        }
+    }
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn bucket_assignment_is_monotone_and_cumulative_counts_never_decrease() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..200 {
+        let (a, b) = (rng.latency(), rng.latency());
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (snap_lo, snap_hi) = (record_all(&[lo]), record_all(&[hi]));
+        let bucket = |s: &HistogramSnapshot| s.buckets.iter().position(|&c| c > 0).unwrap();
+        assert!(
+            bucket(&snap_lo) <= bucket(&snap_hi),
+            "bucket({lo}) > bucket({hi})"
+        );
+    }
+    // Cumulative counts are non-decreasing in the bucket index.
+    let mut rng = Rng::new(0xBEE);
+    let values: Vec<u64> = (0..5_000).map(|_| rng.latency()).collect();
+    let snap = record_all(&values);
+    let mut prev = 0u64;
+    for b in 0..HIST_BUCKETS {
+        let c = snap.cumulative(b);
+        assert!(c >= prev, "cumulative dipped at bucket {b}");
+        prev = c;
+    }
+    assert_eq!(prev, values.len() as u64, "+Inf bucket covers everything");
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mut rng = Rng::new(7);
+    for round in 0..20 {
+        let streams: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..200).map(|_| rng.latency()).collect())
+            .collect();
+        let [a, b, c] = [
+            record_all(&streams[0]),
+            record_all(&streams[1]),
+            record_all(&streams[2]),
+        ];
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_tail);
+        assert_eq!(left, right, "associativity broke in round {round}");
+        // b ⊕ a == a ⊕ b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutativity broke in round {round}");
+        // Merging equals recording the concatenated stream.
+        let concat: Vec<u64> = streams.concat();
+        assert_eq!(
+            left,
+            record_all(&concat),
+            "merge != concat in round {round}"
+        );
+    }
+}
+
+#[test]
+fn quantile_estimates_bound_the_sorted_vector_oracle_within_2x() {
+    for seed in [3u64, 99, 0xD00D, 0xFEED_F00D] {
+        let mut rng = Rng::new(seed);
+        let mut values: Vec<u64> = (0..2_000).map(|_| rng.latency()).collect();
+        let snap = record_all(&values);
+        values.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let oracle = values[rank - 1];
+            let estimate = snap.quantile(q);
+            assert!(
+                estimate >= oracle,
+                "seed {seed} q {q}: estimate {estimate} < oracle {oracle}"
+            );
+            assert!(
+                estimate <= oracle.saturating_mul(2).max(1),
+                "seed {seed} q {q}: estimate {estimate} > 2x oracle {oracle}"
+            );
+        }
+        assert_eq!(snap.max, *values.last().unwrap(), "max is tracked exactly");
+        assert_eq!(
+            snap.quantile(1.0),
+            snap.max,
+            "the top quantile is the exact max"
+        );
+    }
+}
+
+/// Concurrent recorders across threads: per-thread shards must merge to
+/// exactly the union of every thread's deterministic stream. Runs under
+/// the pinned-thread CI step as well as the default one.
+#[test]
+fn concurrent_recorders_merge_losslessly() {
+    let h = Histogram::new();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 4_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                let mut rng = Rng::new(1000 + t);
+                for _ in 0..PER_THREAD {
+                    h.record(rng.latency());
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+
+    // The same streams recorded sequentially give the identical snapshot:
+    // sharding is an implementation detail, not an observable one.
+    let mut expected: Vec<u64> = Vec::new();
+    for t in 0..THREADS {
+        let mut rng = Rng::new(1000 + t);
+        expected.extend((0..PER_THREAD).map(|_| rng.latency()));
+    }
+    assert_eq!(snap, record_all(&expected));
+}

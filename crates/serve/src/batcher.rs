@@ -21,6 +21,7 @@
 
 use crate::lock_recover;
 use crate::metrics::{Counter, ServerMetrics};
+use crate::obs::ServeObs;
 use crate::swap::IndexSlot;
 use rlc_core::{BatchPlan, PlanCache, Query, QueryError};
 use std::io;
@@ -119,12 +120,14 @@ pub struct MicroBatcher {
 
 impl MicroBatcher {
     /// Spawns the batcher thread. Batches snapshot `slot`, execute against
-    /// `cache`, and account into `metrics`.
+    /// `cache`, and account into `metrics` and `obs` (window/execute
+    /// latency; sampled batches leave EXPLAIN traces in the journal).
     pub fn start(
         window: Duration,
         slot: Arc<IndexSlot>,
         cache: Arc<PlanCache>,
         metrics: Arc<ServerMetrics>,
+        obs: Arc<ServeObs>,
     ) -> io::Result<(MicroBatcher, BatcherClient)> {
         let state = Arc::new(BatcherState {
             pending: Mutex::new(Vec::new()),
@@ -135,7 +138,7 @@ impl MicroBatcher {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("rlc-serve-batcher".to_owned())
-                .spawn(move || batcher_loop(&state, window, &slot, &cache, &metrics))?
+                .spawn(move || batcher_loop(&state, window, &slot, &cache, &metrics, &obs))?
         };
         let client = BatcherClient {
             state: Arc::clone(&state),
@@ -169,6 +172,7 @@ fn batcher_loop(
     slot: &IndexSlot,
     cache: &PlanCache,
     metrics: &ServerMetrics,
+    obs: &ServeObs,
 ) {
     loop {
         // Phase 1: wait for the first arrival (or an empty-queue shutdown).
@@ -188,6 +192,7 @@ fn batcher_loop(
                 pending = guard;
             }
         }
+        let window_started = Instant::now();
         // Phase 2: the micro-batch window — let concurrent workers pile
         // their queries on before the batch is sealed.
         if !window.is_zero() && !state.shutdown.load(Ordering::SeqCst) {
@@ -197,13 +202,28 @@ fn batcher_loop(
         if batch.is_empty() {
             continue;
         }
+        obs.record_batch_window(window_started.elapsed());
         // Phase 3: one epoch snapshot, one BatchPlan, one generation stamp
-        // for every answer in the batch.
+        // for every answer in the batch. A sampled batch executes through
+        // the EXPLAIN path — identical answers (the differential harness
+        // asserts it), plus a plan trace for the journal.
         let epoch = slot.snapshot();
         let generation = epoch.generation().value();
         let queries: Vec<Query> = batch.iter().map(|p| p.query.clone()).collect();
-        let answers =
-            epoch.with_engine(|engine| BatchPlan::new(&queries).execute_cached(engine, cache));
+        let execute_started = Instant::now();
+        let answers = if obs.should_explain() {
+            let (answers, mut trace) = epoch.with_engine(|engine| {
+                BatchPlan::new(&queries).execute_explained(engine, Some(cache))
+            });
+            trace
+                .attr("origin", "microbatch")
+                .attr("generation", generation);
+            obs.push_trace(trace);
+            answers
+        } else {
+            epoch.with_engine(|engine| BatchPlan::new(&queries).execute_cached(engine, cache))
+        };
+        obs.record_execute(execute_started.elapsed());
         metrics.bump(Counter::Microbatches);
         metrics.add(Counter::MicrobatchedQueries, batch.len() as u64);
         for (pending, answer) in batch.into_iter().zip(answers) {
@@ -231,6 +251,11 @@ mod tests {
         Instant::now() + Duration::from_secs(5)
     }
 
+    /// Journal-less observability for tests that don't assert on traces.
+    fn quiet_obs() -> Arc<ServeObs> {
+        Arc::new(ServeObs::new(0, 0))
+    }
+
     #[test]
     fn concurrent_submissions_coalesce_and_answer_correctly() {
         let (graph, slot) = serving_slot(2);
@@ -241,6 +266,7 @@ mod tests {
             Arc::clone(&slot),
             Arc::clone(&cache),
             Arc::clone(&metrics),
+            quiet_obs(),
         )
         .unwrap();
         let queries: Vec<Query> = (0..12u32)
@@ -284,7 +310,8 @@ mod tests {
         let (_graph, slot) = serving_slot(2);
         let cache = Arc::new(PlanCache::new());
         let metrics = Arc::new(ServerMetrics::new());
-        let (batcher, client) = MicroBatcher::start(Duration::ZERO, slot, cache, metrics).unwrap();
+        let (batcher, client) =
+            MicroBatcher::start(Duration::ZERO, slot, cache, metrics, quiet_obs()).unwrap();
         // Block of length 3 against k = 2: a deterministic rejection.
         let constraint = Constraint::new(vec![vec![Label(0), Label(1), Label(2)]]).unwrap();
         let answer = client
@@ -298,12 +325,49 @@ mod tests {
     }
 
     #[test]
+    fn sampled_batches_leave_traces_with_identical_answers() {
+        let (_graph, slot) = serving_slot(2);
+        let cache = Arc::new(PlanCache::new());
+        let metrics = Arc::new(ServerMetrics::new());
+        let obs = Arc::new(ServeObs::new(8, 1)); // trace every batch
+        let (batcher, client) = MicroBatcher::start(
+            Duration::ZERO,
+            Arc::clone(&slot),
+            Arc::clone(&cache),
+            metrics,
+            Arc::clone(&obs),
+        )
+        .unwrap();
+        let query = Query::rlc(0, 5, vec![Label(1)]).unwrap();
+        let expected = slot
+            .snapshot()
+            .with_engine(|engine| rlc_core::ReachabilityEngine::evaluate(engine, &query));
+        let got = client
+            .submit(query, far_deadline())
+            .expect("deadline is far away");
+        assert_eq!(got.answer, expected, "the EXPLAIN path changes nothing");
+        batcher.shutdown();
+        let traces = obs.journal().last(1);
+        assert_eq!(traces.len(), 1, "the sampled batch left its trace");
+        assert_eq!(traces[0].find_attr("origin"), Some("microbatch"));
+        assert_eq!(
+            traces[0].find_attr("generation"),
+            Some(format!("{}", slot.generation_value()).as_str())
+        );
+        assert!(
+            traces[0].find_attr_deep("cache_hit").is_some(),
+            "per-query nodes carry the cache decision"
+        );
+    }
+
+    #[test]
     fn a_passed_deadline_returns_none_immediately() {
         let (_graph, slot) = serving_slot(2);
         let cache = Arc::new(PlanCache::new());
         let metrics = Arc::new(ServerMetrics::new());
         let (batcher, client) =
-            MicroBatcher::start(Duration::from_millis(1), slot, cache, metrics).unwrap();
+            MicroBatcher::start(Duration::from_millis(1), slot, cache, metrics, quiet_obs())
+                .unwrap();
         let query = Query::rlc(0, 5, vec![Label(1)]).unwrap();
         // A deadline already in the past: the submitter must not hang on
         // the window, it answers None (→ 504) right away.
@@ -319,9 +383,14 @@ mod tests {
         let (_graph, slot) = serving_slot(2);
         let cache = Arc::new(PlanCache::new());
         let metrics = Arc::new(ServerMetrics::new());
-        let (batcher, client) =
-            MicroBatcher::start(Duration::from_millis(50), slot, cache, Arc::clone(&metrics))
-                .unwrap();
+        let (batcher, client) = MicroBatcher::start(
+            Duration::from_millis(50),
+            slot,
+            cache,
+            Arc::clone(&metrics),
+            quiet_obs(),
+        )
+        .unwrap();
         // Park a query, then shut down while the batcher is (likely) mid
         // window: the answer must still arrive before shutdown returns.
         let waiter = {

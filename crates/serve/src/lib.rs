@@ -36,10 +36,16 @@
 //!   it in; in-flight batches finish on the epoch they snapshotted, and
 //!   every response carries the generation stamp it was answered under, so
 //!   clients (and the e2e tests) can prove no stale answer crossed a swap.
-//! * **Observability** ([`metrics`]): `GET /metrics` renders server
-//!   counters plus the cache's lock-free [`rlc_core::CacheStats`] snapshot.
+//! * **Observability** ([`metrics`], [`obs`]): `GET /metrics` serves a
+//!   `# TYPE`-annotated exposition — server counters, the cache's
+//!   lock-free [`rlc_core::CacheStats`] snapshot, index-footprint and
+//!   kernel-lane gauges, latency histograms with cumulative buckets, and
+//!   the engine-side span families from the global [`rlc_obs`] registry.
+//!   Sampled batches execute through the EXPLAIN path and their plan
+//!   traces are served as JSON by `GET /admin/explain?last=N`.
 //!
-//! See the README's *Serving* section for the wire protocol.
+//! See the README's *Serving* and *Observability* sections for the wire
+//! protocol and exposition grammar.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,12 +54,14 @@ pub mod batcher;
 pub mod http;
 pub mod listener;
 pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod swap;
 
 pub use batcher::{BatchAnswer, BatcherClient, MicroBatcher};
 pub use listener::Server;
 pub use metrics::{Counter, ServerMetrics};
+pub use obs::{Route, ServeObs};
 pub use pool::{PoolClient, WorkerPool};
 pub use swap::{Epoch, IndexSlot};
 
@@ -94,6 +102,15 @@ pub struct ServeConfig {
     /// Cap on the declared `Content-Length`, enforced via
     /// [`rlc_graph::checked_len`] before the body is believed.
     pub max_body_bytes: usize,
+    /// How many EXPLAIN trace trees the journal retains for
+    /// `GET /admin/explain` (oldest evicted past the cap; `0` retains
+    /// none).
+    pub explain_capacity: usize,
+    /// EXPLAIN sampling stride: every `explain_sample`-th batch executes
+    /// through the diagnosed path and its plan trace is journaled. `1`
+    /// traces every batch, `0` (the default) never — the serving fast
+    /// path is untouched unless tracing is asked for.
+    pub explain_sample: u64,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +124,8 @@ impl Default for ServeConfig {
             read_deadline: Duration::from_secs(2),
             max_header_bytes: 8 << 10,
             max_body_bytes: 4 << 20,
+            explain_capacity: 32,
+            explain_sample: 0,
         }
     }
 }

@@ -23,6 +23,7 @@
 use crate::batcher::{BatcherClient, MicroBatcher};
 use crate::http::{self, HttpError, HttpLimits, HttpRequest};
 use crate::metrics::{Counter, ServerMetrics};
+use crate::obs::{Route, ServeObs};
 use crate::pool::WorkerPool;
 use crate::swap::{Epoch, IndexSlot};
 use crate::ServeConfig;
@@ -41,6 +42,7 @@ struct Ctx {
     slot: Arc<IndexSlot>,
     cache: Arc<PlanCache>,
     metrics: Arc<ServerMetrics>,
+    obs: Arc<ServeObs>,
     batcher: BatcherClient,
 }
 
@@ -55,6 +57,7 @@ pub struct Server {
     slot: Arc<IndexSlot>,
     cache: Arc<PlanCache>,
     metrics: Arc<ServerMetrics>,
+    obs: Arc<ServeObs>,
 }
 
 impl Server {
@@ -77,24 +80,34 @@ impl Server {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(ServerMetrics::new());
+        let obs = Arc::new(ServeObs::new(
+            config.explain_capacity,
+            config.explain_sample,
+        ));
+        // A serving process wants the engine-side span histograms and
+        // stitch counters live in `GET /metrics`. Observation never
+        // changes answers (the engine differential runs with this on).
+        rlc_obs::set_global_enabled(true);
         let (batcher, batcher_client) = MicroBatcher::start(
             config.batch_window,
             Arc::clone(&slot),
             Arc::clone(&cache),
             Arc::clone(&metrics),
+            Arc::clone(&obs),
         )?;
         let ctx = Arc::new(Ctx {
             config,
             slot: Arc::clone(&slot),
             cache: Arc::clone(&cache),
             metrics: Arc::clone(&metrics),
+            obs: Arc::clone(&obs),
             batcher: batcher_client,
         });
         let (pool, pool_client) = WorkerPool::start(
             config.threads,
             config.queue_depth,
             Arc::clone(&metrics),
-            move |conn| handle_connection(&ctx, conn),
+            move |conn, enqueued| handle_connection(&ctx, conn, enqueued),
         )?;
         let stop_flag = Arc::new(AtomicBool::new(false));
         let listener_thread = {
@@ -129,6 +142,7 @@ impl Server {
             slot,
             cache,
             metrics,
+            obs,
         })
     }
 
@@ -145,6 +159,11 @@ impl Server {
     /// The shared plan cache.
     pub fn cache(&self) -> &Arc<PlanCache> {
         &self.cache
+    }
+
+    /// The server's observability block (histograms + EXPLAIN journal).
+    pub fn obs(&self) -> &Arc<ServeObs> {
+        &self.obs
     }
 
     /// The epoch slot (for out-of-band swaps in tests and benches).
@@ -212,7 +231,8 @@ fn error_body(message: &str, generation: Option<u64>) -> String {
     render(Value::Map(fields))
 }
 
-/// Writes a JSON response, counting it under `counter`.
+/// Writes a JSON response, counting it under `counter` and recording the
+/// serialize-and-write span.
 fn respond_json(
     ctx: &Ctx,
     stream: &mut TcpStream,
@@ -222,12 +242,35 @@ fn respond_json(
     body: &str,
 ) {
     ctx.metrics.bump(counter);
+    let write_started = Instant::now();
     let _ = http::write_response(stream, status, reason, "application/json", body.as_bytes());
+    ctx.obs.record_write(write_started.elapsed());
+}
+
+/// Splits a request target into its path and query string (empty if none).
+fn split_path(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    }
+}
+
+/// First value of `key` in an `a=1&b=2` query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 /// One connection, end to end: read within limits, route, answer, close.
-fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
-    let deadline = Instant::now() + ctx.config.request_deadline;
+/// `enqueued` is when the listener queued the connection — the gap to now
+/// is the admission queue wait.
+fn handle_connection(ctx: &Ctx, mut stream: TcpStream, enqueued: Instant) {
+    let started = Instant::now();
+    ctx.obs
+        .record_queue_wait(started.saturating_duration_since(enqueued));
+    let deadline = started + ctx.config.request_deadline;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(ctx.config.read_deadline));
     let limits = HttpLimits {
@@ -236,7 +279,10 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
         read_deadline: ctx.config.read_deadline,
     };
     let request = match http::read_request(&mut stream, &limits) {
-        Ok(request) => request,
+        Ok(request) => {
+            ctx.obs.record_parse(started.elapsed());
+            request
+        }
         Err(HttpError::Timeout) => {
             ctx.metrics.bump(Counter::Timeout408);
             http::write_static_response(&mut stream, http::REQUEST_TIMEOUT);
@@ -265,7 +311,14 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
         }
         Err(HttpError::Disconnected) => return,
     };
-    match (request.method.as_str(), request.path.as_str()) {
+    let (path, query_string) = split_path(request.path.as_str());
+    let route = match path {
+        "/query" => Route::Query,
+        "/batch" => Route::Batch,
+        p if p.starts_with("/admin/") => Route::Admin,
+        _ => Route::Other,
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             let body = render(Value::Map(vec![
                 ("ok".to_owned(), Value::Bool(true)),
@@ -277,16 +330,21 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
             respond_json(ctx, &mut stream, 200, "OK", Counter::Ok200, &body);
         }
         ("GET", "/metrics") => {
-            let text = ctx
-                .metrics
-                .render(ctx.cache.counters(), ctx.slot.generation_value());
+            let epoch = ctx.slot.snapshot();
+            let text = ctx.obs.render_metrics(
+                &ctx.metrics,
+                ctx.cache.counters(),
+                ctx.slot.generation_value(),
+                &epoch,
+            );
             ctx.metrics.bump(Counter::Ok200);
             let _ = http::write_response(&mut stream, 200, "OK", "text/plain", text.as_bytes());
         }
+        ("GET", "/admin/explain") => handle_explain(ctx, &mut stream, query_string),
         ("POST", "/query") => handle_query(ctx, &mut stream, &request, deadline),
         ("POST", "/batch") => handle_batch(ctx, &mut stream, &request, deadline),
         ("POST", "/admin/reload") => handle_reload(ctx, &mut stream, &request),
-        (_, "/healthz" | "/metrics" | "/query" | "/batch" | "/admin/reload") => {
+        (_, "/healthz" | "/metrics" | "/query" | "/batch" | "/admin/reload" | "/admin/explain") => {
             respond_json(
                 ctx,
                 &mut stream,
@@ -307,6 +365,34 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
             );
         }
     }
+    ctx.obs.record_request(route, started.elapsed());
+}
+
+/// `GET /admin/explain?last=N`: the newest `N` journaled EXPLAIN traces
+/// (`N` defaults to the journal capacity).
+fn handle_explain(ctx: &Ctx, stream: &mut TcpStream, query_string: &str) {
+    let last = match query_param(query_string, "last") {
+        None => ctx.config.explain_capacity.max(1),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                respond_json(
+                    ctx,
+                    stream,
+                    400,
+                    "Bad Request",
+                    Counter::BadRequest400,
+                    &error_body(
+                        &format!("last must be an unsigned integer, got {raw:?}"),
+                        None,
+                    ),
+                );
+                return;
+            }
+        },
+    };
+    let body = ctx.obs.explain_body(last);
+    respond_json(ctx, stream, 200, "OK", Counter::Ok200, &body);
 }
 
 /// Parses a JSON body as UTF-8 text.
@@ -386,8 +472,22 @@ fn handle_batch(ctx: &Ctx, stream: &mut TcpStream, request: &HttpRequest, deadli
     }
     let epoch = ctx.slot.snapshot();
     let generation = epoch.generation().value();
-    let answers = epoch
-        .with_engine(|engine| BatchPlan::new(&queries).execute_cached(engine, ctx.cache.as_ref()));
+    let execute_started = Instant::now();
+    let answers = if ctx.obs.should_explain() {
+        // The sampled EXPLAIN path: identical answers plus a plan trace
+        // for the journal (the differential harness proves the identity).
+        let (answers, mut trace) = epoch.with_engine(|engine| {
+            BatchPlan::new(&queries).execute_explained(engine, Some(ctx.cache.as_ref()))
+        });
+        trace.attr("origin", "batch").attr("generation", generation);
+        ctx.obs.push_trace(trace);
+        answers
+    } else {
+        epoch.with_engine(|engine| {
+            BatchPlan::new(&queries).execute_cached(engine, ctx.cache.as_ref())
+        })
+    };
+    ctx.obs.record_execute(execute_started.elapsed());
     let rendered: Vec<Value> = answers
         .into_iter()
         .map(|answer| match answer {

@@ -9,7 +9,7 @@
 //! growth) absorbs overload.
 
 use rlc_core::CacheStats;
-use std::fmt::Write as _;
+use rlc_obs::expo;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Names of the monotonic server counters (the queue gauges are managed by
@@ -133,10 +133,16 @@ impl ServerMetrics {
     }
 
     /// Records a job leaving the queue (picked up by a worker, or bounced
-    /// by admission control).
+    /// by admission control). Saturates at zero: a spurious extra leave
+    /// (a bug, or a restart-raced counter) must read as an empty queue,
+    /// not wrap the gauge to `u64::MAX` and poison every later sample.
     pub fn queue_leave(&self) {
-        // rlc-analyze: allow(atomic-pairing) — observational gauge decrement
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let _ = self
+            .queue_depth
+            // rlc-analyze: allow(atomic-pairing) — observational gauge decrement, saturating CAS loop
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                Some(depth.saturating_sub(1))
+            });
     }
 
     /// Jobs currently admitted and unfinished.
@@ -151,25 +157,44 @@ impl ServerMetrics {
         self.queue_depth_max.load(Ordering::Relaxed)
     }
 
-    /// Renders the `GET /metrics` text format: one `name value` line per
-    /// counter, then the queue gauges, the serving generation, and the
-    /// plan cache's lock-free counter snapshot.
-    pub fn render(&self, cache: CacheStats, generation: u64) -> String {
-        let mut out = String::with_capacity(1024);
+    /// Appends the server-counter and plan-cache families to an exposition
+    /// document: a `# TYPE` declaration per family followed by its sample.
+    /// The full `GET /metrics` document — these families plus the index
+    /// gauges and latency histograms — is assembled by
+    /// [`crate::obs::ServeObs::render_metrics`].
+    pub fn write_exposition(&self, out: &mut String, cache: CacheStats, generation: u64) {
         for (counter, name) in ALL {
-            let _ = writeln!(out, "{name} {}", self.get(counter));
+            expo::write_type(out, name, "counter");
+            expo::write_sample(out, name, &[], self.get(counter));
         }
-        let _ = writeln!(out, "rlc_serve_queue_depth {}", self.queue_depth());
-        let _ = writeln!(out, "rlc_serve_queue_depth_max {}", self.queue_depth_max());
-        let _ = writeln!(out, "rlc_serve_generation {generation}");
-        let _ = writeln!(out, "plan_cache_hits_total {}", cache.hits);
-        let _ = writeln!(out, "plan_cache_misses_total {}", cache.misses);
-        let _ = writeln!(out, "plan_cache_evictions_total {}", cache.evictions);
-        let _ = writeln!(out, "plan_cache_stale_drops_total {}", cache.stale_drops);
-        let _ = writeln!(out, "plan_cache_coalesced_total {}", cache.coalesced);
-        let _ = writeln!(out, "plan_cache_entries {}", cache.entries);
-        let _ = writeln!(out, "plan_cache_bytes {}", cache.bytes);
-        out
+        let gauges = [
+            ("rlc_serve_queue_depth", self.queue_depth()),
+            ("rlc_serve_queue_depth_max", self.queue_depth_max()),
+            ("rlc_serve_generation", generation),
+        ];
+        for (name, value) in gauges {
+            expo::write_type(out, name, "gauge");
+            expo::write_sample(out, name, &[], value);
+        }
+        let cache_counters = [
+            ("plan_cache_hits_total", cache.hits),
+            ("plan_cache_misses_total", cache.misses),
+            ("plan_cache_evictions_total", cache.evictions),
+            ("plan_cache_stale_drops_total", cache.stale_drops),
+            ("plan_cache_coalesced_total", cache.coalesced),
+        ];
+        for (name, value) in cache_counters {
+            expo::write_type(out, name, "counter");
+            expo::write_sample(out, name, &[], value);
+        }
+        let cache_gauges = [
+            ("plan_cache_entries", cache.entries),
+            ("plan_cache_bytes", cache.bytes),
+        ];
+        for (name, value) in cache_gauges {
+            expo::write_type(out, name, "gauge");
+            expo::write_sample(out, name, &[], value);
+        }
     }
 }
 
@@ -203,20 +228,37 @@ mod tests {
         assert_eq!(metrics.queue_depth_max(), 3, "the mark is sticky");
     }
 
+    /// Regression: an unpaired `queue_leave` (a bounce double-released, a
+    /// bug in a future caller) used to wrap the depth gauge to `u64::MAX`,
+    /// after which every `/metrics` scrape reported an 18-quintillion-deep
+    /// queue forever. The gauge now saturates at zero.
     #[test]
-    fn render_emits_one_line_per_series() {
+    fn queue_leave_saturates_at_zero_instead_of_wrapping() {
+        let metrics = ServerMetrics::new();
+        metrics.queue_leave();
+        assert_eq!(metrics.queue_depth(), 0, "no underflow wrap");
+        metrics.queue_enter();
+        metrics.queue_leave();
+        metrics.queue_leave();
+        metrics.queue_leave();
+        assert_eq!(metrics.queue_depth(), 0);
+        metrics.queue_enter();
+        assert_eq!(metrics.queue_depth(), 1, "the gauge still counts up");
+    }
+
+    #[test]
+    fn exposition_declares_every_family_exactly_once() {
         let metrics = ServerMetrics::new();
         metrics.bump(Counter::Accepted);
-        let text = metrics.render(CacheStats::default(), 42);
-        assert!(text.contains("rlc_serve_accepted_total 1\n"));
-        assert!(text.contains("rlc_serve_generation 42\n"));
-        assert!(text.contains("plan_cache_hits_total 0\n"));
-        assert_eq!(text.lines().count(), ALL.len() + 3 + 7);
-        for line in text.lines() {
-            let mut parts = line.split(' ');
-            assert!(parts.next().is_some_and(|n| !n.is_empty()));
-            assert!(parts.next().is_some_and(|v| v.parse::<u64>().is_ok()));
-            assert!(parts.next().is_none());
-        }
+        let mut text = String::new();
+        metrics.write_exposition(&mut text, CacheStats::default(), 42);
+        let expo = rlc_obs::expo::parse(&text).expect("counter families validate");
+        assert_eq!(expo.value("rlc_serve_accepted_total"), Some(1.0));
+        assert_eq!(expo.value("rlc_serve_generation"), Some(42.0));
+        assert_eq!(expo.value("plan_cache_hits_total"), Some(0.0));
+        // One family per counter, the three server gauges, and the seven
+        // plan-cache series — all declared, none twice (parse enforces it).
+        assert_eq!(expo.families.len(), ALL.len() + 3 + 7);
+        assert_eq!(expo.samples.len(), expo.families.len());
     }
 }

@@ -20,6 +20,7 @@ use std::net::TcpStream;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The worker threads of one [`crate::Server`].
 pub struct WorkerPool {
@@ -30,23 +31,25 @@ pub struct WorkerPool {
 /// listener). Dropping every client disconnects the channel and lets the
 /// workers drain and exit.
 pub struct PoolClient {
-    sender: SyncSender<TcpStream>,
+    sender: SyncSender<(TcpStream, Instant)>,
     metrics: Arc<ServerMetrics>,
 }
 
 impl WorkerPool {
     /// Spawns `threads` workers (at least one) draining a queue of depth
-    /// `queue_depth`; each admitted connection is handled by `handler`.
+    /// `queue_depth`; each admitted connection is handled by `handler`,
+    /// which also receives the instant the connection was enqueued (so
+    /// the handler can account the queue wait).
     /// Returns the pool (for joining) and the submitting client.
     pub fn start(
         threads: usize,
         queue_depth: usize,
         metrics: Arc<ServerMetrics>,
-        handler: impl Fn(TcpStream) + Send + Sync + 'static,
+        handler: impl Fn(TcpStream, Instant) + Send + Sync + 'static,
     ) -> io::Result<(WorkerPool, PoolClient)> {
-        let (sender, receiver) = mpsc::sync_channel::<TcpStream>(queue_depth.max(1));
+        let (sender, receiver) = mpsc::sync_channel::<(TcpStream, Instant)>(queue_depth.max(1));
         let receiver = Arc::new(Mutex::new(receiver));
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(handler);
+        let handler: Arc<dyn Fn(TcpStream, Instant) + Send + Sync> = Arc::new(handler);
         let workers = (0..threads.max(1))
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
@@ -71,9 +74,9 @@ impl WorkerPool {
 
 /// One worker: pull, account, handle, repeat until disconnect.
 fn worker_loop(
-    receiver: &Mutex<Receiver<TcpStream>>,
+    receiver: &Mutex<Receiver<(TcpStream, Instant)>>,
     metrics: &ServerMetrics,
-    handler: &(dyn Fn(TcpStream) + Send + Sync),
+    handler: &(dyn Fn(TcpStream, Instant) + Send + Sync),
 ) {
     loop {
         // The receiver lock is held only for the blocking `recv` — `std`'s
@@ -81,9 +84,9 @@ fn worker_loop(
         // handling runs unlocked.
         let next = lock_recover(receiver).recv();
         match next {
-            Ok(conn) => {
+            Ok((conn, enqueued)) => {
                 metrics.queue_leave();
-                handler(conn);
+                handler(conn, enqueued);
             }
             Err(_) => break,
         }
@@ -98,9 +101,9 @@ impl PoolClient {
     /// `queue_depth_max` upper-bounds true queue occupancy.
     pub fn try_submit(&self, conn: TcpStream) -> Result<(), TcpStream> {
         self.metrics.queue_enter();
-        match self.sender.try_send(conn) {
+        match self.sender.try_send((conn, Instant::now())) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(conn)) | Err(TrySendError::Disconnected(conn)) => {
+            Err(TrySendError::Full((conn, _))) | Err(TrySendError::Disconnected((conn, _))) => {
                 self.metrics.queue_leave();
                 Err(conn)
             }
@@ -136,7 +139,7 @@ mod tests {
         let (pool, client) = {
             let handled = Arc::clone(&handled);
             let gate = Arc::clone(&gate);
-            WorkerPool::start(1, 2, Arc::clone(&metrics), move |conn| {
+            WorkerPool::start(1, 2, Arc::clone(&metrics), move |conn, _enqueued| {
                 drop(lock_recover(&gate));
                 handled.fetch_add(1, Ordering::SeqCst);
                 drop(conn);
@@ -170,7 +173,7 @@ mod tests {
         let handled = Arc::new(AtomicU64::new(0));
         let (pool, client) = {
             let handled = Arc::clone(&handled);
-            WorkerPool::start(2, 8, Arc::clone(&metrics), move |conn| {
+            WorkerPool::start(2, 8, Arc::clone(&metrics), move |conn, _enqueued| {
                 std::thread::sleep(Duration::from_millis(1));
                 handled.fetch_add(1, Ordering::SeqCst);
                 drop(conn);

@@ -84,6 +84,33 @@ impl Epoch {
         }
     }
 
+    /// Short name of the resident index kind (`"rlc"` or `"sharded"`),
+    /// exposed as the `kind` label of the `/metrics` index gauges.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Epoch::Rlc { .. } => "rlc",
+            Epoch::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// Resident bytes of the serving index (for sharded epochs, summed
+    /// across shards).
+    pub fn index_bytes(&self) -> usize {
+        match self {
+            Epoch::Rlc { index, .. } => index.memory_bytes(),
+            Epoch::Sharded { index, .. } => index.memory_bytes(),
+        }
+    }
+
+    /// Resident bytes of the CSR projection, where the index keeps one
+    /// (the sharded index has no combined CSR to price).
+    pub fn csr_index_bytes(&self) -> Option<usize> {
+        match self {
+            Epoch::Rlc { index, .. } => Some(index.csr_memory_bytes()),
+            Epoch::Sharded { .. } => None,
+        }
+    }
+
     /// Runs `f` with an engine borrowing this epoch. Engine construction is
     /// a couple of pointer copies, so building one per batch is free; the
     /// borrow keeps the epoch alive for exactly the evaluation.

@@ -50,7 +50,57 @@ use rlc_core::engine::{
 use rlc_core::kernel::with_kernel_scratch;
 use rlc_core::{evaluate_blocks_with, prefix_frontier, Constraint, Query, QueryError};
 use rlc_graph::{Label, LabeledGraph, VertexId};
+use rlc_obs::TraceNode;
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Work counters of one stitched search (or one chain of them): what the
+/// EXPLAIN path reports per query, and what the engine aggregates into the
+/// global observability registry (`rlc_stitch_*_total`) when it is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StitchCounts {
+    /// Whole-repetition intra-shard hops taken (closure vertices reached
+    /// through a shard index's target set instead of edge walking).
+    pub hops: u64,
+    /// Edge-wise transitions that crossed a shard boundary (cut edges, at
+    /// any offset within the block).
+    pub cut_crossings: u64,
+    /// [`crate::boundary::ReachExpander`] invocations (one per first visit
+    /// of a repetition-boundary vertex in a shard with the repeat).
+    pub expander_calls: u64,
+    /// Product states `(vertex, offset)` popped from the search frontier.
+    pub expansions: u64,
+}
+
+impl StitchCounts {
+    fn absorb(&mut self, other: &StitchCounts) {
+        self.hops += other.hops;
+        self.cut_crossings += other.cut_crossings;
+        self.expander_calls += other.expander_calls;
+        self.expansions += other.expansions;
+    }
+}
+
+/// Adds one search's tally to the global `rlc_stitch_*_total` counters.
+/// Called only when the global registry is enabled; counter handles are
+/// resolved once per process.
+fn flush_stitch_counts(tally: &StitchCounts) {
+    static SITE: OnceLock<[Arc<rlc_obs::Counter>; 4]> = OnceLock::new();
+    let [hops, crossings, calls, expansions] = SITE.get_or_init(|| {
+        let g = rlc_obs::global();
+        [
+            g.counter("rlc_stitch_hops_total"),
+            g.counter("rlc_stitch_cut_crossings_total"),
+            g.counter("rlc_stitch_expander_calls_total"),
+            g.counter("rlc_stitch_expansions_total"),
+        ]
+    });
+    hops.add(tally.hops);
+    crossings.add(tally.cut_crossings);
+    calls.add(tally.expander_calls);
+    expansions.add(tally.expansions);
+}
 
 /// Prepared artifact of [`ShardedEngine`]: the final block's minimum repeat
 /// resolved against **every** shard's catalog (a shard that never recorded
@@ -226,13 +276,21 @@ impl<'g> ShardedEngine<'g> {
     /// [`rlc_core::kernel::FrontierSet`]s from the thread-local
     /// kernel-scratch pool: the stitcher allocates nothing per query in the
     /// steady state beyond the returned vector and the per-shard hub memo.
+    ///
+    /// When `counts` is given (the EXPLAIN path) — or the global
+    /// observability registry is enabled — the search tallies its work into
+    /// a [`StitchCounts`]; counting never changes which states are explored,
+    /// so observed and unobserved searches return identical closures.
     fn stitched_closure(
         &self,
         sources: &[VertexId],
         block: &[Label],
         last_mrs: Option<&[Option<MrId>]>,
         stop_at: Option<VertexId>,
+        counts: Option<&mut StitchCounts>,
     ) -> (Vec<VertexId>, bool) {
+        let counting = counts.is_some() || rlc_obs::global_enabled();
+        let mut tally = StitchCounts::default();
         let klen = block.len();
         let resolved: Vec<Option<MrId>> = match last_mrs {
             Some(mrs) => mrs.to_vec(),
@@ -243,7 +301,7 @@ impl<'g> ShardedEngine<'g> {
         // Per-shard hub-expansion memo (local ids): a hub's inverted list
         // is walked once per search, bounding total hop work by index size.
         let mut expanded: Vec<HashSet<VertexId>> = vec![HashSet::new(); self.index.shard_count()];
-        with_kernel_scratch(|scratch| {
+        let result = with_kernel_scratch(|scratch| {
             // `visited` ranges over `(vertex, offset-within-block)` product
             // slots; `boundary` accumulates closure vertices; `hopped`
             // tracks vertices whose whole-repetition hop has been taken
@@ -262,12 +320,14 @@ impl<'g> ShardedEngine<'g> {
             let mut found = false;
             'search: while let Some((v, offset)) = scratch.queue.pop_front() {
                 let offset = offset as usize;
+                tally.expansions += 1;
                 if offset == 0 && !scratch.hopped.test_and_set(v as usize) {
                     // Intra-shard hop: every vertex the shard's index proves
                     // reachable from v under block+ joins the closure at a
                     // repetition boundary.
                     let (shard_id, local) = self.index.locate(v);
                     if let Some(mr) = resolved[shard_id] {
+                        tally.expander_calls += 1;
                         let shard = self.index.shard(shard_id);
                         shard.expander().for_each_target(
                             shard.index(),
@@ -284,6 +344,7 @@ impl<'g> ShardedEngine<'g> {
                                     // Hop targets are already shard-complete:
                                     // mark them hopped so only their edge-wise
                                     // expansion (toward cut edges) runs.
+                                    tally.hops += 1;
                                     scratch.hopped.test_and_set(w as usize);
                                     scratch.queue.push_back((w, 0));
                                 }
@@ -302,15 +363,22 @@ impl<'g> ShardedEngine<'g> {
                     if label != expected {
                         continue;
                     }
+                    // The shard comparison is needed by the single-label skip
+                    // below and by the cut-crossing tally; anyone else skips
+                    // the two partition lookups entirely.
+                    let same_shard = (counting || klen == 1).then(|| {
+                        self.index.partition().shard_of(w) == self.index.partition().shard_of(v)
+                    });
+                    if counting && same_shard == Some(false) {
+                        tally.cut_crossings += 1;
+                    }
                     // Single-label blocks: a matching intra-shard edge IS a
                     // whole repetition, so the hop already covered its target
                     // (index completeness also guarantees a shard with any
                     // matching intra-shard edge has the repeat in its catalog);
                     // only cut edges need walking, which is where the stitched
                     // search genuinely beats a full-graph product BFS.
-                    if klen == 1
-                        && self.index.partition().shard_of(w) == self.index.partition().shard_of(v)
-                    {
+                    if klen == 1 && same_shard == Some(true) {
                         continue;
                     }
                     let next = (offset + 1) % klen;
@@ -336,7 +404,16 @@ impl<'g> ShardedEngine<'g> {
                 .boundary
                 .for_each_set(|v| closure.push(v as VertexId));
             (closure, found)
-        })
+        });
+        if counting {
+            if let Some(counts) = counts {
+                counts.absorb(&tally);
+            }
+            if rlc_obs::global_enabled() {
+                flush_stitch_counts(&tally);
+            }
+        }
+        result
     }
 
     /// Evaluates a constraint with per-shard resolutions in hand: local
@@ -352,9 +429,25 @@ impl<'g> ShardedEngine<'g> {
         if let Some(answer) = self.local_fast_path(source, target, blocks, last_mrs) {
             return answer;
         }
+        self.evaluate_stitched(source, target, blocks, last_mrs, None)
+    }
+
+    /// The stitched block chain after the local fast path declined: prefix
+    /// closures feed the final block's early-exit search. Shared verbatim
+    /// by the throughput path (`counts: None`) and the EXPLAIN path, so an
+    /// explained answer is structurally the same computation.
+    fn evaluate_stitched(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        blocks: &[Vec<Label>],
+        last_mrs: &[Option<MrId>],
+        mut counts: Option<&mut StitchCounts>,
+    ) -> bool {
         let mut frontier: Vec<VertexId> = vec![source];
         for block in &blocks[..blocks.len() - 1] {
-            let (closure, _) = self.stitched_closure(&frontier, block, None, None);
+            let (closure, _) =
+                self.stitched_closure(&frontier, block, None, None, counts.as_deref_mut());
             if closure.is_empty() {
                 return false;
             }
@@ -366,6 +459,7 @@ impl<'g> ShardedEngine<'g> {
             blocks.last().expect("constraints have at least a block"),
             Some(last_mrs),
             Some(target),
+            counts,
         );
         found
     }
@@ -407,6 +501,66 @@ impl ReachabilityEngine for ShardedEngine<'_> {
         self.with_resolved(prepared, |last_mrs| {
             self.evaluate_resolved(source, target, prepared.constraint().blocks(), last_mrs)
         })
+    }
+
+    /// The sharded EXPLAIN: the same `local fast path → stitched chain`
+    /// decision as [`ShardedEngine::evaluate_prepared`] (identical answers
+    /// by construction — both run [`ShardedEngine::evaluate_stitched`]),
+    /// with the routing recorded on the trace node: source/target shards,
+    /// whether the local shard settled the pair (`route = "local"`) or the
+    /// stitcher ran (`route = "stitched"`, with its [`StitchCounts`] and
+    /// wall-clock).
+    fn explain_prepared(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        prepared: &Prepared,
+    ) -> (Result<bool, QueryError>, TraceNode) {
+        let started = Instant::now();
+        let mut node = TraceNode::new("query");
+        node.attr("engine", self.name())
+            .attr("source", source)
+            .attr("target", target);
+        if let Err(error) = check_vertex_range(source, target, self.graph.vertex_count()) {
+            node.attr("error", &error);
+            return (Err(error), node);
+        }
+        let (source_shard, _) = self.index.locate(source);
+        let (target_shard, _) = self.index.locate(target);
+        node.attr("source_shard", source_shard)
+            .attr("target_shard", target_shard)
+            .attr("shard_count", self.index.shard_count());
+        let answer = self.with_resolved(prepared, |last_mrs| {
+            let blocks = prepared.constraint().blocks();
+            let local_started = Instant::now();
+            let local = self.local_fast_path(source, target, blocks, last_mrs);
+            node.attr("local_ns", local_started.elapsed().as_nanos());
+            match local {
+                Some(answer) => {
+                    node.attr("route", "local");
+                    answer
+                }
+                None => {
+                    node.attr("route", "stitched");
+                    let mut counts = StitchCounts::default();
+                    let stitch_started = Instant::now();
+                    let answer =
+                        self.evaluate_stitched(source, target, blocks, last_mrs, Some(&mut counts));
+                    node.attr("stitch_ns", stitch_started.elapsed().as_nanos())
+                        .attr("hops", counts.hops)
+                        .attr("cut_crossings", counts.cut_crossings)
+                        .attr("expander_calls", counts.expander_calls)
+                        .attr("expansions", counts.expansions);
+                    answer
+                }
+            }
+        });
+        node.attr("evaluate_ns", started.elapsed().as_nanos());
+        match &answer {
+            Ok(reachable) => node.attr("answer", reachable),
+            Err(error) => node.attr("error", error),
+        };
+        (answer, node)
     }
 
     fn evaluate(&self, query: &Query) -> Result<bool, QueryError> {
@@ -463,7 +617,7 @@ impl ReachabilityEngine for ShardedEngine<'_> {
                 let mut frontier: Vec<VertexId> = vec![*source];
                 let mut dead = false;
                 for block in &blocks[..blocks.len() - 1] {
-                    let (closure, _) = self.stitched_closure(&frontier, block, None, None);
+                    let (closure, _) = self.stitched_closure(&frontier, block, None, None, None);
                     if closure.is_empty() {
                         dead = true;
                         break;
@@ -481,11 +635,12 @@ impl ReachabilityEngine for ShardedEngine<'_> {
                         last_block,
                         Some(last_mrs),
                         Some(pairs[only].1),
+                        None,
                     );
                     answers[only] = Ok(found);
                 } else {
                     let (closure, _) =
-                        self.stitched_closure(&frontier, last_block, Some(last_mrs), None);
+                        self.stitched_closure(&frontier, last_block, Some(last_mrs), None, None);
                     for &i in &unresolved {
                         // The closure is in ascending vertex order.
                         answers[i] = Ok(closure.binary_search(&pairs[i].1).is_ok());

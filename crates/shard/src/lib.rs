@@ -54,5 +54,5 @@ pub mod index;
 mod persist;
 
 pub use boundary::{PortalSet, ReachExpander};
-pub use engine::ShardedEngine;
+pub use engine::{ShardedEngine, StitchCounts};
 pub use index::{GraphShard, ShardBuildConfig, ShardStats, ShardedIndex, ShardedStats};

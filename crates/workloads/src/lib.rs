@@ -22,4 +22,6 @@ pub mod runner;
 
 pub use datasets::{table3_catalog, DatasetSpec, GeneratorKind};
 pub use querygen::{generate_query_set, QueryGenConfig, QuerySet};
-pub use runner::{format_bytes, format_duration, time, Table};
+pub use runner::{
+    capture_tables, drain_tables, format_bytes, format_duration, time, Table, TableSnapshot,
+};

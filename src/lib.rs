@@ -15,7 +15,10 @@
 //! * [`workloads`] — query-set generation and the Table III dataset catalog;
 //! * [`engines`] — the simulated graph engines used as Table V comparators;
 //! * [`serve`] — the long-running HTTP query service: admission control,
-//!   micro-batching through the shared `PlanCache`, and hot index swap.
+//!   micro-batching through the shared `PlanCache`, and hot index swap;
+//! * [`obs`] — the observability substrate: the lock-free metrics registry,
+//!   the `span!` timing macro, query EXPLAIN trace trees, and the
+//!   exposition-format renderer/parser behind `GET /metrics`.
 //!
 //! Every evaluator implements `ReachabilityEngine`, so the same code drives
 //! the index, the online baselines and the simulated engines. The API is a
@@ -76,6 +79,9 @@ pub use rlc_engine_sim as engines;
 
 /// The HTTP query service (re-export of [`rlc_serve`]).
 pub use rlc_serve as serve;
+
+/// Metrics, spans, and query EXPLAIN (re-export of [`rlc_obs`]).
+pub use rlc_obs as obs;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {

@@ -453,6 +453,128 @@ fn sharded_engines_match_unsharded_answers_and_errors() {
 }
 
 #[test]
+fn ten_engine_differential_holds_with_tracing_enabled() {
+    // The PR 10 differential: observation must never change answers. With
+    // the global metrics registry *enabled* — every span site live, stitch
+    // counters flushing, phase histograms recording — the explained
+    // evaluation paths (`BatchPlan::execute_explained`, per-query
+    // `explain_prepared`) must return exactly the plain results for all ten
+    // engines: same answers AND same errors, cached and uncached. And the
+    // traces must be real, not decorative: the batch trace carries one child
+    // per query with the cache-hit flag, and the sharded engine's per-query
+    // trace names its route.
+    let graph = erdos_renyi(&SyntheticConfig::new(60, 3.0, 3, 63));
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let etc = EtcIndex::build(&graph, &EtcBuildConfig::new(2));
+    let sharded = build_sharded(&graph);
+    let engines = full_roster(&graph, &index, &etc, &sharded);
+    assert_eq!(
+        engines.len(),
+        10,
+        "the differential roster must be complete"
+    );
+
+    let queries = mixed_batch(&graph);
+    let plan = BatchPlan::new(&queries);
+    let cache = PlanCache::new();
+
+    let was_enabled = rlc::obs::global_enabled();
+    rlc::obs::set_global_enabled(true);
+    for engine in &engines {
+        let expected = plan.execute(engine.as_ref());
+
+        // Explained, uncached: identical result vector, one trace child per
+        // query, every child stamped with its cache disposition.
+        let (explained, trace) = plan.execute_explained(engine.as_ref(), None);
+        assert_eq!(
+            explained,
+            expected,
+            "{}: explained batch != plain batch",
+            engine.name()
+        );
+        assert_eq!(trace.name(), "batch");
+        assert_eq!(
+            trace.children().len(),
+            queries.len(),
+            "{}: one trace child per query",
+            engine.name()
+        );
+        assert!(
+            trace
+                .children()
+                .iter()
+                .all(|child| child.find_attr("group").is_some()),
+            "{}: every per-query trace names its constraint group",
+            engine.name()
+        );
+
+        // Explained, cached, twice: same answers both rounds, every child
+        // stamped with its cache disposition, and the second round's trace
+        // reports hits.
+        for round in 0..2 {
+            let (cached, trace) = plan.execute_explained(engine.as_ref(), Some(&cache));
+            assert_eq!(
+                cached,
+                expected,
+                "{}: explained cached round {round} != plain batch",
+                engine.name()
+            );
+            assert!(
+                trace
+                    .children()
+                    .iter()
+                    .all(|child| child.find_attr("cache_hit").is_some()),
+                "{}: every cached per-query trace carries the cache-hit flag",
+                engine.name()
+            );
+            if round > 0 {
+                assert!(
+                    trace
+                        .children()
+                        .iter()
+                        .any(|child| child.find_attr("cache_hit") == Some("true")),
+                    "{}: the repeat round must trace cache hits",
+                    engine.name()
+                );
+            }
+        }
+
+        // Per-query explained evaluation matches one-shot, errors included.
+        for query in &queries {
+            let one_shot = engine.evaluate(query);
+            let explained = engine
+                .prepare(query.constraint())
+                .map(|p| engine.explain_prepared(query.source, query.target, &p).0)
+                .unwrap_or_else(Err);
+            assert_eq!(
+                explained,
+                one_shot,
+                "{}: explain_prepared != evaluate on {query:?}",
+                engine.name()
+            );
+        }
+    }
+
+    // The sharded engine's trace names its route, and a two-shard hash
+    // split genuinely exercises both routes.
+    let shard_engine = ShardedEngine::new(&graph, &sharded);
+    let mut routes_seen = std::collections::BTreeSet::new();
+    for query in &queries {
+        if let Ok(prepared) = shard_engine.prepare(query.constraint()) {
+            let (_, trace) = shard_engine.explain_prepared(query.source, query.target, &prepared);
+            if let Some(route) = trace.find_attr_deep("route") {
+                routes_seen.insert(route.to_owned());
+            }
+        }
+    }
+    assert!(
+        routes_seen.contains("local") && routes_seen.contains("stitched"),
+        "the mixed batch must exercise both shard routes, saw {routes_seen:?}"
+    );
+    rlc::obs::set_global_enabled(was_enabled);
+}
+
+#[test]
 fn batch_answers_match_the_verified_workload() {
     // Batch evaluation against ground truth (not just self-consistency).
     let graph = erdos_renyi(&SyntheticConfig::new(200, 3.0, 4, 21));

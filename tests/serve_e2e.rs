@@ -348,6 +348,276 @@ fn hot_reload_under_concurrent_load_drops_and_stales_nothing() {
     server.shutdown();
 }
 
+/// Minimal structural JSON validator — objects, arrays, strings, numbers,
+/// literals — enough to prove a served body is well-formed JSON without a
+/// JSON dependency in the test (the client must share no code with the
+/// server's renderer).
+fn json_is_well_formed(text: &str) -> bool {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn string(b: &[u8], i: usize) -> Option<usize> {
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        let mut i = i + 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i + 1),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+    fn value(b: &[u8], i: usize) -> Option<usize> {
+        let i = skip_ws(b, i);
+        match b.get(i)? {
+            b'{' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return None;
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b'}' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b']' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => string(b, i),
+            b't' => b[i..].starts_with(b"true").then(|| i + 4),
+            b'f' => b[i..].starts_with(b"false").then(|| i + 5),
+            b'n' => b[i..].starts_with(b"null").then(|| i + 4),
+            _ => {
+                let start = i;
+                let mut i = i;
+                while i < b.len() && matches!(b[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                (i > start).then_some(i)
+            }
+        }
+    }
+    let b = text.as_bytes();
+    value(b, 0).map(|end| skip_ws(b, end) == b.len()) == Some(true)
+}
+
+#[test]
+fn metrics_exposition_parses_with_cumulative_histograms() {
+    // The observability acceptance half for `/metrics`: after real traffic,
+    // the document must survive the strict exposition parser (every family
+    // declared exactly once, every histogram with cumulative buckets, a
+    // `+Inf` terminal, and a matching `_count`), serve at least three
+    // histogram families, and the request histogram must have counted the
+    // traffic we just sent.
+    let (_graph, server) = boot(2);
+    let addr = server.addr();
+    for i in 0..4u32 {
+        let (status, _) = exchange(
+            addr,
+            "POST",
+            "/query",
+            &query_body(i % 6, (i + 3) % 6, &[1]),
+        );
+        assert_eq!(status, 200);
+    }
+    let batch = format!(
+        "{{\"queries\":[{}]}}",
+        String::from_utf8(query_body(0, 5, &[1])).unwrap()
+    );
+    let (status, _) = exchange(addr, "POST", "/batch", batch.as_bytes());
+    assert_eq!(status, 200);
+
+    let (status, text) = exchange(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let expo = rlc::obs::expo::parse(&text)
+        .unwrap_or_else(|error| panic!("the exposition must parse: {error}\n{text}"));
+
+    let histograms = expo.histogram_families();
+    assert!(
+        histograms.len() >= 3,
+        "at least three histogram families, got {histograms:?}"
+    );
+    for family in [
+        "rlc_serve_request_seconds",
+        "rlc_serve_queue_wait_seconds",
+        "rlc_serve_parse_seconds",
+        "rlc_serve_execute_seconds",
+        "rlc_serve_write_seconds",
+    ] {
+        assert!(histograms.contains(&family), "missing family {family}");
+    }
+    // The gauges promised by the satellite: kernel lane, generation, and
+    // resident index bytes.
+    assert_eq!(
+        expo.families
+            .get("rlc_serve_index_bytes")
+            .map(String::as_str),
+        Some("gauge")
+    );
+    assert_eq!(
+        expo.families
+            .get("rlc_serve_kernel_info")
+            .map(String::as_str),
+        Some("gauge")
+    );
+    assert!(expo.value("rlc_serve_generation").is_some());
+    let index_bytes = expo
+        .samples
+        .iter()
+        .find(|s| s.name == "rlc_serve_index_bytes")
+        .expect("index footprint gauge");
+    assert!(index_bytes.value > 0.0, "the index is resident");
+    assert!(
+        index_bytes
+            .labels
+            .iter()
+            .any(|(k, v)| k == "kind" && v == "rlc"),
+        "the footprint gauge names the epoch kind"
+    );
+    let kernel_info = expo
+        .samples
+        .iter()
+        .find(|s| s.name == "rlc_serve_kernel_info")
+        .expect("kernel lane gauge");
+    assert!(
+        kernel_info
+            .labels
+            .iter()
+            .any(|(k, v)| k == "lane" && v == kernel_name()),
+        "the lane label matches the runtime dispatch"
+    );
+    // The request histogram really observed the five requests above.
+    let query_count = expo
+        .samples
+        .iter()
+        .find(|s| {
+            s.name == "rlc_serve_request_seconds_count"
+                && s.labels.iter().any(|(k, v)| k == "route" && v == "query")
+        })
+        .map(|s| s.value)
+        .unwrap_or(0.0);
+    assert!(query_count >= 4.0, "route=query counted {query_count}");
+    server.shutdown();
+}
+
+#[test]
+fn admin_explain_serves_trace_trees_through_the_sharded_stitcher() {
+    // The EXPLAIN acceptance: a server over a two-shard hash-partitioned
+    // epoch with every batch sampled must (a) answer exactly like an
+    // unsharded engine and (b) serve, on `GET /admin/explain`, a valid
+    // JSON tree per sampled batch whose query nodes carry the cache-hit
+    // flag, the shard route (with cross-shard pairs really routed through
+    // the stitcher), the kernel lane, and the per-phase wall-clock.
+    use rlc::shard::{ShardBuildConfig, ShardedIndex};
+
+    let graph = fig2();
+    let shard_config =
+        ShardBuildConfig::new(2, 2).with_strategy(PartitionStrategy::Hash { seed: 5 });
+    let (sharded, _) = ShardedIndex::build(&graph, &shard_config).unwrap();
+    assert!(
+        !sharded.cut_edges().is_empty(),
+        "the hash split must cut Fig. 2 so stitched routes exist"
+    );
+    let server = Server::start(
+        ServeConfig {
+            explain_capacity: 64,
+            explain_sample: 1,
+            ..ServeConfig::default()
+        },
+        Epoch::sharded(Arc::clone(&graph), sharded),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Tracing every batch must not change a single answer.
+    let (index, _) = build_index(&graph, &BuildConfig::new(2));
+    let engine = IndexEngine::new(&graph, &index);
+    for source in 0..6u32 {
+        for target in 0..6u32 {
+            let expected = engine
+                .evaluate(&Query::rlc(source, target, vec![Label(1)]).unwrap())
+                .unwrap();
+            let (status, body) =
+                exchange(addr, "POST", "/query", &query_body(source, target, &[1]));
+            assert_eq!(status, 200, "{body}");
+            assert!(
+                body.contains(&format!("\"answer\":{expected}")),
+                "({source},{target}): traced sharded answer must equal direct evaluation: {body}"
+            );
+        }
+    }
+
+    // An unparseable `last` is a 400, not a guess.
+    let (status, _) = exchange(addr, "GET", "/admin/explain?last=bogus", b"");
+    assert_eq!(status, 400);
+
+    let (status, body) = exchange(addr, "GET", "/admin/explain?last=64", b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        json_is_well_formed(&body),
+        "the explain body must be valid JSON: {body}"
+    );
+    assert!(body.starts_with("{\"ok\":true,\"count\":"), "{body}");
+    assert!(body.contains("\"name\":\"batch\""), "{body}");
+    assert!(
+        body.contains("\"origin\":\"microbatch\""),
+        "traces come from the sampled micro-batcher: {body}"
+    );
+    assert!(body.contains("\"generation\":"), "{body}");
+    assert!(
+        body.contains(&format!("\"kernel_lane\":\"{}\"", kernel_name())),
+        "the trace names the runtime kernel lane: {body}"
+    );
+    for phase in ["prepare_ns", "execute_ns", "scatter_ns"] {
+        assert!(
+            body.contains(&format!("\"{phase}\":")),
+            "per-phase timing {phase} missing: {body}"
+        );
+    }
+    assert!(
+        body.contains("\"cache_hit\":\"true\""),
+        "the repeated constraint must hit the shared plan cache: {body}"
+    );
+    assert!(
+        body.contains("\"route\":\"stitched\""),
+        "a cross-shard pair must be routed through the stitcher: {body}"
+    );
+    assert!(
+        body.contains("\"route\":\"local\""),
+        "a same-shard pair must take the local fast path: {body}"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn graceful_shutdown_answers_everything_admitted() {
     let graph = fig2();
